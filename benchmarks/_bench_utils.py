@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules (table persistence, output directory)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(name: str, text: str) -> None:
+    """Print a rendered table and persist it under ``benchmarks/results/``."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,33 @@
+"""Benchmark target for Figure 5: stage-wise cost ratios (normalised to Cilk) per ``g``.
+
+Regenerates the bar values of Figure 5 — the mean cost ratio of Cilk, HDagg,
+the best initialisation, the local-search result and the ILP result — from
+the shared Section-7.1 grid, and times the local-search stage in isolation.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, figure5_series
+from repro.schedulers import BspGreedyScheduler, HillClimbingImprover
+
+
+def test_fig05_stage_breakdown(benchmark, no_numa_records, representative_instance):
+    machine = MachineSpec(8, g=5, latency=5).build()
+    initial = BspGreedyScheduler().schedule(representative_instance.dag, machine)
+    benchmark.pedantic(
+        lambda: HillClimbingImprover(max_passes=5).improve(initial),
+        rounds=1,
+        iterations=1,
+    )
+
+    series, text = figure5_series(no_numa_records)
+    save_table("fig05_stage_breakdown", text)
+
+    for panel, values in series.items():
+        # Cilk is the normalisation baseline
+        assert values["Cilk"] == 1.0
+        # the paper's bar ordering: each framework stage improves on the last
+        assert values["Init"] <= 1.0 + 1e-9, panel
+        assert values["HCcs"] <= values["Init"] + 1e-9, panel
+        assert values["ILP"] <= values["HCcs"] + 1e-9, panel

@@ -1,0 +1,34 @@
+"""Benchmark target for Figure 6: stage-wise ratios with NUMA, including the ML column.
+
+Regenerates the six panels of Figure 6 (one per ``P × Δ`` combination) from
+the shared NUMA records, and times a multilevel run on a representative
+instance.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, figure6_series
+from repro.schedulers import MultilevelPipeline
+
+
+def test_fig06_numa_stages(benchmark, numa_records, bench_config, representative_instance):
+    machine = MachineSpec(8, g=1, latency=5, numa_delta=4).build()
+    benchmark.pedantic(
+        lambda: MultilevelPipeline(bench_config).schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    series, text = figure6_series(numa_records)
+    save_table("fig06_numa_stages", text)
+
+    assert series, "expected at least one P x delta panel"
+    for panel, values in series.items():
+        assert values["Cilk"] == 1.0
+        assert values["ILP"] <= values["Init"] + 1e-9, panel
+        assert "ML" in values, panel
+    # the ML column becomes competitive with the base framework at the
+    # steepest hierarchy (the defining observation of §7.3)
+    steep = [key for key in series if key.endswith("D=4")]
+    assert any(series[key]["ML"] <= series[key]["ILP"] * 1.3 for key in steep)

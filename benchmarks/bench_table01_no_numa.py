@@ -1,0 +1,35 @@
+"""Benchmark target for Table 1: cost reduction vs Cilk and HDagg without NUMA.
+
+Regenerates both halves of Table 1 (improvement split by ``g × P`` and by
+``g × dataset``) from the shared Section-7.1 grid, and times one framework
+pipeline run on a representative instance.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, aggregate_improvement, table1_no_numa_improvements
+from repro.schedulers import SchedulingPipeline
+
+
+def test_table01_no_numa(benchmark, no_numa_records, bench_config, representative_instance):
+    machine = MachineSpec(8, g=3, latency=5).build()
+    benchmark.pedantic(
+        lambda: SchedulingPipeline(bench_config).schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows, text = table1_no_numa_improvements(no_numa_records)
+    save_table("table01_no_numa", text)
+
+    # qualitative shape of the paper's Table 1: the framework is cheaper than
+    # Cilk on average, and no worse than HDagg
+    assert aggregate_improvement(no_numa_records, "final", "cilk") > 0.0
+    assert aggregate_improvement(no_numa_records, "final", "hdagg") > -0.05
+    # the gap to Cilk widens (or at least does not shrink much) as g grows
+    low_g = [r for r in no_numa_records if r.spec.g == 1]
+    high_g = [r for r in no_numa_records if r.spec.g == 5]
+    assert aggregate_improvement(high_g, "final", "cilk") >= (
+        aggregate_improvement(low_g, "final", "cilk") - 0.05
+    )

@@ -1,0 +1,31 @@
+"""Benchmark target for Table 2: base-scheduler cost reduction with NUMA effects.
+
+Regenerates the ``P × Δ`` improvement grid of Table 2 from the shared
+Section-7.2 records and times one framework run on a NUMA machine.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, aggregate_improvement, table2_numa_improvements
+from repro.schedulers import SchedulingPipeline
+
+
+def test_table02_numa(benchmark, numa_records, bench_config, representative_instance):
+    machine = MachineSpec(8, g=1, latency=5, numa_delta=3).build()
+    benchmark.pedantic(
+        lambda: SchedulingPipeline(bench_config).schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows, text = table2_numa_improvements(numa_records)
+    save_table("table02_numa", text)
+
+    # qualitative shape: positive improvement over Cilk, growing with delta
+    assert aggregate_improvement(numa_records, "final", "cilk") > 0.0
+    low = [r for r in numa_records if r.spec.numa_delta == 2]
+    high = [r for r in numa_records if r.spec.numa_delta == 4]
+    assert aggregate_improvement(high, "final", "cilk") >= (
+        aggregate_improvement(low, "final", "cilk") - 0.05
+    )

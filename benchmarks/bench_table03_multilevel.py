@@ -1,0 +1,32 @@
+"""Benchmark target for Table 3: multilevel-scheduler cost reduction with NUMA.
+
+Regenerates the ``P × Δ`` improvement grid of the multilevel scheduler from
+the shared NUMA records and times the coarsening phase in isolation.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import aggregate_improvement, table3_multilevel_improvements
+from repro.schedulers.multilevel import coarsen_dag
+
+
+def test_table03_multilevel(benchmark, numa_records, representative_instance):
+    dag = representative_instance.dag
+    benchmark.pedantic(
+        lambda: coarsen_dag(dag, target_nodes=max(2, dag.num_nodes // 3)),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows, text = table3_multilevel_improvements(numa_records)
+    save_table("table03_multilevel", text)
+
+    ml_records = [r for r in numa_records if "multilevel" in r.costs]
+    assert ml_records, "NUMA records must include the multilevel column"
+    # the multilevel scheduler clearly beats Cilk in the NUMA regime
+    assert aggregate_improvement(ml_records, "multilevel", "cilk") > 0.0
+    # and at the steepest hierarchy it is at least competitive with the base scheduler
+    steep = [r for r in ml_records if r.spec.numa_delta == 4]
+    if steep:
+        assert aggregate_improvement(steep, "multilevel", "final") > -0.3

@@ -1,0 +1,33 @@
+"""Benchmark target for Table 6: detailed no-NUMA improvements per ``g × P × dataset``.
+
+Regenerates the fully split-out improvement grid of Table 6 from the shared
+Section-7.1 records and times the Cilk and HDagg baselines (the denominators
+of every cell).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, aggregate_improvement, table6_detailed_no_numa
+from repro.schedulers import CilkScheduler, HDaggScheduler
+
+
+def test_table06_detailed_no_numa(benchmark, no_numa_records, representative_instance):
+    machine = MachineSpec(8, g=3, latency=5).build()
+
+    def run_baselines():
+        CilkScheduler(seed=0).schedule(representative_instance.dag, machine)
+        HDaggScheduler().schedule(representative_instance.dag, machine)
+
+    benchmark.pedantic(run_baselines, rounds=1, iterations=1)
+
+    rows, text = table6_detailed_no_numa(no_numa_records)
+    save_table("table06_detailed_no_numa", text)
+
+    # every dataset in the grid gets a full row, and the overall improvement
+    # over Cilk stays positive for every dataset (Table 6's headline shape)
+    datasets = {record.dataset for record in no_numa_records}
+    assert set(rows) == datasets
+    for dataset in datasets:
+        subset = [r for r in no_numa_records if r.dataset == dataset]
+        assert aggregate_improvement(subset, "final", "cilk") > 0.0, dataset

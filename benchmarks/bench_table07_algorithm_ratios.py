@@ -1,0 +1,33 @@
+"""Benchmark target for Table 7: per-algorithm cost ratios at ``g = 5``.
+
+Regenerates the BL-EST / ETF / Cilk / HDagg / Init / HCcs / ILP ratio table
+(normalised to Cilk) per dataset from the shared Section-7.1 records, and
+times the BL-EST and ETF list schedulers.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, table7_algorithm_ratios
+from repro.schedulers import BlEstScheduler, EtfScheduler
+
+
+def test_table07_algorithm_ratios(benchmark, no_numa_records, representative_instance):
+    machine = MachineSpec(8, g=5, latency=5).build()
+
+    def run_list_schedulers():
+        BlEstScheduler().schedule(representative_instance.dag, machine)
+        EtfScheduler().schedule(representative_instance.dag, machine)
+
+    benchmark.pedantic(run_list_schedulers, rounds=1, iterations=1)
+
+    series, text = table7_algorithm_ratios(no_numa_records, g=5)
+    save_table("table07_algorithm_ratios", text)
+
+    assert series, "expected at least one dataset row"
+    for dataset, values in series.items():
+        assert values["Cilk"] == 1.0
+        # the framework's final result beats HDagg-normalised-to-Cilk on this grid
+        assert values["ILPcs"] <= values["HDagg"] + 0.05, dataset
+        # list baselines are present thanks to include_list_baselines
+        assert "ETF" in values and "BL-EST" in values, dataset

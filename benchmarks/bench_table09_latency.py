@@ -1,0 +1,28 @@
+"""Benchmark target for Table 9: the effect of the latency parameter ``ℓ``.
+
+Sweeps ``ℓ ∈ {2, 5, 10, 20}`` at ``g = 1`` and ``P = 8`` (Appendix C.3) and
+reports the improvement over Cilk and HDagg for every latency value.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, table9_latency
+from repro.schedulers import SourceScheduler
+
+
+def test_table09_latency(benchmark, latency_records, representative_instance):
+    machine = MachineSpec(8, g=1, latency=20).build()
+    benchmark.pedantic(
+        lambda: SourceScheduler().schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    values, text = table9_latency(latency_records)
+    save_table("table09_latency", text)
+
+    assert set(values) == {2, 5, 10, 20}
+    # improvement over Cilk is positive throughout and tends to grow with l
+    assert all(vs_cilk > 0 for vs_cilk, _ in values.values())
+    assert values[20][0] >= values[2][0] - 0.05

@@ -1,0 +1,28 @@
+"""Benchmark target for Table 10: NUMA improvements per ``P × Δ × dataset``.
+
+Regenerates the fully split-out NUMA improvement table from the shared
+Section-7.2 records and times the lazy-communication cost evaluation that
+every cell ultimately rests on.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import MachineSpec, aggregate_improvement, table10_numa_detailed
+from repro.schedulers import HDaggScheduler
+
+
+def test_table10_numa_detailed(benchmark, numa_records, representative_instance):
+    machine = MachineSpec(16, g=1, latency=5, numa_delta=4).build()
+    schedule = HDaggScheduler().schedule(representative_instance.dag, machine)
+    benchmark.pedantic(lambda: schedule.with_lazy_comm().cost(), rounds=1, iterations=1)
+
+    rows, text = table10_numa_detailed(numa_records)
+    save_table("table10_numa_detailed", text)
+
+    datasets = {record.dataset for record in numa_records}
+    assert set(rows) == datasets
+    # positive improvement over Cilk for every dataset under NUMA
+    for dataset in datasets:
+        subset = [r for r in numa_records if r.dataset == dataset]
+        assert aggregate_improvement(subset, "final", "cilk") > 0.0, dataset

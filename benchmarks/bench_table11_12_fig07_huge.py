@@ -1,0 +1,60 @@
+"""Benchmark target for Tables 11/12 and Figure 7: the huge dataset, non-ILP pipeline.
+
+The paper runs only the cheap part of the framework (BSPg/Source + HC + HCcs)
+on the largest DAGs.  This bench regenerates the improvement tables with and
+without NUMA plus the per-``P`` stage ratios of Figure 7, and times the
+heuristics-only pipeline on a representative instance.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import (
+    MachineSpec,
+    aggregate_improvement,
+    figure7_series,
+    table11_12_huge,
+)
+from repro.schedulers import SchedulingPipeline
+
+
+def test_table11_huge_uniform(benchmark, huge_records_uniform, representative_instance):
+    machine = MachineSpec(16, g=3, latency=5).build()
+    pipeline = SchedulingPipeline.heuristics_only(local_search_seconds=0.5)
+    benchmark.pedantic(
+        lambda: pipeline.schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows, text = table11_12_huge(huge_records_uniform)
+    save_table("table11_huge_uniform", text)
+    assert aggregate_improvement(huge_records_uniform, "final", "cilk") > 0.0
+
+    series, fig_text = figure7_series(huge_records_uniform)
+    save_table("fig07_huge_stage_ratios", fig_text)
+    for panel, values in series.items():
+        assert values["Cilk"] == 1.0
+        assert values["HCcs"] <= values["Init"] + 1e-9, panel
+
+
+def test_table12_huge_numa(benchmark, huge_records_numa, representative_instance):
+    machine = MachineSpec(8, g=1, latency=5, numa_delta=4).build()
+    pipeline = SchedulingPipeline.heuristics_only(local_search_seconds=0.5)
+    benchmark.pedantic(
+        lambda: pipeline.schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows, text = table11_12_huge(huge_records_numa)
+    save_table("table12_huge_numa", text)
+    # with NUMA the gains of the heuristic pipeline over Cilk remain positive
+    assert aggregate_improvement(huge_records_numa, "final", "cilk") > 0.0
+    # and they are at least as large as without NUMA on the steepest hierarchy
+    steep = [r for r in huge_records_numa if r.spec.numa_delta == 4]
+    mild = [r for r in huge_records_numa if r.spec.numa_delta == 2]
+    if steep and mild:
+        assert aggregate_improvement(steep, "final", "cilk") >= (
+            aggregate_improvement(mild, "final", "cilk") - 0.05
+        )

@@ -1,0 +1,50 @@
+"""Benchmark target for Tables 13 and 14: multilevel coarsening-ratio study.
+
+Runs the multilevel scheduler with coarsening ratios 0.15 and 0.30 (and the
+better of the two, ``Copt``) on the NUMA grid and reports its improvement
+over the baselines (Table 13) and its cost ratio to the base framework
+(Table 14).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_table
+from repro.analysis import (
+    MachineSpec,
+    aggregate_improvement,
+    table13_multilevel_vs_baselines,
+    table14_multilevel_vs_base,
+)
+from repro.schedulers import MultilevelPipeline, PipelineConfig
+
+
+def test_table13_14_multilevel_ratios(benchmark, multilevel_ratio_records, representative_instance):
+    machine = MachineSpec(8, g=1, latency=5, numa_delta=4).build()
+    pipeline = MultilevelPipeline(PipelineConfig.fast(), coarsening_ratios=(0.3,))
+    benchmark.pedantic(
+        lambda: pipeline.schedule(representative_instance.dag, machine),
+        rounds=1,
+        iterations=1,
+    )
+
+    values13, text13 = table13_multilevel_vs_baselines(multilevel_ratio_records)
+    save_table("table13_multilevel_vs_baselines", text13)
+    values14, text14 = table14_multilevel_vs_base(multilevel_ratio_records)
+    save_table("table14_multilevel_vs_base", text14)
+
+    # Copt is by construction at least as good as either single ratio
+    for cell in values13["ml_copt"]:
+        assert values13["ml_copt"][cell][0] >= values13["ml_c15"][cell][0] - 1e-9
+        assert values13["ml_copt"][cell][0] >= values13["ml_c30"][cell][0] - 1e-9
+
+    # the multilevel scheduler clearly beats Cilk in the NUMA regime
+    assert aggregate_improvement(multilevel_ratio_records, "ml_copt", "cilk") > 0.0
+
+    # Table 14 trend: relative to the base scheduler, the multilevel approach
+    # is more useful at delta=4 than at delta=2
+    steep_cells = [cell for cell in values14["ml_copt"] if cell.endswith("D=4")]
+    mild_cells = [cell for cell in values14["ml_copt"] if cell.endswith("D=2")]
+    if steep_cells and mild_cells:
+        steep = min(values14["ml_copt"][cell] for cell in steep_cells)
+        mild = min(values14["ml_copt"][cell] for cell in mild_cells)
+        assert steep <= mild + 0.25

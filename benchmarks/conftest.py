@@ -1,0 +1,168 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has its own ``bench_*`` module, but many
+of them aggregate the *same* underlying experiment grid (e.g. Tables 1 and 6
+and Figure 5 all read the no-NUMA grid of Section 7.1).  The grids are
+therefore computed once per pytest session by the session-scoped fixtures
+below and shared across the bench modules; each bench module additionally
+times a representative scheduling run with ``pytest-benchmark`` and prints
+the regenerated table/figure rows.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SCALE``
+    ``bench`` (default, laptop-scale instance sizes) or ``paper`` (the
+    original node-count intervals — expect hours).
+``REPRO_BENCH_MAX_INSTANCES``
+    Maximum number of instances per dataset (default 2 at bench scale,
+    unlimited at paper scale).
+``REPRO_BENCH_DATASETS``
+    Comma-separated dataset list for the main grids (default ``tiny,small``).
+
+Rendered tables are printed and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from _bench_utils import save_table  # noqa: F401  (re-exported for bench modules)
+from repro.analysis import (
+    run_huge_experiment,
+    run_initializer_comparison,
+    run_latency_sweep,
+    run_multilevel_ratio_experiment,
+    run_no_numa_grid,
+    run_numa_grid,
+)
+from repro.schedulers import PipelineConfig
+
+def _bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def _max_instances() -> int | None:
+    raw = os.environ.get("REPRO_BENCH_MAX_INSTANCES")
+    if raw:
+        return int(raw)
+    return 2 if _bench_scale() == "bench" else None
+
+
+def _datasets() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS", "tiny,small")
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def _config() -> PipelineConfig:
+    return PipelineConfig.fast() if _bench_scale() == "bench" else PipelineConfig()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return _bench_scale()
+
+
+@pytest.fixture(scope="session")
+def representative_instance():
+    """One mid-sized instance used by the per-module timing measurements."""
+    from repro.dagdb import build_dataset
+
+    instances = build_dataset(_datasets()[0], scale=_bench_scale(), include_coarse=False)
+    return instances[len(instances) // 2]
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> PipelineConfig:
+    return _config()
+
+
+@pytest.fixture(scope="session")
+def no_numa_records():
+    """Section 7.1 grid (Tables 1, 6, 7, 8; Figure 5), incl. BL-EST/ETF."""
+    return run_no_numa_grid(
+        datasets=_datasets(),
+        scale=_bench_scale(),
+        procs=(4, 8),
+        g_values=(1, 3, 5),
+        config=_config(),
+        include_list_baselines=True,
+        max_instances_per_dataset=_max_instances(),
+    )
+
+
+@pytest.fixture(scope="session")
+def numa_records():
+    """Section 7.2 grid (Tables 2, 3, 10; Figure 6), incl. multilevel and trivial."""
+    return run_numa_grid(
+        datasets=_datasets(),
+        scale=_bench_scale(),
+        procs=(8, 16),
+        deltas=(2, 3, 4),
+        config=_config(),
+        include_multilevel=True,
+        include_trivial=True,
+        max_instances_per_dataset=_max_instances(),
+    )
+
+
+@pytest.fixture(scope="session")
+def latency_records():
+    """Appendix C.3 latency sweep (Table 9)."""
+    return run_latency_sweep(
+        dataset="small" if "small" in _datasets() else _datasets()[0],
+        scale=_bench_scale(),
+        latencies=(2, 5, 10, 20),
+        config=_config(),
+        max_instances=_max_instances(),
+    )
+
+
+@pytest.fixture(scope="session")
+def initializer_wins():
+    """Appendix C.1 initialiser comparison (Tables 4 and 5)."""
+    return run_initializer_comparison(
+        scale=_bench_scale(),
+        procs=(4, 8),
+        g_values=(1, 3),
+        ilp_init_time=1.0 if _bench_scale() == "bench" else 10.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def huge_records_uniform():
+    """Appendix C.5 huge dataset without NUMA (Table 11, Figure 7)."""
+    return run_huge_experiment(
+        scale=_bench_scale(),
+        numa=False,
+        procs=(4, 8, 16),
+        g_values=(1, 3, 5),
+        local_search_seconds=0.5 if _bench_scale() == "bench" else 30.0,
+        max_instances=_max_instances(),
+    )
+
+
+@pytest.fixture(scope="session")
+def huge_records_numa():
+    """Appendix C.5 huge dataset with NUMA (Table 12)."""
+    return run_huge_experiment(
+        scale=_bench_scale(),
+        numa=True,
+        deltas=(2, 3, 4),
+        local_search_seconds=0.5 if _bench_scale() == "bench" else 30.0,
+        max_instances=_max_instances(),
+    )
+
+
+@pytest.fixture(scope="session")
+def multilevel_ratio_records():
+    """Section 7.3 coarsening-ratio experiment (Tables 13 and 14)."""
+    return run_multilevel_ratio_experiment(
+        datasets=tuple(d for d in _datasets() if d != "tiny") or ("small",),
+        scale=_bench_scale(),
+        procs=(8, 16),
+        deltas=(2, 4),
+        config=_config(),
+        max_instances_per_dataset=min(_max_instances() or 2, 2),
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Case study: NUMA-dominated scheduling and the multilevel algorithm (§7.2-7.3).
+
+A conjugate-gradient computation (fine-grained DAG) is scheduled on machines
+with a binary-tree NUMA hierarchy of increasing steepness Δ.  The example
+compares
+
+* the Cilk and HDagg baselines,
+* the trivial one-processor schedule (the "is parallelism even worth it?"
+  yardstick of §7.3),
+* the framework's base pipeline, and
+* the multilevel (coarsen-solve-refine) pipeline,
+
+showing that the multilevel approach takes over once communication costs
+dominate — the story of Figure 6 and Tables 2/3 of the paper.
+
+Run with::
+
+    python examples/numa_multilevel.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BspMachine,
+    CilkScheduler,
+    HDaggScheduler,
+    MultilevelPipeline,
+    PipelineConfig,
+    SchedulingPipeline,
+)
+from repro.core import BspSchedule
+from repro.dagdb import SparseMatrixPattern, build_cg_dag
+
+
+def main() -> None:
+    pattern = SparseMatrixPattern.random(7, 0.3, seed=3, ensure_diagonal=True)
+    dag = build_cg_dag(pattern, iterations=3).dag
+    print(
+        f"Conjugate gradient DAG: {dag.num_nodes} nodes, {dag.num_edges} edges, "
+        f"depth {dag.depth()}, total work {dag.total_work:g}"
+    )
+    print()
+
+    config = PipelineConfig.fast()
+    base_pipeline = SchedulingPipeline(config)
+    multilevel_pipeline = MultilevelPipeline(config)
+
+    columns = ("cilk", "hdagg", "trivial", "framework", "multilevel")
+    header = f"{'P':>3} {'delta':>6} | " + " | ".join(f"{c:>10}" for c in columns)
+    print(header)
+    print("-" * len(header))
+
+    for num_procs in (8, 16):
+        for delta in (2, 3, 4):
+            machine = BspMachine.numa_hierarchy(num_procs, delta=delta, g=1, latency=5)
+            costs = {
+                "cilk": CilkScheduler(seed=0).schedule(dag, machine).cost(),
+                "hdagg": HDaggScheduler().schedule(dag, machine).cost(),
+                "trivial": BspSchedule.trivial(dag, machine).cost(),
+                "framework": base_pipeline.schedule(dag, machine).cost(),
+                "multilevel": multilevel_pipeline.schedule(dag, machine).cost(),
+            }
+            row = f"{num_procs:>3} {delta:>6} | " + " | ".join(
+                f"{costs[c]:>10.1f}" for c in columns
+            )
+            print(row)
+    print()
+    print(
+        "As delta grows the baselines degrade badly (they ignore the NUMA\n"
+        "hierarchy), the base framework closes most of the gap, and for the\n"
+        "steepest hierarchies the multilevel scheduler is the only method that\n"
+        "stays competitive with -- or beats -- the trivial one-processor schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

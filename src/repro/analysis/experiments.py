@@ -1,0 +1,435 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6/7, Appendix C).
+
+The harness separates three concerns:
+
+* :class:`MachineSpec` — a machine-parameter point of the evaluation grid
+  (``P``, ``g``, ``ℓ`` and the optional NUMA multiplier ``Δ``);
+* :class:`ExperimentRunner` — runs the baselines and the framework pipeline
+  (optionally the multilevel scheduler) on one instance × machine point and
+  records every cost of interest in an :class:`InstanceRecord`;
+* the ``run_*`` convenience functions — assemble the instance sets and the
+  machine grids of the individual tables/figures and return the records the
+  table formatters in :mod:`repro.analysis.tables` aggregate.
+
+All sizes default to the scaled-down ``"bench"`` datasets so the complete
+harness runs in seconds; passing ``scale="paper"`` restores the original
+node-count intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.machine import BspMachine
+from ..core.schedule import BspSchedule
+from ..dagdb.datasets import DatasetInstance, build_dataset, build_training_set
+from ..schedulers.bsp_greedy import BspGreedyScheduler
+from ..schedulers.cilk import CilkScheduler
+from ..schedulers.hdagg import HDaggScheduler
+from ..schedulers.ilp import IlpInitScheduler
+from ..schedulers.listsched import BlEstScheduler, EtfScheduler
+from ..schedulers.pipeline import MultilevelPipeline, PipelineConfig, SchedulingPipeline
+from ..schedulers.source_heuristic import SourceScheduler
+from .metrics import geometric_mean
+
+__all__ = [
+    "MachineSpec",
+    "InstanceRecord",
+    "ExperimentRunner",
+    "no_numa_machine_grid",
+    "numa_machine_grid",
+    "run_no_numa_grid",
+    "run_numa_grid",
+    "run_latency_sweep",
+    "run_huge_experiment",
+    "run_initializer_comparison",
+    "run_multilevel_ratio_experiment",
+    "aggregate_improvement",
+    "aggregate_ratio",
+]
+
+
+# ---------------------------------------------------------------------- #
+# machine grid
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine-parameter point of the evaluation grid."""
+
+    num_procs: int
+    g: float = 1.0
+    latency: float = 5.0
+    numa_delta: float | None = None
+
+    def build(self) -> BspMachine:
+        """Materialise the :class:`BspMachine`."""
+        if self.numa_delta is None:
+            return BspMachine.uniform(self.num_procs, g=self.g, latency=self.latency)
+        return BspMachine.numa_hierarchy(
+            self.num_procs, delta=self.numa_delta, g=self.g, latency=self.latency
+        )
+
+    def label(self) -> str:
+        """Short label used in table headers."""
+        base = f"P={self.num_procs},g={self.g:g},l={self.latency:g}"
+        if self.numa_delta is not None:
+            base += f",D={self.numa_delta:g}"
+        return base
+
+
+def no_numa_machine_grid(
+    procs: Sequence[int] = (4, 8, 16),
+    g_values: Sequence[float] = (1, 3, 5),
+    latency: float = 5.0,
+) -> list[MachineSpec]:
+    """The uniform-BSP machine grid of Section 7.1."""
+    return [MachineSpec(p, g, latency) for p in procs for g in g_values]
+
+
+def numa_machine_grid(
+    procs: Sequence[int] = (8, 16),
+    deltas: Sequence[float] = (2, 3, 4),
+    g: float = 1.0,
+    latency: float = 5.0,
+) -> list[MachineSpec]:
+    """The NUMA machine grid of Section 7.2 (``g = 1``, binary-tree hierarchy)."""
+    return [MachineSpec(p, g, latency, delta) for p in procs for delta in deltas]
+
+
+# ---------------------------------------------------------------------- #
+# per-instance results
+# ---------------------------------------------------------------------- #
+@dataclass
+class InstanceRecord:
+    """All recorded costs for one instance on one machine point."""
+
+    instance: str
+    dataset: str
+    generator: str
+    num_nodes: int
+    spec: MachineSpec
+    costs: dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, key: str, baseline: str) -> float:
+        """Cost ratio ``costs[key] / costs[baseline]``."""
+        return self.costs[key] / self.costs[baseline]
+
+
+class ExperimentRunner:
+    """Runs the baselines and the framework on instance × machine points.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration (time limits, ILP thresholds).
+    include_list_baselines:
+        Also run BL-EST and ETF (needed for Tables 7 and 8).
+    include_multilevel:
+        Also run the multilevel pipeline (``ML`` column of Figure 6).
+    include_trivial:
+        Record the cost of the trivial one-processor schedule.
+    heuristics_only:
+        Disable every ILP stage (the configuration used for the huge dataset).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        include_list_baselines: bool = False,
+        include_multilevel: bool = False,
+        include_trivial: bool = False,
+        heuristics_only: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        if heuristics_only:
+            self.config.use_ilp = False
+            self.config.use_comm_ilp = False
+        self.include_list_baselines = include_list_baselines
+        self.include_multilevel = include_multilevel
+        self.include_trivial = include_trivial
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def run_instance(self, instance: DatasetInstance, spec: MachineSpec) -> InstanceRecord:
+        """Run every configured scheduler on one instance/machine pair."""
+        machine = spec.build()
+        dag = instance.dag
+        costs: dict[str, float] = {}
+
+        costs["cilk"] = CilkScheduler(seed=self.seed).schedule(dag, machine).cost()
+        costs["hdagg"] = HDaggScheduler().schedule(dag, machine).cost()
+        if self.include_list_baselines:
+            costs["bl_est"] = BlEstScheduler().schedule(dag, machine).cost()
+            costs["etf"] = EtfScheduler().schedule(dag, machine).cost()
+        if self.include_trivial:
+            costs["trivial"] = BspSchedule.trivial(dag, machine).cost()
+
+        pipeline = SchedulingPipeline(self.config)
+        result = pipeline.schedule_with_stages(dag, machine)
+        costs["init"] = result.stages.best_init
+        costs["hccs"] = result.stages.after_local_search
+        costs["ilp"] = result.stages.after_ilp_assignment
+        costs["final"] = result.stages.final
+
+        if self.include_multilevel:
+            ml = MultilevelPipeline(self.config)
+            costs["multilevel"] = ml.schedule(dag, machine).cost()
+
+        return InstanceRecord(
+            instance=instance.name,
+            dataset=instance.name.split("_", 1)[0],
+            generator=instance.generator,
+            num_nodes=instance.num_nodes,
+            spec=spec,
+            costs=costs,
+        )
+
+    def run(
+        self,
+        instances: Iterable[DatasetInstance],
+        specs: Iterable[MachineSpec],
+    ) -> list[InstanceRecord]:
+        """Cartesian product of instances and machine points."""
+        records = []
+        specs = list(specs)
+        for instance in instances:
+            for spec in specs:
+                records.append(self.run_instance(instance, spec))
+        return records
+
+
+# ---------------------------------------------------------------------- #
+# aggregation helpers
+# ---------------------------------------------------------------------- #
+def aggregate_ratio(
+    records: Iterable[InstanceRecord],
+    key: str,
+    baseline: str,
+) -> float:
+    """Geometric-mean cost ratio ``key / baseline`` over the records."""
+    records = list(records)
+    if not records:
+        return float("nan")
+    return geometric_mean(record.ratio(key, baseline) for record in records)
+
+
+def aggregate_improvement(
+    records: Iterable[InstanceRecord],
+    key: str,
+    baseline: str,
+) -> float:
+    """Improvement fraction of ``key`` over ``baseline`` (1 - geomean ratio)."""
+    return 1.0 - aggregate_ratio(records, key, baseline)
+
+
+# ---------------------------------------------------------------------- #
+# experiment drivers (one per paper experiment family)
+# ---------------------------------------------------------------------- #
+def _dataset_instances(
+    datasets: Sequence[str],
+    scale: str,
+    seed: int,
+    max_instances_per_dataset: int | None = None,
+) -> list[DatasetInstance]:
+    instances: list[DatasetInstance] = []
+    for dataset in datasets:
+        members = build_dataset(dataset, scale=scale, seed=seed)
+        if max_instances_per_dataset is not None and len(members) > max_instances_per_dataset:
+            # keep a generator-diverse subset: round-robin over the generators
+            by_generator: dict[str, list[DatasetInstance]] = {}
+            for member in members:
+                by_generator.setdefault(member.generator, []).append(member)
+            picked: list[DatasetInstance] = []
+            while len(picked) < max_instances_per_dataset:
+                progress = False
+                for group in by_generator.values():
+                    if group and len(picked) < max_instances_per_dataset:
+                        picked.append(group.pop(0))
+                        progress = True
+                if not progress:
+                    break
+            members = picked
+        instances.extend(members)
+    return instances
+
+
+def run_no_numa_grid(
+    datasets: Sequence[str] = ("tiny", "small", "medium", "large"),
+    scale: str = "bench",
+    procs: Sequence[int] = (4, 8, 16),
+    g_values: Sequence[float] = (1, 3, 5),
+    latency: float = 5.0,
+    config: PipelineConfig | None = None,
+    include_list_baselines: bool = False,
+    max_instances_per_dataset: int | None = None,
+    seed: int = 7,
+) -> list[InstanceRecord]:
+    """The uniform-BSP experiment of Section 7.1 (Tables 1, 6–8; Figure 5)."""
+    runner = ExperimentRunner(
+        config=config, include_list_baselines=include_list_baselines, seed=seed
+    )
+    instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
+    return runner.run(instances, no_numa_machine_grid(procs, g_values, latency))
+
+
+def run_numa_grid(
+    datasets: Sequence[str] = ("tiny", "small", "medium", "large"),
+    scale: str = "bench",
+    procs: Sequence[int] = (8, 16),
+    deltas: Sequence[float] = (2, 3, 4),
+    g: float = 1.0,
+    latency: float = 5.0,
+    config: PipelineConfig | None = None,
+    include_multilevel: bool = False,
+    include_trivial: bool = False,
+    max_instances_per_dataset: int | None = None,
+    seed: int = 7,
+) -> list[InstanceRecord]:
+    """The NUMA experiment of Section 7.2/7.3 (Tables 2, 3, 10, 13, 14; Figure 6)."""
+    runner = ExperimentRunner(
+        config=config,
+        include_multilevel=include_multilevel,
+        include_trivial=include_trivial,
+        seed=seed,
+    )
+    instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
+    return runner.run(instances, numa_machine_grid(procs, deltas, g, latency))
+
+
+def run_latency_sweep(
+    dataset: str = "medium",
+    scale: str = "bench",
+    latencies: Sequence[float] = (2, 5, 10, 20),
+    g: float = 1.0,
+    procs: int = 8,
+    config: PipelineConfig | None = None,
+    max_instances: int | None = None,
+    seed: int = 7,
+) -> list[InstanceRecord]:
+    """The latency experiment of Appendix C.3 (Table 9)."""
+    runner = ExperimentRunner(config=config, seed=seed)
+    instances = _dataset_instances((dataset,), scale, seed, max_instances)
+    specs = [MachineSpec(procs, g, latency) for latency in latencies]
+    return runner.run(instances, specs)
+
+
+def run_huge_experiment(
+    scale: str = "bench",
+    numa: bool = False,
+    procs: Sequence[int] = (4, 8, 16),
+    g_values: Sequence[float] = (1, 3, 5),
+    deltas: Sequence[float] = (2, 3, 4),
+    latency: float = 5.0,
+    local_search_seconds: float | None = 5.0,
+    max_instances: int | None = None,
+    seed: int = 7,
+) -> list[InstanceRecord]:
+    """The huge-dataset experiment of Appendix C.5 (Tables 11, 12; Figure 7).
+
+    Only the non-ILP part of the framework is used, as in the paper.
+    """
+    config = PipelineConfig(
+        use_ilp=False, use_comm_ilp=False, local_search_seconds=local_search_seconds
+    )
+    runner = ExperimentRunner(config=config, heuristics_only=True, seed=seed)
+    instances = _dataset_instances(("huge",), scale, seed, max_instances)
+    if numa:
+        specs = numa_machine_grid((8, 16), deltas, 1.0, latency)
+    else:
+        specs = no_numa_machine_grid(procs, g_values, latency)
+    return runner.run(instances, specs)
+
+
+# ---------------------------------------------------------------------- #
+# initializer comparison (Tables 4 and 5)
+# ---------------------------------------------------------------------- #
+@dataclass
+class InitializerWin:
+    """Which initialiser produced the cheapest schedule for one run."""
+
+    instance: str
+    generator: str
+    num_nodes: int
+    spec: MachineSpec
+    winner: str
+    costs: dict[str, float]
+
+
+def run_initializer_comparison(
+    scale: str = "bench",
+    procs: Sequence[int] = (4, 8, 16),
+    g_values: Sequence[float] = (1, 3, 5),
+    latency: float = 5.0,
+    ilp_init_time: float | None = 5.0,
+    seed: int = 11,
+) -> list[InitializerWin]:
+    """Compare BSPg, Source and ILPinit on the training set (Appendix C.1)."""
+    wins: list[InitializerWin] = []
+    instances = build_training_set(scale=scale, seed=seed)
+    initializers = {
+        "bsp_greedy": BspGreedyScheduler(),
+        "source": SourceScheduler(),
+        "ilp_init": IlpInitScheduler(time_limit_per_batch=ilp_init_time),
+    }
+    for instance in instances:
+        for spec in no_numa_machine_grid(procs, g_values, latency):
+            machine = spec.build()
+            costs = {
+                name: scheduler.schedule(instance.dag, machine).cost()
+                for name, scheduler in initializers.items()
+            }
+            winner = min(costs, key=costs.get)
+            wins.append(
+                InitializerWin(
+                    instance=instance.name,
+                    generator=instance.generator,
+                    num_nodes=instance.num_nodes,
+                    spec=spec,
+                    winner=winner,
+                    costs=costs,
+                )
+            )
+    return wins
+
+
+# ---------------------------------------------------------------------- #
+# multilevel coarsening-ratio experiment (Tables 13 and 14)
+# ---------------------------------------------------------------------- #
+def run_multilevel_ratio_experiment(
+    datasets: Sequence[str] = ("small", "medium", "large"),
+    scale: str = "bench",
+    procs: Sequence[int] = (8, 16),
+    deltas: Sequence[float] = (2, 3, 4),
+    g: float = 1.0,
+    latency: float = 5.0,
+    config: PipelineConfig | None = None,
+    max_instances_per_dataset: int | None = None,
+    seed: int = 7,
+) -> list[InstanceRecord]:
+    """Run the multilevel scheduler at both coarsening ratios (Tables 13–14).
+
+    The returned records contain ``cilk``, ``hdagg``, the base pipeline's
+    ``final`` cost and the multilevel costs ``ml_c15``, ``ml_c30`` and
+    ``ml_copt`` (the better of the two), mirroring the rows of Table 13/14.
+    """
+    config = config or PipelineConfig()
+    runner = ExperimentRunner(config=config, seed=seed)
+    instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
+    records: list[InstanceRecord] = []
+    for instance in instances:
+        for spec in numa_machine_grid(procs, deltas, g, latency):
+            record = runner.run_instance(instance, spec)
+            machine = spec.build()
+            ml15 = MultilevelPipeline(config, coarsening_ratios=(0.15,)).schedule(
+                instance.dag, machine
+            )
+            ml30 = MultilevelPipeline(config, coarsening_ratios=(0.3,)).schedule(
+                instance.dag, machine
+            )
+            record.costs["ml_c15"] = ml15.cost()
+            record.costs["ml_c30"] = ml30.cost()
+            record.costs["ml_copt"] = min(record.costs["ml_c15"], record.costs["ml_c30"])
+            records.append(record)
+    return records

@@ -1,0 +1,84 @@
+"""Aggregation metrics used in the paper's evaluation (Section 7).
+
+The paper evaluates a scheduler on an instance by the *ratio* of its cost to
+a baseline's cost and aggregates ratios over a dataset with the geometric
+mean (more appropriate than the arithmetic mean for ratios).  Improvements
+are reported as ``1 - geometric_mean(ratio)`` ("our schedule is X% cheaper").
+This module also provides the communication-to-computation ratio (CCR)
+generalisation discussed in Appendix A.5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..core.dag import ComputationalDAG
+from ..core.machine import BspMachine
+
+__all__ = [
+    "geometric_mean",
+    "cost_ratio",
+    "mean_cost_ratio",
+    "improvement",
+    "improvement_from_ratios",
+    "communication_to_computation_ratio",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (``nan`` for an empty input)."""
+    values = list(values)
+    if not values:
+        return float("nan")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def cost_ratio(cost: float, baseline_cost: float) -> float:
+    """Ratio ``cost / baseline_cost`` (``inf`` when the baseline cost is zero)."""
+    if baseline_cost <= 0:
+        return float("inf") if cost > 0 else 1.0
+    return cost / baseline_cost
+
+
+def mean_cost_ratio(costs: Sequence[float], baseline_costs: Sequence[float]) -> float:
+    """Geometric mean of per-instance cost ratios."""
+    if len(costs) != len(baseline_costs):
+        raise ValueError("costs and baseline_costs must have the same length")
+    return geometric_mean(
+        cost_ratio(c, b) for c, b in zip(costs, baseline_costs)
+    )
+
+
+def improvement_from_ratios(ratios: Iterable[float]) -> float:
+    """Improvement fraction ``1 - geometric_mean(ratios)``.
+
+    A value of ``0.24`` means a 24% lower cost than the baseline on (geometric)
+    average; negative values mean the method is worse than the baseline.
+    """
+    return 1.0 - geometric_mean(ratios)
+
+
+def improvement(costs: Sequence[float], baseline_costs: Sequence[float]) -> float:
+    """Improvement fraction of ``costs`` over ``baseline_costs``."""
+    return 1.0 - mean_cost_ratio(costs, baseline_costs)
+
+
+def communication_to_computation_ratio(
+    dag: ComputationalDAG, machine: BspMachine | None = None
+) -> float:
+    """CCR of an instance, optionally folding in ``g`` and the mean NUMA multiplier.
+
+    The plain definition of [27] is ``Σ c(v) / Σ w(v)``; with a machine given,
+    the numerator is additionally multiplied by ``g`` and the average NUMA
+    multiplier, the natural extension the paper discusses in Appendix A.5.
+    """
+    total_work = dag.total_work
+    if total_work <= 0:
+        return float("inf")
+    numerator = dag.total_comm
+    if machine is not None:
+        numerator *= machine.g * max(machine.average_numa_multiplier, 1e-12)
+    return numerator / total_work

@@ -1,0 +1,378 @@
+"""Formatting of the paper's tables and figure data series.
+
+Every function takes the :class:`~repro.analysis.experiments.InstanceRecord`
+lists produced by the experiment drivers and returns ``(rows, text)`` where
+``rows`` is a plain data structure (dict of dicts) suitable for asserting in
+tests and ``text`` is a human readable table that mirrors the corresponding
+table/figure of the paper.  Improvements are rendered like the paper:
+``"37% / 21%"`` meaning the cost reduction with respect to Cilk and HDagg.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Callable, Iterable, Sequence
+
+from .experiments import InitializerWin, InstanceRecord, aggregate_improvement, aggregate_ratio
+
+__all__ = [
+    "format_grid",
+    "table1_no_numa_improvements",
+    "table2_numa_improvements",
+    "table3_multilevel_improvements",
+    "table4_5_initializer_wins",
+    "table6_detailed_no_numa",
+    "table7_algorithm_ratios",
+    "table8_vs_etf",
+    "table9_latency",
+    "table10_numa_detailed",
+    "table11_12_huge",
+    "table13_multilevel_vs_baselines",
+    "table14_multilevel_vs_base",
+    "figure5_series",
+    "figure6_series",
+    "figure7_series",
+]
+
+GroupKey = Callable[[InstanceRecord], object]
+
+
+def _group(records: Iterable[InstanceRecord], key: GroupKey) -> dict[object, list[InstanceRecord]]:
+    grouped: dict[object, list[InstanceRecord]] = defaultdict(list)
+    for record in records:
+        grouped[key(record)].append(record)
+    return dict(grouped)
+
+
+def _improvement_cell(records: list[InstanceRecord], key: str) -> str:
+    vs_cilk = aggregate_improvement(records, key, "cilk")
+    vs_hdagg = aggregate_improvement(records, key, "hdagg")
+    return f"{vs_cilk:5.0%} / {vs_hdagg:5.0%}"
+
+
+def format_grid(
+    rows: dict[object, dict[object, str]],
+    row_label: str,
+    title: str,
+    column_width: int = 16,
+) -> str:
+    """Render a nested dict as an aligned text table."""
+    columns: list[object] = []
+    for cells in rows.values():
+        for column in cells:
+            if column not in columns:
+                columns.append(column)
+    lines = [title]
+    header = f"{row_label:<14}" + "".join(f"{str(c):>{column_width}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_key, cells in rows.items():
+        line = f"{str(row_key):<14}" + "".join(
+            f"{cells.get(column, '-'):>{column_width}}" for column in columns
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Section 7.1 — without NUMA
+# ---------------------------------------------------------------------- #
+def table1_no_numa_improvements(
+    records: Sequence[InstanceRecord], key: str = "final"
+) -> tuple[dict, str]:
+    """Table 1: improvement vs Cilk/HDagg split by ``g × P`` and by ``g × dataset``."""
+    by_gp: dict[object, dict[object, str]] = defaultdict(dict)
+    for (p, g), group in sorted(
+        _group(records, lambda r: (r.spec.num_procs, r.spec.g)).items()
+    ):
+        by_gp[f"P={p}"][f"g={g:g}"] = _improvement_cell(group, key)
+    by_gd: dict[object, dict[object, str]] = defaultdict(dict)
+    for (dataset, g), group in sorted(
+        _group(records, lambda r: (r.dataset, r.spec.g)).items()
+    ):
+        by_gd[dataset][f"g={g:g}"] = _improvement_cell(group, key)
+    rows = {"by_g_and_P": dict(by_gp), "by_g_and_dataset": dict(by_gd)}
+    text = (
+        format_grid(dict(by_gp), "P", "Table 1 (left): cost reduction vs Cilk / HDagg by g and P")
+        + "\n\n"
+        + format_grid(dict(by_gd), "dataset", "Table 1 (right): cost reduction vs Cilk / HDagg by g and dataset")
+    )
+    return rows, text
+
+
+def table6_detailed_no_numa(
+    records: Sequence[InstanceRecord], key: str = "final"
+) -> tuple[dict, str]:
+    """Table 6: improvement for every combination of ``g``, ``P`` and dataset."""
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    for (dataset, g, p), group in sorted(
+        _group(records, lambda r: (r.dataset, r.spec.g, r.spec.num_procs)).items()
+    ):
+        rows[dataset][f"g={g:g},P={p}"] = _improvement_cell(group, key)
+    text = format_grid(
+        dict(rows), "dataset", "Table 6: cost reduction vs Cilk / HDagg by g, P and dataset"
+    )
+    return dict(rows), text
+
+
+def figure5_series(
+    records: Sequence[InstanceRecord],
+) -> tuple[dict, str]:
+    """Figure 5: cost ratios (normalised to Cilk) of the pipeline stages per ``g``."""
+    stages = ("cilk", "hdagg", "init", "hccs", "final")
+    labels = ("Cilk", "HDagg", "Init", "HCcs", "ILP")
+    series: dict[str, dict[str, float]] = {}
+    for g, group in sorted(_group(records, lambda r: r.spec.g).items()):
+        series[f"g={g:g}"] = {
+            label: aggregate_ratio(group, stage, "cilk")
+            for label, stage in zip(labels, stages)
+        }
+    rows = {
+        key: {label: f"{value:.3f}" for label, value in values.items()}
+        for key, values in series.items()
+    }
+    text = format_grid(rows, "g", "Figure 5: mean cost ratios normalised to Cilk", column_width=10)
+    return series, text
+
+
+def table7_algorithm_ratios(
+    records: Sequence[InstanceRecord], g: float = 5.0
+) -> tuple[dict, str]:
+    """Table 7: per-algorithm cost ratios (normalised to Cilk) per dataset at ``g``."""
+    keys = ("bl_est", "etf", "cilk", "hdagg", "init", "hccs", "ilp", "final")
+    labels = ("BL-EST", "ETF", "Cilk", "HDagg", "Init", "HCcs", "ILPpart", "ILPcs")
+    selected = [r for r in records if r.spec.g == g]
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    series: dict[str, dict[str, float]] = {}
+    for dataset, group in sorted(_group(selected, lambda r: r.dataset).items()):
+        series[dataset] = {}
+        for label, key in zip(labels, keys):
+            if any(key not in record.costs for record in group):
+                continue
+            value = aggregate_ratio(group, key, "cilk")
+            series[dataset][label] = value
+            rows[dataset][label] = f"{value:.3f}"
+    text = format_grid(
+        dict(rows), "dataset", f"Table 7: cost ratios normalised to Cilk (g={g:g})", column_width=10
+    )
+    return series, text
+
+
+def table8_vs_etf(
+    records: Sequence[InstanceRecord], dataset: str = "tiny", key: str = "final"
+) -> tuple[dict, str]:
+    """Table 8: cost reduction vs ETF on the tiny dataset by ``g`` and ``P``."""
+    selected = [r for r in records if r.dataset == dataset and "etf" in r.costs]
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    values: dict[tuple[int, float], float] = {}
+    for (p, g), group in sorted(
+        _group(selected, lambda r: (r.spec.num_procs, r.spec.g)).items()
+    ):
+        improvement = aggregate_improvement(group, key, "etf")
+        values[(p, g)] = improvement
+        rows[f"P={p}"][f"g={g:g}"] = f"{improvement:5.0%}"
+    text = format_grid(dict(rows), "P", f"Table 8: cost reduction vs ETF on {dataset}")
+    return values, text
+
+
+def table9_latency(
+    records: Sequence[InstanceRecord], key: str = "final"
+) -> tuple[dict, str]:
+    """Table 9: improvement for different latency values ``ℓ``."""
+    rows: dict[object, dict[object, str]] = {"improvement": {}}
+    values: dict[float, tuple[float, float]] = {}
+    for latency, group in sorted(_group(records, lambda r: r.spec.latency).items()):
+        vs_cilk = aggregate_improvement(group, key, "cilk")
+        vs_hdagg = aggregate_improvement(group, key, "hdagg")
+        values[latency] = (vs_cilk, vs_hdagg)
+        rows["improvement"][f"l={latency:g}"] = f"{vs_cilk:5.0%} / {vs_hdagg:5.0%}"
+    text = format_grid(rows, "", "Table 9: cost reduction vs Cilk / HDagg for different latencies")
+    return values, text
+
+
+# ---------------------------------------------------------------------- #
+# Section 7.2 / 7.3 — with NUMA
+# ---------------------------------------------------------------------- #
+def _numa_grid(records: Sequence[InstanceRecord], key: str) -> dict[object, dict[object, str]]:
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    for (p, delta), group in sorted(
+        _group(records, lambda r: (r.spec.num_procs, r.spec.numa_delta)).items()
+    ):
+        rows[f"P={p}"][f"D={delta:g}"] = _improvement_cell(group, key)
+    return dict(rows)
+
+
+def table2_numa_improvements(
+    records: Sequence[InstanceRecord], key: str = "final"
+) -> tuple[dict, str]:
+    """Table 2: base-scheduler improvement with NUMA by ``P`` and ``Δ``."""
+    rows = _numa_grid(records, key)
+    return rows, format_grid(rows, "P", "Table 2: cost reduction vs Cilk / HDagg with NUMA")
+
+
+def table3_multilevel_improvements(
+    records: Sequence[InstanceRecord],
+) -> tuple[dict, str]:
+    """Table 3: multilevel-scheduler improvement with NUMA by ``P`` and ``Δ``."""
+    selected = [r for r in records if "multilevel" in r.costs]
+    rows = _numa_grid(selected, "multilevel")
+    return rows, format_grid(rows, "P", "Table 3: multilevel cost reduction vs Cilk / HDagg")
+
+
+def table10_numa_detailed(
+    records: Sequence[InstanceRecord], key: str = "final"
+) -> tuple[dict, str]:
+    """Table 10: NUMA improvement for every ``P``, ``Δ`` and dataset."""
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    for (dataset, p, delta), group in sorted(
+        _group(records, lambda r: (r.dataset, r.spec.num_procs, r.spec.numa_delta)).items()
+    ):
+        rows[dataset][f"P={p},D={delta:g}"] = _improvement_cell(group, key)
+    text = format_grid(dict(rows), "dataset", "Table 10: NUMA cost reduction by P, D and dataset")
+    return dict(rows), text
+
+
+def figure6_series(records: Sequence[InstanceRecord]) -> tuple[dict, str]:
+    """Figure 6: per-stage cost ratios (normalised to Cilk) for every ``P × Δ`` point."""
+    stages = ("cilk", "hdagg", "init", "hccs", "final", "multilevel")
+    labels = ("Cilk", "HDagg", "Init", "HCcs", "ILP", "ML")
+    series: dict[str, dict[str, float]] = {}
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    for (p, delta), group in sorted(
+        _group(records, lambda r: (r.spec.num_procs, r.spec.numa_delta)).items()
+    ):
+        panel = f"P={p},D={delta:g}"
+        series[panel] = {}
+        for label, key in zip(labels, stages):
+            if any(key not in record.costs for record in group):
+                continue
+            value = aggregate_ratio(group, key, "cilk")
+            series[panel][label] = value
+            rows[panel][label] = f"{value:.3f}"
+    text = format_grid(dict(rows), "panel", "Figure 6: mean cost ratios normalised to Cilk (NUMA)", column_width=10)
+    return series, text
+
+
+# ---------------------------------------------------------------------- #
+# Tables 4/5 — initialiser comparison
+# ---------------------------------------------------------------------- #
+def table4_5_initializer_wins(wins: Sequence[InitializerWin]) -> tuple[dict, str]:
+    """Tables 4 and 5: how often each initialiser is best, split as in the paper."""
+    spmv = [w for w in wins if w.generator == "spmv"]
+    other = [w for w in wins if w.generator != "spmv"]
+
+    def count_by(group: Sequence[InitializerWin], key) -> dict[object, Counter]:
+        counters: dict[object, Counter] = defaultdict(Counter)
+        for win in group:
+            counters[key(win)][win.winner] += 1
+        return dict(counters)
+
+    table4 = count_by(spmv, lambda w: f"P={w.spec.num_procs}")
+    sizes = sorted({w.num_nodes for w in other})
+    if sizes:
+        small_cut = sizes[len(sizes) // 3] if len(sizes) >= 3 else sizes[0]
+        large_cut = sizes[(2 * len(sizes)) // 3] if len(sizes) >= 3 else sizes[-1]
+    else:
+        small_cut = large_cut = 0
+
+    def size_bucket(n: int) -> str:
+        if n <= small_cut:
+            return "small_n"
+        if n <= large_cut:
+            return "medium_n"
+        return "large_n"
+
+    table5 = count_by(other, lambda w: (size_bucket(w.num_nodes), f"P={w.spec.num_procs}"))
+
+    lines = ["Table 4: initialiser wins on spmv instances (by P)"]
+    for key, counter in sorted(table4.items()):
+        lines.append(f"  {key}: " + ", ".join(f"{k}={v}" for k, v in counter.most_common()))
+    lines.append("Table 5: initialiser wins on exp/cg/knn instances (by size bucket and P)")
+    for key, counter in sorted(table5.items(), key=lambda item: str(item[0])):
+        lines.append(f"  {key}: " + ", ".join(f"{k}={v}" for k, v in counter.most_common()))
+    return {"table4": table4, "table5": table5}, "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Tables 11/12 and Figure 7 — huge dataset
+# ---------------------------------------------------------------------- #
+def table11_12_huge(
+    records: Sequence[InstanceRecord], key: str = "final"
+) -> tuple[dict, str]:
+    """Tables 11/12: Init+HC+HCcs improvement on the huge dataset.
+
+    Records from a non-NUMA run are grouped by ``(P, g)`` (Table 11); records
+    from a NUMA run are grouped by ``(P, Δ)`` (Table 12).
+    """
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    for record_group_key, group in sorted(
+        _group(
+            records,
+            lambda r: (
+                r.spec.num_procs,
+                r.spec.numa_delta if r.spec.numa_delta is not None else r.spec.g,
+                r.spec.numa_delta is not None,
+            ),
+        ).items()
+    ):
+        p, value, is_numa = record_group_key
+        column = f"D={value:g}" if is_numa else f"g={value:g}"
+        rows[f"P={p}"][column] = _improvement_cell(group, key)
+    text = format_grid(
+        dict(rows), "P", "Tables 11/12: huge dataset, Init+HC+HCcs vs Cilk / HDagg"
+    )
+    return dict(rows), text
+
+
+def figure7_series(records: Sequence[InstanceRecord]) -> tuple[dict, str]:
+    """Figure 7: stage ratios (normalised to Cilk) on the huge dataset, per ``P``."""
+    stages = ("cilk", "hdagg", "init", "hccs")
+    labels = ("Cilk", "HDagg", "Init", "HCcs")
+    series: dict[str, dict[str, float]] = {}
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    for p, group in sorted(_group(records, lambda r: r.spec.num_procs).items()):
+        panel = f"P={p}"
+        series[panel] = {
+            label: aggregate_ratio(group, key, "cilk") for label, key in zip(labels, stages)
+        }
+        rows[panel] = {label: f"{value:.3f}" for label, value in series[panel].items()}
+    text = format_grid(dict(rows), "P", "Figure 7: huge dataset stage ratios (vs Cilk)", column_width=10)
+    return series, text
+
+
+# ---------------------------------------------------------------------- #
+# Tables 13/14 — multilevel coarsening ratios
+# ---------------------------------------------------------------------- #
+def table13_multilevel_vs_baselines(
+    records: Sequence[InstanceRecord],
+) -> tuple[dict, str]:
+    """Table 13: C15/C30/Copt improvement vs Cilk and HDagg by ``P × Δ``."""
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    values: dict[str, dict[str, tuple[float, float]]] = defaultdict(dict)
+    for (p, delta), group in sorted(
+        _group(records, lambda r: (r.spec.num_procs, r.spec.numa_delta)).items()
+    ):
+        for variant in ("ml_c15", "ml_c30", "ml_copt"):
+            vs_cilk = aggregate_improvement(group, variant, "cilk")
+            vs_hdagg = aggregate_improvement(group, variant, "hdagg")
+            values[variant][f"P={p},D={delta:g}"] = (vs_cilk, vs_hdagg)
+            rows[variant][f"P={p},D={delta:g}"] = f"{vs_cilk:5.0%} / {vs_hdagg:5.0%}"
+    text = format_grid(dict(rows), "variant", "Table 13: multilevel vs Cilk / HDagg by coarsening ratio")
+    return dict(values), text
+
+
+def table14_multilevel_vs_base(
+    records: Sequence[InstanceRecord],
+) -> tuple[dict, str]:
+    """Table 14: ratio of the multilevel cost to the base scheduler's cost."""
+    rows: dict[object, dict[object, str]] = defaultdict(dict)
+    values: dict[str, dict[str, float]] = defaultdict(dict)
+    for (p, delta), group in sorted(
+        _group(records, lambda r: (r.spec.num_procs, r.spec.numa_delta)).items()
+    ):
+        for variant in ("ml_c15", "ml_c30", "ml_copt"):
+            ratio = aggregate_ratio(group, variant, "final")
+            values[variant][f"P={p},D={delta:g}"] = ratio
+            rows[variant][f"P={p},D={delta:g}"] = f"{ratio:.3f}"
+    text = format_grid(dict(rows), "variant", "Table 14: multilevel / base-scheduler cost ratio", column_width=14)
+    return dict(values), text

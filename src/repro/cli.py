@@ -1,0 +1,184 @@
+"""Command-line interface for the scheduling framework.
+
+Three subcommands cover the common workflows:
+
+``generate``
+    Create a computational DAG with one of the database generators and write
+    it as a hyperDAG file, e.g.::
+
+        python -m repro generate --generator cg --size 8 --density 0.3 \\
+            --iterations 3 --output cg.hdag
+
+``schedule``
+    Schedule a hyperDAG file (or a freshly generated instance) with one of
+    the registered schedulers and print the schedule and its cost, e.g.::
+
+        python -m repro schedule cg.hdag --scheduler framework \\
+            --procs 8 --g 1 --latency 5 --numa-delta 3 --render
+
+``compare``
+    Run several schedulers on the same instance and print a cost table::
+
+        python -m repro compare cg.hdag --procs 4 --g 5 \\
+            --schedulers cilk hdagg framework
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import BspMachine, ComputationalDAG
+from .core.serialization import save_schedule
+from .dagdb import (
+    COARSE_GENERATORS,
+    FINE_GENERATORS,
+    SparseMatrixPattern,
+)
+from .io import read_hyperdag, render_cost_table, render_schedule_text, write_hyperdag
+from .schedulers import available_schedulers, create_scheduler
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------- #
+# argument parsing
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BSP(+NUMA) multiprocessor DAG scheduling framework",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a computational DAG")
+    generate.add_argument(
+        "--generator",
+        required=True,
+        choices=sorted(FINE_GENERATORS) + sorted(COARSE_GENERATORS),
+        help="fine-grained (spmv/exp/cg/knn) or coarse-grained generator name",
+    )
+    generate.add_argument("--size", type=int, default=8, help="matrix size for fine-grained generators")
+    generate.add_argument("--density", type=float, default=0.3, help="nonzero density for fine-grained generators")
+    generate.add_argument("--iterations", type=int, default=3, help="iteration count")
+    generate.add_argument("--seed", type=int, default=0, help="random seed for the matrix pattern")
+    generate.add_argument("--output", required=True, help="output hyperDAG file path")
+
+    schedule = subparsers.add_parser("schedule", help="schedule a hyperDAG file")
+    _add_machine_arguments(schedule)
+    schedule.add_argument("input", help="hyperDAG file to schedule")
+    schedule.add_argument(
+        "--scheduler",
+        default="framework",
+        choices=available_schedulers(),
+        help="scheduler to run (default: the framework pipeline)",
+    )
+    schedule.add_argument("--render", action="store_true", help="print the full superstep-by-superstep schedule")
+    schedule.add_argument("--output", help="write the schedule (JSON) to this path")
+    schedule.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+
+    compare = subparsers.add_parser("compare", help="compare several schedulers on one instance")
+    _add_machine_arguments(compare)
+    compare.add_argument("input", help="hyperDAG file to schedule")
+    compare.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["cilk", "hdagg", "framework"],
+        choices=available_schedulers(),
+        help="schedulers to compare",
+    )
+    compare.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+    return parser
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--procs", "-P", type=int, default=4, help="number of processors")
+    parser.add_argument("--g", type=float, default=1.0, help="per-unit communication cost g")
+    parser.add_argument("--latency", "-l", type=float, default=5.0, help="per-superstep latency")
+    parser.add_argument(
+        "--numa-delta",
+        type=float,
+        default=None,
+        help="binary-tree NUMA multiplier Delta (omit for a uniform machine)",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# command implementations
+# ---------------------------------------------------------------------- #
+def _machine_from_args(args: argparse.Namespace) -> BspMachine:
+    if args.numa_delta is None:
+        return BspMachine.uniform(args.procs, g=args.g, latency=args.latency)
+    return BspMachine.numa_hierarchy(
+        args.procs, delta=args.numa_delta, g=args.g, latency=args.latency
+    )
+
+
+def _generate_dag(args: argparse.Namespace) -> ComputationalDAG:
+    if args.generator in FINE_GENERATORS:
+        pattern = SparseMatrixPattern.random(
+            args.size, args.density, seed=args.seed, ensure_diagonal=True
+        )
+        return FINE_GENERATORS[args.generator](pattern, args.iterations).dag
+    return COARSE_GENERATORS[args.generator](args.iterations)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    dag = _generate_dag(args)
+    write_hyperdag(dag, args.output)
+    print(
+        f"wrote {args.output}: {dag.num_nodes} nodes, {dag.num_edges} edges, "
+        f"depth {dag.depth()}"
+    )
+    return 0
+
+
+def _command_schedule(args: argparse.Namespace) -> int:
+    dag = read_hyperdag(args.input)
+    machine = _machine_from_args(args)
+    kwargs = {"seed": args.seed} if args.scheduler == "cilk" else {}
+    scheduler = create_scheduler(args.scheduler, **kwargs)
+    schedule = scheduler.schedule(dag, machine)
+    breakdown = schedule.cost_breakdown()
+    print(
+        f"{args.scheduler} on {machine.describe()}: cost {breakdown.total:.2f} "
+        f"(work {breakdown.work:.2f}, comm {breakdown.comm:.2f}, "
+        f"latency {breakdown.latency:.2f}, {schedule.num_supersteps} supersteps)"
+    )
+    if args.render:
+        print(render_schedule_text(schedule))
+    if args.output:
+        save_schedule(schedule, Path(args.output))
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    dag = read_hyperdag(args.input)
+    machine = _machine_from_args(args)
+    schedules = {}
+    for name in args.schedulers:
+        kwargs = {"seed": args.seed} if name == "cilk" else {}
+        schedules[name] = create_scheduler(name, **kwargs).schedule(dag, machine)
+    print(f"instance {args.input}: {dag.num_nodes} nodes on {machine.describe()}")
+    print(render_cost_table(schedules))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "generate": _command_generate,
+        "schedule": _command_schedule,
+        "compare": _command_compare,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core substrate: computational DAGs, BSP(+NUMA) machines, schedules and costs."""
+
+from .classical import ClassicalSchedule, classical_to_bsp
+from .comm import CommStep, CommWindow, eager_comm_schedule, lazy_comm_schedule, required_transfers
+from .cost import CostBreakdown, evaluate_cost
+from .dag import ComputationalDAG, EdgeView
+from .exceptions import (
+    ConfigurationError,
+    CycleError,
+    DagError,
+    MachineError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+)
+from .machine import BspMachine
+from .schedule import BspSchedule
+from .serialization import (
+    dag_from_dict,
+    dag_to_dict,
+    load_schedule,
+    machine_from_dict,
+    machine_to_dict,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .validation import schedule_violations, validate_schedule
+
+__all__ = [
+    "BspMachine",
+    "BspSchedule",
+    "ClassicalSchedule",
+    "CommStep",
+    "CommWindow",
+    "ComputationalDAG",
+    "ConfigurationError",
+    "CostBreakdown",
+    "CycleError",
+    "DagError",
+    "EdgeView",
+    "MachineError",
+    "ReproError",
+    "ScheduleError",
+    "SolverError",
+    "classical_to_bsp",
+    "dag_from_dict",
+    "dag_to_dict",
+    "eager_comm_schedule",
+    "evaluate_cost",
+    "lazy_comm_schedule",
+    "load_schedule",
+    "machine_from_dict",
+    "machine_to_dict",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "required_transfers",
+    "schedule_violations",
+    "validate_schedule",
+]

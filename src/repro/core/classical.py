@@ -1,0 +1,113 @@
+"""Classical (time-indexed) schedules and their conversion to BSP.
+
+The Cilk, BL-EST and ETF baselines assign every node a processor and a
+concrete *start time*.  Appendix A.1 of the paper describes how such a
+classical schedule is converted into a BSP schedule: process nodes in order
+of start time and close the current computation phase (start a new
+superstep) whenever the next node to execute has a direct predecessor on a
+*different* processor that is not yet assigned to an earlier superstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dag import ComputationalDAG
+from .exceptions import ScheduleError
+from .machine import BspMachine
+from .schedule import BspSchedule
+
+__all__ = ["ClassicalSchedule", "classical_to_bsp"]
+
+
+@dataclass
+class ClassicalSchedule:
+    """A classical schedule: per-node processor, start time and finish time.
+
+    ``finish[v]`` defaults to ``start[v] + w(v)`` when not supplied.
+    """
+
+    dag: ComputationalDAG
+    num_procs: int
+    procs: np.ndarray
+    start_times: np.ndarray
+    finish_times: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.procs = np.asarray(self.procs, dtype=np.int64)
+        self.start_times = np.asarray(self.start_times, dtype=np.float64)
+        n = self.dag.num_nodes
+        if self.procs.shape != (n,) or self.start_times.shape != (n,):
+            raise ScheduleError("classical schedule arrays must have length n")
+        if self.finish_times is None:
+            self.finish_times = self.start_times + self.dag.work_weights
+        else:
+            self.finish_times = np.asarray(self.finish_times, dtype=np.float64)
+            if self.finish_times.shape != (n,):
+                raise ScheduleError("finish_times must have length n")
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last node (0 for an empty DAG)."""
+        if self.dag.num_nodes == 0:
+            return 0.0
+        return float(self.finish_times.max())
+
+    def validate(self) -> None:
+        """Check precedence (by start/finish time) and non-overlap per processor."""
+        dag = self.dag
+        for edge in dag.edges():
+            if self.finish_times[edge.source] > self.start_times[edge.target] + 1e-9:
+                raise ScheduleError(
+                    f"edge ({edge.source},{edge.target}): successor starts before "
+                    f"predecessor finishes"
+                )
+        for p in range(self.num_procs):
+            nodes = [v for v in dag.nodes() if self.procs[v] == p]
+            nodes.sort(key=lambda v: self.start_times[v])
+            for a, b in zip(nodes, nodes[1:]):
+                if self.finish_times[a] > self.start_times[b] + 1e-9:
+                    raise ScheduleError(
+                        f"nodes {a} and {b} overlap in time on processor {p}"
+                    )
+
+
+def classical_to_bsp(
+    classical: ClassicalSchedule, machine: BspMachine
+) -> BspSchedule:
+    """Convert a classical schedule into a BSP schedule (Appendix A.1).
+
+    Nodes are visited in order of increasing start time.  A node can join
+    the current superstep as long as all of its cross-processor direct
+    predecessors are already placed in *earlier* supersteps; otherwise the
+    current computation phase is closed and a new superstep begins.  The
+    resulting schedule keeps the processor assignment of the classical
+    schedule and uses the lazy communication schedule.
+    """
+    dag = classical.dag
+    if machine.num_procs < classical.num_procs:
+        raise ScheduleError(
+            "machine has fewer processors than the classical schedule uses"
+        )
+    n = dag.num_nodes
+    procs = classical.procs
+    supersteps = np.full(n, -1, dtype=np.int64)
+    order = sorted(dag.nodes(), key=lambda v: (classical.start_times[v], v))
+    current = 0
+    for v in order:
+        needed = current
+        for u in dag.predecessors(v):
+            if procs[u] != procs[v]:
+                # cross-processor dependency: u must be in a *strictly* earlier
+                # superstep for the lazy communication to arrive in time.
+                if supersteps[u] >= needed:
+                    needed = int(supersteps[u]) + 1
+            else:
+                if supersteps[u] > needed:
+                    needed = int(supersteps[u])
+        if needed > current:
+            current = needed
+        supersteps[v] = current
+    return BspSchedule(dag, machine, procs, supersteps)

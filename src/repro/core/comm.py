@@ -1,0 +1,145 @@
+"""Communication schedules for BSP schedules.
+
+A communication schedule ``Γ`` is a set of 4-tuples ``(v, p1, p2, s)``
+meaning that the output value of node ``v`` is sent from processor ``p1`` to
+processor ``p2`` in the communication phase of superstep ``s``
+(paper Section 3.2).
+
+Most of the lightweight schedulers in the framework (the converted
+baselines, ``BSPg``, ``Source`` and the node-move hill climbing ``HC``)
+never construct ``Γ`` explicitly; they rely on the *lazy* communication
+schedule, where every value that crosses a processor boundary is sent
+directly from the processor that computed it, in the last possible
+communication phase before it is needed (Appendix A).  This module derives
+that lazy schedule and the per-target communication *windows* used by the
+communication-schedule optimisers (``HCcs`` and ``ILPcs``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, NamedTuple
+
+from .exceptions import ScheduleError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dag import ComputationalDAG
+
+__all__ = ["CommStep", "lazy_comm_schedule", "required_transfers", "CommWindow"]
+
+
+class CommStep(NamedTuple):
+    """One entry ``(v, p1, p2, s)`` of a communication schedule ``Γ``."""
+
+    node: int
+    source: int
+    target: int
+    superstep: int
+
+
+class CommWindow(NamedTuple):
+    """The feasible superstep window for one required transfer.
+
+    A value ``node`` computed on ``source`` that is needed on ``target`` can
+    be sent in any communication phase ``s`` with
+    ``earliest <= s <= latest`` where ``earliest = τ(node)`` and
+    ``latest = (first superstep that needs it on target) - 1``.
+    """
+
+    node: int
+    source: int
+    target: int
+    earliest: int
+    latest: int
+
+
+def required_transfers(
+    dag: "ComputationalDAG",
+    procs,
+    supersteps,
+) -> list[CommWindow]:
+    """All transfers required by the assignment ``(π, τ)``, with their windows.
+
+    For every node ``v`` and every processor ``q != π(v)`` that computes at
+    least one direct successor of ``v``, a transfer of ``v`` from ``π(v)``
+    to ``q`` is required.  The earliest phase is ``τ(v)`` and the latest is
+    one before the first superstep in which ``q`` needs the value.
+
+    Raises
+    ------
+    ScheduleError
+        If some successor of ``v`` on another processor is scheduled no
+        later than ``τ(v)``, in which case no valid direct transfer exists.
+    """
+    windows: list[CommWindow] = []
+    for v in dag.nodes():
+        pv = int(procs[v])
+        sv = int(supersteps[v])
+        # first superstep where v is needed on each foreign processor
+        first_need: dict[int, int] = {}
+        for w in dag.successors(v):
+            q = int(procs[w])
+            if q == pv:
+                continue
+            sw = int(supersteps[w])
+            if q not in first_need or sw < first_need[q]:
+                first_need[q] = sw
+        for q, sw in sorted(first_need.items()):
+            if sw <= sv:
+                raise ScheduleError(
+                    f"node {v} (proc {pv}, superstep {sv}) is needed on proc {q} "
+                    f"already in superstep {sw}; no valid communication phase exists"
+                )
+            windows.append(CommWindow(v, pv, q, earliest=sv, latest=sw - 1))
+    return windows
+
+
+def lazy_comm_schedule(
+    dag: "ComputationalDAG",
+    procs,
+    supersteps,
+) -> frozenset[CommStep]:
+    """The lazy communication schedule for the assignment ``(π, τ)``.
+
+    Every required value is sent directly from the processor that computed
+    it, in the last possible communication phase (``latest`` of its window).
+    """
+    return frozenset(
+        CommStep(w.node, w.source, w.target, w.latest)
+        for w in required_transfers(dag, procs, supersteps)
+    )
+
+
+def eager_comm_schedule(
+    dag: "ComputationalDAG",
+    procs,
+    supersteps,
+) -> frozenset[CommStep]:
+    """The eager variant: every required value is sent as early as possible.
+
+    Provided for completeness and for testing the communication-schedule
+    optimisers (both lazy and eager schedules are valid; their costs differ
+    only in how transfers are packed into h-relations).
+    """
+    return frozenset(
+        CommStep(w.node, w.source, w.target, w.earliest)
+        for w in required_transfers(dag, procs, supersteps)
+    )
+
+
+def comm_schedule_from_choices(
+    windows: Iterable[CommWindow],
+    choices: Iterable[int],
+) -> frozenset[CommStep]:
+    """Build ``Γ`` from explicit per-transfer superstep choices.
+
+    ``choices[i]`` must lie inside ``windows[i]``'s feasible range.
+    """
+    steps = []
+    for window, s in zip(windows, choices, strict=True):
+        if not window.earliest <= s <= window.latest:
+            raise ScheduleError(
+                f"superstep {s} outside window [{window.earliest}, {window.latest}] "
+                f"for transfer of node {window.node} to proc {window.target}"
+            )
+        steps.append(CommStep(window.node, window.source, window.target, int(s)))
+    return frozenset(steps)

@@ -1,0 +1,480 @@
+"""Weighted computational DAG container.
+
+A :class:`ComputationalDAG` stores the structure of a computation as used
+throughout the paper (Section 3.1): nodes are operations, directed edges are
+data dependencies, and each node ``v`` carries an integer *work weight*
+``w(v)`` (time to execute ``v``) and a *communication weight* ``c(v)`` (cost
+of sending the output of ``v`` to another processor).
+
+The container is append-only with respect to nodes (nodes are integers
+``0..n-1``); edges may be added freely as long as the graph stays acyclic.
+Derived quantities used by the schedulers (topological order, levels,
+bottom levels, transitive reachability queries, ...) are computed lazily and
+cached; every mutation invalidates the caches.
+
+Implementation notes
+--------------------
+Adjacency is stored as Python lists of lists (successor and predecessor
+lists) because the schedulers traverse neighbourhoods node-by-node; the
+weight vectors are numpy arrays so that aggregate quantities (total work,
+load sums) vectorise.  This follows the HPC-Python guidance of keeping the
+hot aggregate math in numpy while leaving irregular graph traversals in
+plain Python structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import CycleError, DagError
+
+__all__ = ["ComputationalDAG", "EdgeView"]
+
+
+@dataclass(frozen=True)
+class EdgeView:
+    """A single directed edge ``(source, target)`` of a DAG."""
+
+    source: int
+    target: int
+
+
+class ComputationalDAG:
+    """A directed acyclic graph with per-node work and communication weights.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes to create initially.  Nodes are labelled
+        ``0 .. num_nodes - 1``.
+    work_weights:
+        Optional sequence of work weights ``w(v)``; defaults to all ones.
+    comm_weights:
+        Optional sequence of communication weights ``c(v)``; defaults to all
+        ones.
+    name:
+        Optional human readable name (used by the DAG database and reports).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 0,
+        work_weights: Sequence[float] | None = None,
+        comm_weights: Sequence[float] | None = None,
+        name: str = "dag",
+    ) -> None:
+        if num_nodes < 0:
+            raise DagError(f"num_nodes must be non-negative, got {num_nodes}")
+        self.name = name
+        self._succ: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._pred: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._work = self._init_weights(work_weights, num_nodes, "work_weights")
+        self._comm = self._init_weights(comm_weights, num_nodes, "comm_weights")
+        self._num_edges = 0
+        self._invalidate()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _init_weights(
+        weights: Sequence[float] | None, num_nodes: int, label: str
+    ) -> np.ndarray:
+        if weights is None:
+            return np.ones(num_nodes, dtype=np.float64)
+        arr = np.asarray(weights, dtype=np.float64)
+        if arr.shape != (num_nodes,):
+            raise DagError(
+                f"{label} must have length {num_nodes}, got shape {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise DagError(f"{label} must be non-negative")
+        return arr.copy()
+
+    def add_node(self, work: float = 1.0, comm: float = 1.0) -> int:
+        """Append a node and return its index."""
+        if work < 0 or comm < 0:
+            raise DagError("node weights must be non-negative")
+        self._succ.append([])
+        self._pred.append([])
+        self._work = np.append(self._work, float(work))
+        self._comm = np.append(self._comm, float(comm))
+        self._invalidate()
+        return len(self._succ) - 1
+
+    def add_nodes(self, count: int, work: float = 1.0, comm: float = 1.0) -> list[int]:
+        """Append ``count`` nodes with identical weights; return their indices."""
+        return [self.add_node(work, comm) for _ in range(count)]
+
+    def add_edge(self, source: int, target: int, *, check_cycle: bool = False) -> None:
+        """Add the directed edge ``source -> target``.
+
+        Duplicate edges are rejected.  When ``check_cycle`` is true, the edge
+        is only inserted if it does not create a directed cycle (an O(E)
+        reachability check); otherwise acyclicity is verified lazily the
+        first time a topological order is requested.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if source == target:
+            raise CycleError(f"self-loop on node {source} is not allowed")
+        if target in self._succ[source]:
+            raise DagError(f"duplicate edge ({source}, {target})")
+        if check_cycle and self.has_path(target, source):
+            raise CycleError(
+                f"edge ({source}, {target}) would create a directed cycle"
+            )
+        self._succ[source].append(target)
+        self._pred[target].append(source)
+        self._num_edges += 1
+        self._invalidate()
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Add many edges at once."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < len(self._succ):
+            raise DagError(f"node {v} does not exist (n={len(self._succ)})")
+
+    def _invalidate(self) -> None:
+        self._topo_cache: list[int] | None = None
+        self._level_cache: np.ndarray | None = None
+        self._bottom_level_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    @property
+    def work_weights(self) -> np.ndarray:
+        """Work weight vector ``w`` (read-only view)."""
+        view = self._work.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def comm_weights(self) -> np.ndarray:
+        """Communication weight vector ``c`` (read-only view)."""
+        view = self._comm.view()
+        view.flags.writeable = False
+        return view
+
+    def work(self, v: int) -> float:
+        """Work weight ``w(v)``."""
+        return float(self._work[v])
+
+    def comm(self, v: int) -> float:
+        """Communication weight ``c(v)``."""
+        return float(self._comm[v])
+
+    def set_work(self, v: int, value: float) -> None:
+        """Set ``w(v)``."""
+        if value < 0:
+            raise DagError("work weight must be non-negative")
+        self._check_node(v)
+        self._work[v] = value
+
+    def set_comm(self, v: int, value: float) -> None:
+        """Set ``c(v)``."""
+        if value < 0:
+            raise DagError("communication weight must be non-negative")
+        self._check_node(v)
+        self._comm[v] = value
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all work weights."""
+        return float(self._work.sum())
+
+    @property
+    def total_comm(self) -> float:
+        """Sum of all communication weights."""
+        return float(self._comm.sum())
+
+    def successors(self, v: int) -> list[int]:
+        """Direct successors (out-neighbours) of ``v``."""
+        self._check_node(v)
+        return list(self._succ[v])
+
+    def predecessors(self, v: int) -> list[int]:
+        """Direct predecessors (in-neighbours) of ``v``."""
+        self._check_node(v)
+        return list(self._pred[v])
+
+    def out_degree(self, v: int) -> int:
+        """Number of direct successors of ``v``."""
+        self._check_node(v)
+        return len(self._succ[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of direct predecessors of ``v``."""
+        self._check_node(v)
+        return len(self._pred[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._succ[u]
+
+    def nodes(self) -> range:
+        """Iterable of all node indices."""
+        return range(self.num_nodes)
+
+    def edges(self) -> Iterator[EdgeView]:
+        """Iterate over all edges as :class:`EdgeView` objects."""
+        for u, targets in enumerate(self._succ):
+            for v in targets:
+                yield EdgeView(u, v)
+
+    def sources(self) -> list[int]:
+        """Nodes with no predecessors."""
+        return [v for v in self.nodes() if not self._pred[v]]
+
+    def sinks(self) -> list[int]:
+        """Nodes with no successors."""
+        return [v for v in self.nodes() if not self._succ[v]]
+
+    # ------------------------------------------------------------------ #
+    # structural algorithms
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> list[int]:
+        """A topological order of the nodes (Kahn's algorithm, cached).
+
+        Raises
+        ------
+        CycleError
+            If the graph contains a directed cycle.
+        """
+        if self._topo_cache is None:
+            indeg = [len(p) for p in self._pred]
+            queue = deque(v for v in self.nodes() if indeg[v] == 0)
+            order: list[int] = []
+            while queue:
+                v = queue.popleft()
+                order.append(v)
+                for w in self._succ[v]:
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        queue.append(w)
+            if len(order) != self.num_nodes:
+                raise CycleError("graph contains a directed cycle")
+            self._topo_cache = order
+        return list(self._topo_cache)
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph is a DAG."""
+        try:
+            self.topological_order()
+            return True
+        except CycleError:
+            return False
+
+    def levels(self) -> np.ndarray:
+        """Top level of every node: length of the longest edge-path from any source.
+
+        Sources have level 0.  This is the wavefront index used by
+        level-based schedulers such as HDagg.
+        """
+        if self._level_cache is None:
+            lvl = np.zeros(self.num_nodes, dtype=np.int64)
+            for v in self.topological_order():
+                for w in self._succ[v]:
+                    if lvl[v] + 1 > lvl[w]:
+                        lvl[w] = lvl[v] + 1
+            self._level_cache = lvl
+        return self._level_cache.copy()
+
+    def bottom_levels(self) -> np.ndarray:
+        """Bottom level of every node: maximum total work on any path starting at it.
+
+        ``bl(v) = w(v) + max_{(v,u) in E} bl(u)`` (and ``bl(v) = w(v)`` for
+        sinks).  Used as the priority of the BL-EST list scheduler.
+        """
+        if self._bottom_level_cache is None:
+            bl = self._work.copy()
+            for v in reversed(self.topological_order()):
+                if self._succ[v]:
+                    bl[v] = self._work[v] + max(bl[u] for u in self._succ[v])
+            self._bottom_level_cache = bl
+        return self._bottom_level_cache.copy()
+
+    def critical_path_length(self) -> float:
+        """Maximum total work along any directed path (the work-span)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return float(self.bottom_levels().max())
+
+    def depth(self) -> int:
+        """Number of levels (longest path in edges, plus one); 0 for an empty DAG."""
+        if self.num_nodes == 0:
+            return 0
+        return int(self.levels().max()) + 1
+
+    def has_path(self, source: int, target: int) -> bool:
+        """Whether a directed path from ``source`` to ``target`` exists.
+
+        The trivial path of length zero (``source == target``) counts.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if source == target:
+            return True
+        seen = {source}
+        stack = [source]
+        while stack:
+            v = stack.pop()
+            for w in self._succ[v]:
+                if w == target:
+                    return True
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return False
+
+    def descendants(self, v: int) -> set[int]:
+        """All nodes reachable from ``v`` (excluding ``v``)."""
+        self._check_node(v)
+        seen: set[int] = set()
+        stack = list(self._succ[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._succ[u])
+        return seen
+
+    def ancestors(self, v: int) -> set[int]:
+        """All nodes that can reach ``v`` (excluding ``v``)."""
+        self._check_node(v)
+        seen: set[int] = set()
+        stack = list(self._pred[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._pred[u])
+        return seen
+
+    def weakly_connected_components(self) -> list[list[int]]:
+        """Weakly connected components, each as a sorted node list."""
+        seen = [False] * self.num_nodes
+        components: list[list[int]] = []
+        for start in self.nodes():
+            if seen[start]:
+                continue
+            comp = []
+            stack = [start]
+            seen[start] = True
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                for w in self._succ[v] + self._pred[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            components.append(sorted(comp))
+        return components
+
+    def largest_connected_component(self) -> "ComputationalDAG":
+        """The induced sub-DAG on the largest weakly connected component.
+
+        Mirrors the paper's preprocessing of extracted GraphBLAS DAGs
+        (Appendix B.1).  Node indices are relabelled contiguously preserving
+        relative order.
+        """
+        if self.num_nodes == 0:
+            return ComputationalDAG(0, name=self.name)
+        components = self.weakly_connected_components()
+        best = max(components, key=len)
+        return self.induced_subgraph(best)
+
+    def induced_subgraph(self, nodes: Sequence[int]) -> "ComputationalDAG":
+        """Induced sub-DAG on ``nodes`` with contiguous relabelling.
+
+        The ``i``-th node of the result corresponds to ``nodes[i]``.
+        """
+        index = {v: i for i, v in enumerate(nodes)}
+        sub = ComputationalDAG(
+            len(nodes),
+            work_weights=[self._work[v] for v in nodes],
+            comm_weights=[self._comm[v] for v in nodes],
+            name=f"{self.name}_sub",
+        )
+        for v in nodes:
+            for w in self._succ[v]:
+                if w in index:
+                    sub.add_edge(index[v], index[w])
+        return sub
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` with ``work``/``comm`` node attrs."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for v in self.nodes():
+            graph.add_node(v, work=self.work(v), comm=self.comm(v))
+        for edge in self.edges():
+            graph.add_edge(edge.source, edge.target)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, name: str | None = None) -> "ComputationalDAG":
+        """Build from a :class:`networkx.DiGraph`.
+
+        Node attributes ``work`` and ``comm`` are used when present
+        (default 1.0).  Nodes are relabelled ``0..n-1`` in sorted order of
+        their original labels.
+        """
+        nodes = sorted(graph.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        dag = cls(
+            len(nodes),
+            work_weights=[float(graph.nodes[v].get("work", 1.0)) for v in nodes],
+            comm_weights=[float(graph.nodes[v].get("comm", 1.0)) for v in nodes],
+            name=name or str(graph.name or "dag"),
+        )
+        for u, v in graph.edges():
+            dag.add_edge(index[u], index[v])
+        if not dag.is_acyclic():
+            raise CycleError("input graph is not acyclic")
+        return dag
+
+    def copy(self) -> "ComputationalDAG":
+        """Deep copy of the DAG."""
+        clone = ComputationalDAG(
+            self.num_nodes,
+            work_weights=self._work,
+            comm_weights=self._comm,
+            name=self.name,
+        )
+        for u, targets in enumerate(self._succ):
+            for v in targets:
+                clone._succ[u].append(v)
+                clone._pred[v].append(u)
+                clone._num_edges += 1
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ComputationalDAG(name={self.name!r}, n={self.num_nodes}, "
+            f"m={self.num_edges})"
+        )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro scheduling framework.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  More specific subclasses distinguish structural problems
+in the input DAG, invalid machine descriptions, and invalid schedules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class DagError(ReproError):
+    """Raised for structural problems in a computational DAG."""
+
+
+class CycleError(DagError):
+    """Raised when an operation would create (or detects) a directed cycle."""
+
+
+class MachineError(ReproError):
+    """Raised for invalid BSP machine descriptions (bad ``P``, ``g``, ``L`` or NUMA matrix)."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a BSP schedule violates the validity conditions of Section 3.2."""
+
+
+class SolverError(ReproError):
+    """Raised when an ILP backend fails or produces an unusable solution."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid scheduler/pipeline configuration values."""

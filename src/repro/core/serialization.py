@@ -1,0 +1,133 @@
+"""JSON (de)serialisation of problem instances and schedules.
+
+The experiment harness and the CLI persist three kinds of objects:
+
+* :class:`~repro.core.dag.ComputationalDAG` — nodes with weights plus edges,
+* :class:`~repro.core.machine.BspMachine` — ``P``, ``g``, ``ℓ`` and the NUMA
+  matrix,
+* :class:`~repro.core.schedule.BspSchedule` — the assignment ``(π, τ)`` and,
+  when explicit, the communication schedule ``Γ``.
+
+All functions produce plain JSON-compatible dictionaries (``to_dict``) or
+strings/files (``dumps``/``save``), and their inverses re-validate the data
+so that hand-edited files cannot silently produce invalid schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .comm import CommStep
+from .dag import ComputationalDAG
+from .exceptions import ReproError
+from .machine import BspMachine
+from .schedule import BspSchedule
+
+__all__ = [
+    "dag_to_dict",
+    "dag_from_dict",
+    "machine_to_dict",
+    "machine_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+
+def dag_to_dict(dag: ComputationalDAG) -> dict[str, Any]:
+    """JSON-compatible representation of a DAG."""
+    return {
+        "name": dag.name,
+        "num_nodes": dag.num_nodes,
+        "work": [float(w) for w in dag.work_weights],
+        "comm": [float(c) for c in dag.comm_weights],
+        "edges": [[edge.source, edge.target] for edge in dag.edges()],
+    }
+
+
+def dag_from_dict(data: dict[str, Any]) -> ComputationalDAG:
+    """Rebuild a DAG from :func:`dag_to_dict` output."""
+    try:
+        dag = ComputationalDAG(
+            int(data["num_nodes"]),
+            work_weights=data["work"],
+            comm_weights=data["comm"],
+            name=str(data.get("name", "dag")),
+        )
+        for source, target in data["edges"]:
+            dag.add_edge(int(source), int(target))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed DAG dictionary: {exc}") from exc
+    if not dag.is_acyclic():
+        raise ReproError("serialised graph is not acyclic")
+    return dag
+
+
+def machine_to_dict(machine: BspMachine) -> dict[str, Any]:
+    """JSON-compatible representation of a machine."""
+    return {
+        "num_procs": machine.num_procs,
+        "g": machine.g,
+        "latency": machine.latency,
+        "numa": machine.numa.tolist(),
+    }
+
+
+def machine_from_dict(data: dict[str, Any]) -> BspMachine:
+    """Rebuild a machine from :func:`machine_to_dict` output."""
+    try:
+        return BspMachine(
+            num_procs=int(data["num_procs"]),
+            g=float(data["g"]),
+            latency=float(data["latency"]),
+            numa=np.asarray(data["numa"], dtype=np.float64),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed machine dictionary: {exc}") from exc
+
+
+def schedule_to_dict(schedule: BspSchedule) -> dict[str, Any]:
+    """JSON-compatible representation of a schedule (with its instance)."""
+    payload: dict[str, Any] = {
+        "dag": dag_to_dict(schedule.dag),
+        "machine": machine_to_dict(schedule.machine),
+        "procs": [int(p) for p in schedule.procs],
+        "supersteps": [int(s) for s in schedule.supersteps],
+        "cost": schedule.cost(),
+    }
+    if not schedule.uses_lazy_comm:
+        payload["comm_schedule"] = [
+            [step.node, step.source, step.target, step.superstep]
+            for step in sorted(schedule.comm_schedule)
+        ]
+    return payload
+
+
+def schedule_from_dict(data: dict[str, Any]) -> BspSchedule:
+    """Rebuild (and re-validate) a schedule from :func:`schedule_to_dict` output."""
+    dag = dag_from_dict(data["dag"])
+    machine = machine_from_dict(data["machine"])
+    comm = None
+    if "comm_schedule" in data:
+        comm = [
+            CommStep(int(v), int(p1), int(p2), int(s))
+            for v, p1, p2, s in data["comm_schedule"]
+        ]
+    return BspSchedule(dag, machine, data["procs"], data["supersteps"], comm)
+
+
+def save_schedule(schedule: BspSchedule, path: str | Path) -> None:
+    """Write a schedule (plus its instance) to a JSON file."""
+    Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule), indent=2), encoding="utf-8"
+    )
+
+
+def load_schedule(path: str | Path) -> BspSchedule:
+    """Load a schedule previously written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

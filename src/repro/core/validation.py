@@ -1,0 +1,150 @@
+"""Validity checking for BSP schedules (paper Section 3.2).
+
+A BSP schedule ``(π, τ, Γ)`` is valid when
+
+* every node is assigned to a processor in ``0..P-1`` and a superstep
+  ``>= 0``;
+* for every edge ``(u, v)``: if ``π(u) == π(v)`` then ``τ(u) <= τ(v)``,
+  otherwise there is an entry ``(u, p1, π(v), s) ∈ Γ`` with ``s < τ(v)``;
+* for every ``(v, p1, p2, s) ∈ Γ``: either ``π(v) == p1`` and
+  ``τ(v) <= s``, or there is another entry ``(v, p', p1, s') ∈ Γ`` with
+  ``s' < s`` (the value reached ``p1`` earlier via forwarding).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from .comm import CommStep
+from .exceptions import ScheduleError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dag import ComputationalDAG
+    from .machine import BspMachine
+
+__all__ = ["validate_schedule", "schedule_violations"]
+
+
+def schedule_violations(
+    dag: "ComputationalDAG",
+    machine: "BspMachine",
+    procs: np.ndarray,
+    supersteps: np.ndarray,
+    comm_schedule: Iterable[CommStep],
+    max_violations: int = 20,
+) -> list[str]:
+    """Return human-readable descriptions of validity violations (possibly empty).
+
+    At most ``max_violations`` messages are collected so that badly broken
+    schedules do not produce unbounded output.
+    """
+    procs = np.asarray(procs)
+    supersteps = np.asarray(supersteps)
+    steps = list(comm_schedule)
+    violations: list[str] = []
+
+    def add(message: str) -> bool:
+        violations.append(message)
+        return len(violations) >= max_violations
+
+    n = dag.num_nodes
+    if procs.shape != (n,) or supersteps.shape != (n,):
+        return [
+            f"assignment arrays must have shape ({n},); got procs {procs.shape}, "
+            f"supersteps {supersteps.shape}"
+        ]
+
+    # assignment range checks
+    for v in dag.nodes():
+        if not 0 <= int(procs[v]) < machine.num_procs:
+            if add(f"node {v} assigned to invalid processor {int(procs[v])}"):
+                return violations
+        if int(supersteps[v]) < 0:
+            if add(f"node {v} assigned to negative superstep {int(supersteps[v])}"):
+                return violations
+
+    # communication schedule sanity
+    arrivals: dict[tuple[int, int], int] = {}  # (node, proc) -> earliest superstep value is present
+    for v in dag.nodes():
+        arrivals[(v, int(procs[v]))] = int(supersteps[v])
+    for step in steps:
+        if not 0 <= step.source < machine.num_procs or not 0 <= step.target < machine.num_procs:
+            if add(f"comm step {step} references an invalid processor"):
+                return violations
+        if step.superstep < 0:
+            if add(f"comm step {step} has a negative superstep"):
+                return violations
+        if step.source == step.target:
+            if add(f"comm step {step} sends a value to its own processor"):
+                return violations
+        key = (step.node, step.target)
+        arrival = step.superstep + 1  # available from the following superstep on
+        if key not in arrivals or arrival < arrivals[key]:
+            # provisional; justification of the *source* is checked below
+            pass
+
+    # Resolve availability with forwarding: iterate until fixpoint (the number
+    # of steps is small; each pass relaxes at least one arrival or stops).
+    available: dict[tuple[int, int], int] = {}
+    for v in dag.nodes():
+        available[(v, int(procs[v]))] = int(supersteps[v])
+    changed = True
+    while changed:
+        changed = False
+        for step in steps:
+            src_key = (step.node, step.source)
+            if src_key in available and available[src_key] <= step.superstep:
+                tgt_key = (step.node, step.target)
+                arrival = step.superstep + 1
+                if tgt_key not in available or arrival < available[tgt_key]:
+                    available[tgt_key] = arrival
+                    changed = True
+
+    # every comm step must itself be justified
+    for step in steps:
+        src_key = (step.node, step.source)
+        if src_key not in available or available[src_key] > step.superstep:
+            if add(
+                f"comm step {step}: value of node {step.node} is not available on "
+                f"processor {step.source} by superstep {step.superstep}"
+            ):
+                return violations
+
+    # precedence constraints
+    for edge in dag.edges():
+        u, v = edge.source, edge.target
+        pu, pv = int(procs[u]), int(procs[v])
+        su, sv = int(supersteps[u]), int(supersteps[v])
+        if pu == pv:
+            if su > sv:
+                if add(
+                    f"edge ({u},{v}): predecessor on same processor {pu} but "
+                    f"scheduled later (superstep {su} > {sv})"
+                ):
+                    return violations
+        else:
+            key = (u, pv)
+            if key not in available or available[key] > sv:
+                if add(
+                    f"edge ({u},{v}): value of {u} never reaches processor {pv} "
+                    f"before superstep {sv}"
+                ):
+                    return violations
+    return violations
+
+
+def validate_schedule(
+    dag: "ComputationalDAG",
+    machine: "BspMachine",
+    procs: np.ndarray,
+    supersteps: np.ndarray,
+    comm_schedule: Iterable[CommStep],
+) -> None:
+    """Raise :class:`ScheduleError` if the schedule is invalid."""
+    violations = schedule_violations(dag, machine, procs, supersteps, comm_schedule)
+    if violations:
+        raise ScheduleError(
+            "invalid BSP schedule:\n  " + "\n  ".join(violations)
+        )

@@ -1,0 +1,55 @@
+"""Computational DAG database: generators and benchmark datasets (paper Section 5)."""
+
+from .coarse import (
+    COARSE_GENERATORS,
+    build_bicgstab_coarse,
+    build_cg_coarse,
+    build_kmeans_coarse,
+    build_knn_coarse,
+    build_label_propagation_coarse,
+    build_pagerank_coarse,
+    build_sparse_nn_inference_coarse,
+)
+from .datasets import (
+    DATASET_INTERVALS,
+    DATASET_NAMES,
+    DatasetInstance,
+    build_dataset,
+    build_training_set,
+    dataset_interval,
+)
+from .fine import (
+    FINE_GENERATORS,
+    FineGrainedResult,
+    build_cg_dag,
+    build_iterated_spmv_dag,
+    build_knn_dag,
+    build_spmv_dag,
+)
+from .sparsegen import SparseMatrixPattern
+from .weights import apply_paper_weight_rule
+
+__all__ = [
+    "COARSE_GENERATORS",
+    "DATASET_INTERVALS",
+    "DATASET_NAMES",
+    "DatasetInstance",
+    "FINE_GENERATORS",
+    "FineGrainedResult",
+    "SparseMatrixPattern",
+    "apply_paper_weight_rule",
+    "build_bicgstab_coarse",
+    "build_cg_coarse",
+    "build_cg_dag",
+    "build_dataset",
+    "build_iterated_spmv_dag",
+    "build_kmeans_coarse",
+    "build_knn_coarse",
+    "build_knn_dag",
+    "build_label_propagation_coarse",
+    "build_pagerank_coarse",
+    "build_sparse_nn_inference_coarse",
+    "build_spmv_dag",
+    "build_training_set",
+    "dataset_interval",
+]

@@ -1,0 +1,207 @@
+"""Coarse-grained computational DAG generators (paper Appendix B.1).
+
+In the coarse-grained representation every matrix or vector produced during
+a computation is a single DAG node; the edges connect an operation's inputs
+to its output.  The paper obtains these DAGs by instrumenting a GraphBLAS
+runtime; since that C++ runtime is not available here, this module emits the
+operation-level DAGs of the same iterative algorithms directly (the DAG of
+such an algorithm is fixed by the algorithm and the iteration count, not by
+the runtime).  See DESIGN.md for the substitution note.
+
+All builders use the paper's weight rule (``w = indeg - 1`` with source
+weight 1, ``c = 1``).
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import DagError
+from .weights import apply_paper_weight_rule
+
+__all__ = [
+    "build_pagerank_coarse",
+    "build_cg_coarse",
+    "build_bicgstab_coarse",
+    "build_knn_coarse",
+    "build_label_propagation_coarse",
+    "build_kmeans_coarse",
+    "build_sparse_nn_inference_coarse",
+    "COARSE_GENERATORS",
+]
+
+
+class _CoarseBuilder:
+    """Tiny helper: add operation nodes with named predecessors."""
+
+    def __init__(self, name: str) -> None:
+        self.dag = ComputationalDAG(0, name=name)
+
+    def source(self) -> int:
+        return self.dag.add_node()
+
+    def op(self, *preds: int) -> int:
+        v = self.dag.add_node()
+        # deduplicate while preserving order: the same container may feed an
+        # operation twice (e.g. the dot product <r, r>)
+        for u in dict.fromkeys(preds):
+            self.dag.add_edge(u, v)
+        return v
+
+    def finish(self) -> ComputationalDAG:
+        return apply_paper_weight_rule(self.dag)
+
+
+def _check_iterations(iterations: int) -> None:
+    if iterations < 1:
+        raise DagError("iterations must be >= 1")
+
+
+def build_pagerank_coarse(iterations: int, name: str | None = None) -> ComputationalDAG:
+    """Coarse DAG of the power-iteration PageRank algorithm.
+
+    Per iteration: ``t = A^T r``, damping combination with the teleport
+    vector, normalisation, and a convergence-residual computation.
+    """
+    _check_iterations(iterations)
+    b = _CoarseBuilder(name or f"pagerank_coarse_k{iterations}")
+    matrix = b.source()
+    teleport = b.source()
+    rank = b.source()
+    for _ in range(iterations):
+        spread = b.op(matrix, rank)          # A^T r
+        damped = b.op(spread, teleport)      # d*A^T r + (1-d)*v
+        norm = b.op(damped)                  # ||r'||_1
+        new_rank = b.op(damped, norm)        # normalise
+        b.op(new_rank, rank)                 # residual ||r' - r||
+        rank = new_rank
+    return b.finish()
+
+
+def build_cg_coarse(iterations: int, name: str | None = None) -> ComputationalDAG:
+    """Coarse DAG of the conjugate gradient method (one node per container op)."""
+    _check_iterations(iterations)
+    b = _CoarseBuilder(name or f"cg_coarse_k{iterations}")
+    matrix = b.source()
+    rhs = b.source()
+    x = b.source()
+    r = b.op(rhs, x, matrix)   # r0 = b - A x0
+    p = b.op(r)                # p0 = r0
+    rr = b.op(r, r)            # rr = <r, r>
+    for _ in range(iterations):
+        q = b.op(matrix, p)
+        pq = b.op(p, q)
+        alpha = b.op(rr, pq)
+        x = b.op(x, alpha, p)
+        r = b.op(r, alpha, q)
+        rr_new = b.op(r, r)
+        beta = b.op(rr_new, rr)
+        p = b.op(r, beta, p)
+        rr = rr_new
+    return b.finish()
+
+
+def build_bicgstab_coarse(iterations: int, name: str | None = None) -> ComputationalDAG:
+    """Coarse DAG of the BiCGStab method for general linear systems."""
+    _check_iterations(iterations)
+    b = _CoarseBuilder(name or f"bicgstab_coarse_k{iterations}")
+    matrix = b.source()
+    rhs = b.source()
+    x = b.source()
+    r = b.op(rhs, x, matrix)
+    r_hat = b.op(r)
+    rho = b.op(r_hat, r)
+    p = b.op(r)
+    for _ in range(iterations):
+        v = b.op(matrix, p)
+        rhv = b.op(r_hat, v)
+        alpha = b.op(rho, rhv)
+        s = b.op(r, alpha, v)
+        t = b.op(matrix, s)
+        ts = b.op(t, s)
+        tt = b.op(t, t)
+        omega = b.op(ts, tt)
+        x = b.op(x, alpha, p, omega, s)
+        r = b.op(s, omega, t)
+        rho_new = b.op(r_hat, r)
+        beta = b.op(rho_new, rho, alpha, omega)
+        p = b.op(r, beta, p, omega, v)
+        rho = rho_new
+    return b.finish()
+
+
+def build_knn_coarse(iterations: int, name: str | None = None) -> ComputationalDAG:
+    """Coarse DAG of algebraic k-hop reachability (repeated masked SpMV)."""
+    _check_iterations(iterations)
+    b = _CoarseBuilder(name or f"knn_coarse_k{iterations}")
+    matrix = b.source()
+    frontier = b.source()
+    visited = b.op(frontier)
+    for _ in range(iterations):
+        reached = b.op(matrix, frontier)
+        frontier = b.op(reached, visited)    # mask out already-visited nodes
+        visited = b.op(visited, frontier)    # accumulate
+    return b.finish()
+
+
+def build_label_propagation_coarse(iterations: int, name: str | None = None) -> ComputationalDAG:
+    """Coarse DAG of iterative label propagation on a graph."""
+    _check_iterations(iterations)
+    b = _CoarseBuilder(name or f"labelprop_coarse_k{iterations}")
+    adjacency = b.source()
+    labels = b.source()
+    for _ in range(iterations):
+        gathered = b.op(adjacency, labels)   # gather neighbour labels
+        counts = b.op(gathered)              # per-node label histogram / argmax prep
+        new_labels = b.op(counts, labels)    # argmax with tie-break on old labels
+        b.op(new_labels, labels)             # change count (convergence check)
+        labels = new_labels
+    return b.finish()
+
+
+def build_kmeans_coarse(
+    iterations: int, clusters: int = 4, name: str | None = None
+) -> ComputationalDAG:
+    """Coarse DAG of Lloyd's k-means iterations with ``clusters`` centroids."""
+    _check_iterations(iterations)
+    if clusters < 1:
+        raise DagError("clusters must be >= 1")
+    b = _CoarseBuilder(name or f"kmeans_coarse_k{iterations}_c{clusters}")
+    points = b.source()
+    centroids = [b.source() for _ in range(clusters)]
+    for _ in range(iterations):
+        distances = [b.op(points, c) for c in centroids]
+        assignment = b.op(*distances)
+        new_centroids = [b.op(points, assignment) for _ in range(clusters)]
+        b.op(assignment)                     # inertia / convergence statistic
+        centroids = new_centroids
+    return b.finish()
+
+
+def build_sparse_nn_inference_coarse(
+    layers: int, name: str | None = None
+) -> ComputationalDAG:
+    """Coarse DAG of sparse neural-network inference (one SpMM + bias + ReLU per layer)."""
+    if layers < 1:
+        raise DagError("layers must be >= 1")
+    b = _CoarseBuilder(name or f"sparse_nn_coarse_l{layers}")
+    activations = b.source()
+    for _ in range(layers):
+        weights = b.source()
+        bias = b.source()
+        product = b.op(weights, activations)
+        biased = b.op(product, bias)
+        activations = b.op(biased)           # ReLU / thresholding
+    return b.finish()
+
+
+#: Registry of coarse-grained generators keyed by algorithm name.  Every
+#: generator takes the iteration count (or layer count) as first argument.
+COARSE_GENERATORS = {
+    "pagerank": build_pagerank_coarse,
+    "cg": build_cg_coarse,
+    "bicgstab": build_bicgstab_coarse,
+    "knn": build_knn_coarse,
+    "labelprop": build_label_propagation_coarse,
+    "kmeans": build_kmeans_coarse,
+    "sparse_nn": build_sparse_nn_inference_coarse,
+}

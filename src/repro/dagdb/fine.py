@@ -1,0 +1,250 @@
+"""Fine-grained computational DAG generators (paper Appendix B.2).
+
+In the fine-grained representation every nonzero scalar of every matrix and
+vector is (the output of) a separate DAG node, and every elementary
+operation (a scalar multiplication, an accumulation, a division, ...) is a
+node as well.  The paper's generator supports four concrete algorithms, all
+parameterised by a square sparse matrix pattern ``A``:
+
+* ``spmv``  — one sparse matrix / dense vector product ``y = A·u``,
+* ``exp``   — the iterated product ``A^k · u`` (``k`` chained SpMVs),
+* ``cg``    — ``k`` iterations of the conjugate gradient method,
+* ``knn``   — ``k`` iterations of SpMV starting from a vector with a single
+  nonzero entry (breadth-first "k-hop" reachability in algebraic form).
+
+Node weights follow the paper's rule (``w = indeg - 1`` for interior nodes,
+``1`` for sources; ``c = 1`` everywhere) via
+:func:`repro.dagdb.weights.apply_paper_weight_rule`.
+
+Every generator returns a :class:`FineGrainedResult` carrying the DAG plus a
+role label per node (``"input"``, ``"multiply"``, ``"reduce"``, ...), which
+the examples and tests use to sanity-check the generated structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import DagError
+from .sparsegen import SparseMatrixPattern
+from .weights import apply_paper_weight_rule
+
+__all__ = [
+    "FineGrainedResult",
+    "build_spmv_dag",
+    "build_iterated_spmv_dag",
+    "build_knn_dag",
+    "build_cg_dag",
+    "FINE_GENERATORS",
+]
+
+
+@dataclass
+class FineGrainedResult:
+    """A generated fine-grained DAG together with per-node role labels."""
+
+    dag: ComputationalDAG
+    roles: dict[int, str] = field(default_factory=dict)
+
+    def nodes_with_role(self, role: str) -> list[int]:
+        """All nodes carrying the given role label."""
+        return [v for v, r in self.roles.items() if r == role]
+
+
+class _FineDagBuilder:
+    """Incrementally builds a fine-grained DAG, tracking node roles."""
+
+    def __init__(self, name: str) -> None:
+        self.dag = ComputationalDAG(0, name=name)
+        self.roles: dict[int, str] = {}
+
+    def node(self, role: str, preds: list[int] | None = None) -> int:
+        v = self.dag.add_node()
+        self.roles[v] = role
+        # deduplicate while preserving order: the same value may feed an
+        # operation twice (e.g. the dot product r·r squares every entry)
+        for u in dict.fromkeys(preds or []):
+            self.dag.add_edge(u, v)
+        return v
+
+    def matrix_sources(self, pattern: SparseMatrixPattern, label: str = "A") -> dict[tuple[int, int], int]:
+        """One source node per nonzero of the matrix pattern."""
+        return {
+            (i, j): self.node(f"input:{label}")
+            for i in range(pattern.size)
+            for j in pattern.row(i)
+        }
+
+    def dense_vector_sources(self, size: int, label: str = "u") -> dict[int, int]:
+        """One source node per entry of a dense vector."""
+        return {i: self.node(f"input:{label}") for i in range(size)}
+
+    def spmv(
+        self,
+        pattern: SparseMatrixPattern,
+        matrix_nodes: dict[tuple[int, int], int],
+        vector_nodes: dict[int, int],
+    ) -> dict[int, int]:
+        """Fine-grained ``y = A · u``; returns the nodes of the (sparse) result.
+
+        A multiplication node is created for every matrix nonzero ``(i, j)``
+        whose vector operand ``u[j]`` exists (is itself nonzero); rows with a
+        single product skip the accumulation node.
+        """
+        result: dict[int, int] = {}
+        for i in range(pattern.size):
+            products = []
+            for j in pattern.row(i):
+                if j in vector_nodes:
+                    products.append(
+                        self.node("multiply", [matrix_nodes[(i, j)], vector_nodes[j]])
+                    )
+            if not products:
+                continue
+            if len(products) == 1:
+                result[i] = products[0]
+            else:
+                result[i] = self.node("reduce", products)
+        return result
+
+    def dot(self, a: dict[int, int], b: dict[int, int], role: str = "dot") -> int:
+        """Fine-grained dot product of two sparse vectors (must overlap)."""
+        shared = sorted(set(a) & set(b))
+        if not shared:
+            raise DagError("dot product of vectors with disjoint support")
+        products = [self.node("multiply", [a[i], b[i]]) for i in shared]
+        if len(products) == 1:
+            return products[0]
+        return self.node(role, products)
+
+    def elementwise(
+        self,
+        role: str,
+        operands: list[dict[int, int]],
+        scalars: list[int] | None = None,
+    ) -> dict[int, int]:
+        """Per-entry combination of sparse vectors (union of supports) plus scalars."""
+        support: set[int] = set()
+        for vec in operands:
+            support |= set(vec)
+        result: dict[int, int] = {}
+        for i in sorted(support):
+            preds = [vec[i] for vec in operands if i in vec]
+            preds.extend(scalars or [])
+            if len(preds) == 1:
+                result[i] = preds[0]
+            else:
+                result[i] = self.node(role, preds)
+        return result
+
+    def finish(self) -> FineGrainedResult:
+        apply_paper_weight_rule(self.dag)
+        return FineGrainedResult(dag=self.dag, roles=self.roles)
+
+
+# ---------------------------------------------------------------------- #
+# public generators
+# ---------------------------------------------------------------------- #
+def build_spmv_dag(
+    pattern: SparseMatrixPattern, name: str | None = None
+) -> FineGrainedResult:
+    """Fine-grained DAG of a single sparse matrix / dense vector product."""
+    builder = _FineDagBuilder(name or f"spmv_n{pattern.size}")
+    matrix = builder.matrix_sources(pattern)
+    vector = builder.dense_vector_sources(pattern.size)
+    builder.spmv(pattern, matrix, vector)
+    return builder.finish()
+
+
+def build_iterated_spmv_dag(
+    pattern: SparseMatrixPattern, iterations: int, name: str | None = None
+) -> FineGrainedResult:
+    """Fine-grained DAG of ``A^k · u`` (the paper's ``exp`` generator)."""
+    if iterations < 1:
+        raise DagError("iterations must be >= 1")
+    builder = _FineDagBuilder(name or f"exp_n{pattern.size}_k{iterations}")
+    matrix = builder.matrix_sources(pattern)
+    vector = builder.dense_vector_sources(pattern.size)
+    for _ in range(iterations):
+        vector = builder.spmv(pattern, matrix, vector)
+        if not vector:
+            break  # the product vanished; nothing left to compute
+    return builder.finish()
+
+
+def build_knn_dag(
+    pattern: SparseMatrixPattern,
+    iterations: int,
+    start_index: int = 0,
+    name: str | None = None,
+) -> FineGrainedResult:
+    """Fine-grained DAG of the algebraic ``k``-hop reachability (``knn``).
+
+    The input vector has a single nonzero entry at ``start_index``; every
+    iteration multiplies by ``A`` and the support of the vector grows along
+    the reachable rows.
+    """
+    if iterations < 1:
+        raise DagError("iterations must be >= 1")
+    if not 0 <= start_index < pattern.size:
+        raise DagError("start_index out of range")
+    builder = _FineDagBuilder(name or f"knn_n{pattern.size}_k{iterations}")
+    matrix = builder.matrix_sources(pattern)
+    vector = {start_index: builder.node("input:u")}
+    for _ in range(iterations):
+        new_vector = builder.spmv(pattern, matrix, vector)
+        # reached entries stay reachable: merge old support into the new one
+        merged = dict(new_vector)
+        for i, node in vector.items():
+            merged.setdefault(i, node)
+        vector = merged
+        if not new_vector:
+            break
+    return builder.finish()
+
+
+def build_cg_dag(
+    pattern: SparseMatrixPattern, iterations: int, name: str | None = None
+) -> FineGrainedResult:
+    """Fine-grained DAG of ``k`` iterations of the conjugate gradient method.
+
+    Per iteration (standard CG on ``A x = b`` with ``x_0 = 0``):
+
+    1. ``q = A p``
+    2. ``alpha = rr / (p · q)``
+    3. ``x += alpha p`` and ``r -= alpha q``
+    4. ``rr_new = r · r`` ; ``beta = rr_new / rr``
+    5. ``p = r + beta p``
+    """
+    if iterations < 1:
+        raise DagError("iterations must be >= 1")
+    builder = _FineDagBuilder(name or f"cg_n{pattern.size}_k{iterations}")
+    matrix = builder.matrix_sources(pattern)
+    b = builder.dense_vector_sources(pattern.size, label="b")
+    r = dict(b)  # r0 = b (x0 = 0)
+    p = dict(b)  # p0 = r0
+    x: dict[int, int] = {}
+    rr = builder.dot(r, r, role="reduce:rr")
+    for _ in range(iterations):
+        q = builder.spmv(pattern, matrix, p)
+        if not q:
+            break
+        pq = builder.dot(p, q, role="reduce:pq")
+        alpha = builder.node("scalar:alpha", [rr, pq])
+        x = builder.elementwise("axpy:x", [x, p], scalars=[alpha])
+        r = builder.elementwise("axpy:r", [r, q], scalars=[alpha])
+        rr_new = builder.dot(r, r, role="reduce:rr")
+        beta = builder.node("scalar:beta", [rr_new, rr])
+        p = builder.elementwise("axpy:p", [r, p], scalars=[beta])
+        rr = rr_new
+    return builder.finish()
+
+
+#: Registry of the four fine-grained generators keyed by the paper's names.
+FINE_GENERATORS = {
+    "spmv": lambda pattern, iterations=1, **kw: build_spmv_dag(pattern, **kw),
+    "exp": build_iterated_spmv_dag,
+    "knn": build_knn_dag,
+    "cg": build_cg_dag,
+}

@@ -1,0 +1,168 @@
+"""Sparse matrix pattern generation for the fine-grained DAG generators.
+
+The fine-grained computational DAGs of the paper (Appendix B.2) are defined
+with respect to a square sparse matrix ``A``; only the *pattern* of nonzero
+entries matters for the DAG structure.  The paper generates such patterns by
+making every entry nonzero independently with probability ``q``, and also
+supports loading a pattern from file.  :class:`SparseMatrixPattern` captures
+exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import DagError
+
+__all__ = ["SparseMatrixPattern"]
+
+
+@dataclass(frozen=True)
+class SparseMatrixPattern:
+    """The nonzero pattern of an ``n × n`` sparse matrix.
+
+    Attributes
+    ----------
+    size:
+        Number of rows/columns ``n``.
+    rows:
+        Tuple of per-row tuples of (sorted, unique) column indices.
+    """
+
+    size: int
+    rows: tuple[tuple[int, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise DagError("matrix size must be non-negative")
+        if len(self.rows) != self.size:
+            raise DagError(
+                f"rows must have length {self.size}, got {len(self.rows)}"
+            )
+        for i, row in enumerate(self.rows):
+            for j in row:
+                if not 0 <= j < self.size:
+                    raise DagError(f"column index {j} out of range in row {i}")
+            if list(row) != sorted(set(row)):
+                raise DagError(f"row {i} must contain sorted unique column indices")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        size: int,
+        density: float,
+        seed: int | np.random.Generator | None = 0,
+        ensure_diagonal: bool = False,
+    ) -> "SparseMatrixPattern":
+        """Each entry nonzero independently with probability ``density``.
+
+        ``ensure_diagonal`` forces every diagonal entry to be nonzero, which
+        is useful for iterated products where every vector entry should stay
+        alive (and mirrors the SpTRSV trick used to feed DAGs to HDagg).
+        """
+        if not 0.0 <= density <= 1.0:
+            raise DagError(f"density must be in [0, 1], got {density}")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        mask = rng.random((size, size)) < density
+        if ensure_diagonal:
+            np.fill_diagonal(mask, True)
+        rows = tuple(
+            tuple(int(j) for j in np.nonzero(mask[i])[0]) for i in range(size)
+        )
+        return cls(size=size, rows=rows)
+
+    @classmethod
+    def from_coordinates(
+        cls, size: int, coordinates: Iterable[tuple[int, int]]
+    ) -> "SparseMatrixPattern":
+        """Build a pattern from an iterable of ``(row, column)`` coordinates."""
+        row_sets: list[set[int]] = [set() for _ in range(size)]
+        for i, j in coordinates:
+            if not (0 <= i < size and 0 <= j < size):
+                raise DagError(f"coordinate ({i}, {j}) out of range for size {size}")
+            row_sets[i].add(j)
+        rows = tuple(tuple(sorted(s)) for s in row_sets)
+        return cls(size=size, rows=rows)
+
+    @classmethod
+    def dense(cls, size: int) -> "SparseMatrixPattern":
+        """Fully dense pattern."""
+        row = tuple(range(size))
+        return cls(size=size, rows=tuple(row for _ in range(size)))
+
+    @classmethod
+    def tridiagonal(cls, size: int) -> "SparseMatrixPattern":
+        """Tridiagonal pattern (a classic structured test matrix)."""
+        rows = []
+        for i in range(size):
+            cols = [j for j in (i - 1, i, i + 1) if 0 <= j < size]
+            rows.append(tuple(cols))
+        return cls(size=size, rows=tuple(rows))
+
+    @classmethod
+    def lower_triangular_random(
+        cls, size: int, density: float, seed: int | None = 0
+    ) -> "SparseMatrixPattern":
+        """Random strictly-lower-triangular pattern plus unit diagonal.
+
+        These are the SpTRSV-style inputs that HDagg was designed for.
+        """
+        rng = np.random.default_rng(seed)
+        rows = []
+        for i in range(size):
+            cols = [j for j in range(i) if rng.random() < density]
+            cols.append(i)
+            rows.append(tuple(sorted(set(cols))))
+        return cls(size=size, rows=tuple(rows))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Total number of nonzero entries."""
+        return sum(len(row) for row in self.rows)
+
+    def row(self, i: int) -> tuple[int, ...]:
+        """Column indices of the nonzeros in row ``i``."""
+        return self.rows[i]
+
+    def column(self, j: int) -> tuple[int, ...]:
+        """Row indices of the nonzeros in column ``j``."""
+        return tuple(i for i in range(self.size) if j in set(self.rows[i]))
+
+    def coordinates(self) -> list[tuple[int, int]]:
+        """All nonzero coordinates as ``(row, column)`` pairs."""
+        return [(i, j) for i in range(self.size) for j in self.rows[i]]
+
+    def density(self) -> float:
+        """Fraction of nonzero entries."""
+        if self.size == 0:
+            return 0.0
+        return self.nnz / (self.size * self.size)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense 0/1 numpy array of the pattern."""
+        dense = np.zeros((self.size, self.size), dtype=np.int8)
+        for i, row in enumerate(self.rows):
+            dense[i, list(row)] = 1
+        return dense
+
+    def transpose(self) -> "SparseMatrixPattern":
+        """Pattern of the transposed matrix."""
+        return SparseMatrixPattern.from_coordinates(
+            self.size, ((j, i) for i, j in self.coordinates())
+        )
+
+
+def pattern_from_sequence_of_rows(rows: Sequence[Sequence[int]]) -> SparseMatrixPattern:
+    """Convenience constructor from a plain list of per-row column lists."""
+    return SparseMatrixPattern(
+        size=len(rows), rows=tuple(tuple(sorted(set(r))) for r in rows)
+    )

@@ -1,0 +1,26 @@
+"""The paper's node-weight convention for generated DAGs (Appendix B).
+
+Both the coarse-grained and the fine-grained DAGs in the database use
+
+* ``w(v) = indeg(v) - 1`` for non-source nodes (combining ``k`` inputs costs
+  ``k - 1`` elementary operations), with a floor of 1 so that pass-through
+  nodes still carry a unit of work,
+* ``w(v) = 1`` for source nodes (loading/initialising an input), and
+* ``c(v) = 1`` for every node.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationalDAG
+
+__all__ = ["apply_paper_weight_rule"]
+
+
+def apply_paper_weight_rule(dag: ComputationalDAG) -> ComputationalDAG:
+    """Set ``w``/``c`` on ``dag`` in place according to the paper's rule and return it."""
+    for v in dag.nodes():
+        indeg = dag.in_degree(v)
+        work = 1.0 if indeg == 0 else float(max(indeg - 1, 1))
+        dag.set_work(v, work)
+        dag.set_comm(v, 1.0)
+    return dag

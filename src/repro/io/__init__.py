@@ -1,0 +1,20 @@
+"""File formats and rendering: hyperDAG I/O, DOT export, text rendering."""
+
+from .dot import dag_to_dot, schedule_to_dot, write_dot
+from .hyperdag import dumps_hyperdag, loads_hyperdag, read_hyperdag, write_hyperdag
+from .mtx import loads_matrix_market_pattern, read_matrix_market_pattern
+from .render import render_cost_table, render_schedule_text
+
+__all__ = [
+    "dag_to_dot",
+    "dumps_hyperdag",
+    "loads_hyperdag",
+    "loads_matrix_market_pattern",
+    "read_hyperdag",
+    "read_matrix_market_pattern",
+    "render_cost_table",
+    "render_schedule_text",
+    "schedule_to_dot",
+    "write_dot",
+    "write_hyperdag",
+]

@@ -1,0 +1,55 @@
+"""GraphViz DOT export for DAGs and schedules (visual inspection / debugging)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.dag import ComputationalDAG
+from ..core.schedule import BspSchedule
+
+__all__ = ["dag_to_dot", "schedule_to_dot", "write_dot"]
+
+_PALETTE = (
+    "#a6cee3", "#1f78b4", "#b2df8a", "#33a02c", "#fb9a99", "#e31a1c",
+    "#fdbf6f", "#ff7f00", "#cab2d6", "#6a3d9a", "#ffff99", "#b15928",
+    "#8dd3c7", "#bebada", "#fb8072", "#80b1d3",
+)
+
+
+def dag_to_dot(dag: ComputationalDAG) -> str:
+    """Render a DAG as a DOT digraph with weights in the node labels."""
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=TB;", "  node [shape=circle];"]
+    for v in dag.nodes():
+        lines.append(
+            f'  n{v} [label="{v}\\nw={dag.work(v):g} c={dag.comm(v):g}"];'
+        )
+    for edge in dag.edges():
+        lines.append(f"  n{edge.source} -> n{edge.target};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def schedule_to_dot(schedule: BspSchedule) -> str:
+    """Render a BSP schedule: nodes coloured by processor and clustered by superstep."""
+    dag = schedule.dag
+    lines = [f'digraph "{dag.name}_schedule" {{', "  rankdir=TB;",
+             '  node [shape=circle, style=filled];']
+    for s in range(schedule.num_supersteps):
+        members = schedule.nodes_in_superstep(s)
+        lines.append(f"  subgraph cluster_superstep_{s} {{")
+        lines.append(f'    label="superstep {s}";')
+        for v in members:
+            color = _PALETTE[schedule.proc_of(v) % len(_PALETTE)]
+            lines.append(
+                f'    n{v} [label="{v}\\np{schedule.proc_of(v)}", fillcolor="{color}"];'
+            )
+        lines.append("  }")
+    for edge in dag.edges():
+        lines.append(f"  n{edge.source} -> n{edge.target};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(content: str, path: str | Path) -> None:
+    """Write already-rendered DOT text to ``path``."""
+    Path(path).write_text(content, encoding="utf-8")

@@ -1,0 +1,124 @@
+"""HyperDAG file format (paper Section 5 / Appendix B).
+
+The paper's DAG database stores computational DAGs in a *hyperDAG* format:
+every non-sink node contributes one hyperedge containing the node itself and
+all of its direct successors (modelling the fact that a value only has to be
+communicated once per target processor).  For scheduling this is simply an
+alternative encoding of the DAG, and all algorithms convert it back to the
+plain DAG representation first.
+
+The concrete text format used here is line-oriented and self-describing::
+
+    %% HyperDAG <name>
+    % optional comment lines start with '%'
+    nodes <n>
+    <work_0> <comm_0>
+    ...
+    <work_{n-1}> <comm_{n-1}>
+    hyperedges <h>
+    <source> <succ_1> <succ_2> ...
+    ...
+
+Node indices are 0-based.  :func:`write_hyperdag` and :func:`read_hyperdag`
+round-trip :class:`~repro.core.dag.ComputationalDAG` objects exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import DagError
+
+__all__ = ["write_hyperdag", "read_hyperdag", "dumps_hyperdag", "loads_hyperdag"]
+
+
+def dumps_hyperdag(dag: ComputationalDAG) -> str:
+    """Serialise ``dag`` to a hyperDAG-format string."""
+    buffer = io.StringIO()
+    _write(dag, buffer)
+    return buffer.getvalue()
+
+
+def write_hyperdag(dag: ComputationalDAG, path: str | Path) -> None:
+    """Write ``dag`` to ``path`` in hyperDAG format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(dag, handle)
+
+
+def _write(dag: ComputationalDAG, handle: TextIO) -> None:
+    handle.write(f"%% HyperDAG {dag.name}\n")
+    handle.write(f"% nodes={dag.num_nodes} edges={dag.num_edges}\n")
+    handle.write(f"nodes {dag.num_nodes}\n")
+    for v in dag.nodes():
+        handle.write(f"{dag.work(v):g} {dag.comm(v):g}\n")
+    hyperedges = [(v, dag.successors(v)) for v in dag.nodes() if dag.out_degree(v) > 0]
+    handle.write(f"hyperedges {len(hyperedges)}\n")
+    for source, succs in hyperedges:
+        handle.write(" ".join(str(x) for x in [source, *succs]) + "\n")
+
+
+def loads_hyperdag(text: str) -> ComputationalDAG:
+    """Parse a hyperDAG-format string into a :class:`ComputationalDAG`."""
+    return _read(io.StringIO(text))
+
+
+def read_hyperdag(path: str | Path) -> ComputationalDAG:
+    """Read a hyperDAG file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> ComputationalDAG:
+    name = "hyperdag"
+    lines: list[str] = []
+    for raw in handle:
+        stripped = raw.strip()
+        if stripped.startswith("%%"):
+            parts = stripped.split(maxsplit=2)
+            if len(parts) >= 3:
+                name = parts[2]
+            continue
+        if not stripped or stripped.startswith("%"):
+            continue
+        lines.append(stripped)
+    cursor = 0
+
+    def next_line() -> str:
+        nonlocal cursor
+        if cursor >= len(lines):
+            raise DagError("unexpected end of hyperDAG file")
+        line = lines[cursor]
+        cursor += 1
+        return line
+
+    header = next_line().split()
+    if len(header) != 2 or header[0] != "nodes":
+        raise DagError(f"expected 'nodes <n>' header, got {header!r}")
+    num_nodes = int(header[1])
+    works: list[float] = []
+    comms: list[float] = []
+    for _ in range(num_nodes):
+        parts = next_line().split()
+        if len(parts) != 2:
+            raise DagError(f"expected 'work comm' node line, got {parts!r}")
+        works.append(float(parts[0]))
+        comms.append(float(parts[1]))
+    dag = ComputationalDAG(num_nodes, works, comms, name=name)
+
+    header = next_line().split()
+    if len(header) != 2 or header[0] != "hyperedges":
+        raise DagError(f"expected 'hyperedges <h>' header, got {header!r}")
+    num_hyperedges = int(header[1])
+    for _ in range(num_hyperedges):
+        parts = [int(x) for x in next_line().split()]
+        if len(parts) < 2:
+            raise DagError("hyperedge line must contain a source and at least one successor")
+        source, *succs = parts
+        for target in succs:
+            dag.add_edge(source, target)
+    if not dag.is_acyclic():
+        raise DagError("hyperDAG file encodes a cyclic graph")
+    return dag

@@ -1,0 +1,85 @@
+"""Minimal MatrixMarket (``.mtx``) pattern reader.
+
+The paper's fine-grained generator can build its computational DAGs from the
+nonzero pattern of a real-world matrix instead of a random one (Appendix
+B.2: "the generator also has the option to load input matrices from a
+file").  This module reads the coordinate MatrixMarket format — by far the
+most common exchange format for such matrices (SuiteSparse etc.) — into a
+:class:`~repro.dagdb.sparsegen.SparseMatrixPattern`.
+
+Only the structural information is used: values are ignored, ``symmetric``
+and ``skew-symmetric``/``hermitian`` matrices are expanded, and rectangular
+matrices are rejected (the generators need square operands).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from ..core.exceptions import DagError
+from ..dagdb.sparsegen import SparseMatrixPattern
+
+__all__ = ["read_matrix_market_pattern", "loads_matrix_market_pattern"]
+
+
+def loads_matrix_market_pattern(text: str) -> SparseMatrixPattern:
+    """Parse MatrixMarket coordinate data from a string."""
+    return _read(io.StringIO(text))
+
+
+def read_matrix_market_pattern(path: str | Path) -> SparseMatrixPattern:
+    """Read the nonzero pattern of a MatrixMarket coordinate file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> SparseMatrixPattern:
+    header = handle.readline().strip().lower().split()
+    if len(header) < 4 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+        raise DagError("not a MatrixMarket file (missing %%MatrixMarket header)")
+    layout = header[2]
+    symmetry = header[4] if len(header) > 4 else "general"
+    if layout != "coordinate":
+        raise DagError(f"only coordinate MatrixMarket files are supported, got {layout!r}")
+
+    size_line = None
+    for raw in handle:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        size_line = stripped
+        break
+    if size_line is None:
+        raise DagError("MatrixMarket file has no size line")
+    parts = size_line.split()
+    if len(parts) != 3:
+        raise DagError(f"malformed size line {size_line!r}")
+    rows, cols, nnz = (int(x) for x in parts)
+    if rows != cols:
+        raise DagError(
+            f"the fine-grained generators need a square matrix, got {rows}x{cols}"
+        )
+
+    coordinates: list[tuple[int, int]] = []
+    read_entries = 0
+    for raw in handle:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        fields = stripped.split()
+        if len(fields) < 2:
+            raise DagError(f"malformed entry line {stripped!r}")
+        i, j = int(fields[0]) - 1, int(fields[1]) - 1
+        if not (0 <= i < rows and 0 <= j < cols):
+            raise DagError(f"entry ({i + 1}, {j + 1}) out of bounds for {rows}x{cols}")
+        coordinates.append((i, j))
+        if symmetry in ("symmetric", "skew-symmetric", "hermitian") and i != j:
+            coordinates.append((j, i))
+        read_entries += 1
+    if read_entries != nnz:
+        raise DagError(
+            f"MatrixMarket file announces {nnz} entries but contains {read_entries}"
+        )
+    return SparseMatrixPattern.from_coordinates(rows, coordinates)

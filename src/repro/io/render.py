@@ -1,0 +1,64 @@
+"""Plain-text rendering of BSP schedules (ASCII "Gantt per superstep" view).
+
+This mirrors Figure 1 of the paper in text form: every superstep is shown
+with the nodes each processor computes and the values it sends/receives in
+the communication phase.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.schedule import BspSchedule
+
+__all__ = ["render_schedule_text", "render_cost_table"]
+
+
+def render_schedule_text(schedule: BspSchedule, max_nodes_per_cell: int = 12) -> str:
+    """Multi-line, human readable rendering of a BSP schedule."""
+    dag = schedule.dag
+    machine = schedule.machine
+    breakdown = schedule.cost_breakdown()
+    lines = [
+        f"Schedule of '{dag.name}' on {machine.describe()}",
+        f"total cost {breakdown.total:.2f} = work {breakdown.work:.2f} "
+        f"+ comm {breakdown.comm:.2f} + latency {breakdown.latency:.2f}",
+        "",
+    ]
+    comm_by_step: dict[int, list] = defaultdict(list)
+    for step in sorted(schedule.comm_schedule):
+        comm_by_step[step.superstep].append(step)
+    for s in range(schedule.num_supersteps):
+        lines.append(
+            f"=== superstep {s}  (work {breakdown.work_per_superstep[s]:.1f}, "
+            f"h-relation {breakdown.comm_per_superstep[s]:.1f}) ==="
+        )
+        for p in range(machine.num_procs):
+            nodes = schedule.nodes_in_superstep(s, p)
+            shown = ", ".join(str(v) for v in nodes[:max_nodes_per_cell])
+            if len(nodes) > max_nodes_per_cell:
+                shown += f", ... (+{len(nodes) - max_nodes_per_cell})"
+            work = sum(dag.work(v) for v in nodes)
+            lines.append(f"  proc {p}: [{shown}]  (work {work:g})")
+        sends = comm_by_step.get(s, [])
+        if sends:
+            rendered = ", ".join(
+                f"v{step.node}: p{step.source}->p{step.target}" for step in sends
+            )
+            lines.append(f"  comm : {rendered}")
+        else:
+            lines.append("  comm : (none)")
+    return "\n".join(lines)
+
+
+def render_cost_table(schedules: dict[str, BspSchedule]) -> str:
+    """Side-by-side cost comparison of several schedules of the same instance."""
+    header = f"{'scheduler':<24} {'cost':>12} {'supersteps':>11} {'work':>10} {'comm':>10} {'latency':>9}"
+    lines = [header, "-" * len(header)]
+    for name, schedule in schedules.items():
+        breakdown = schedule.cost_breakdown()
+        lines.append(
+            f"{name:<24} {breakdown.total:>12.2f} {schedule.num_supersteps:>11d} "
+            f"{breakdown.work:>10.2f} {breakdown.comm:>10.2f} {breakdown.latency:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Scheduler and improver base classes plus shared helpers.
+
+Two kinds of algorithms make up the framework (paper Figure 3):
+
+* :class:`Scheduler` — builds a BSP schedule from scratch for a
+  ``(DAG, machine)`` instance (the baselines and initialisation heuristics);
+* :class:`ScheduleImprover` — takes an existing schedule and returns one of
+  equal or lower cost (local search, the ILP improvement methods and the
+  communication-schedule optimisers).
+
+Every algorithm accepts an optional wall-clock time budget through a
+:class:`TimeBudget`; algorithms check it cooperatively so that runs remain
+deterministic apart from the point at which they stop.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..core.dag import ComputationalDAG
+from ..core.machine import BspMachine
+from ..core.schedule import BspSchedule
+
+__all__ = ["Scheduler", "ScheduleImprover", "TimeBudget", "best_schedule"]
+
+
+@dataclass
+class TimeBudget:
+    """A cooperative wall-clock budget.
+
+    ``TimeBudget(None)`` (or :meth:`unlimited`) never expires.  Algorithms
+    call :meth:`expired` inside their main loops and stop gracefully once the
+    budget is exhausted, always returning the best solution found so far.
+    """
+
+    seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        self._start = time.perf_counter()
+
+    @classmethod
+    def unlimited(cls) -> "TimeBudget":
+        """A budget that never expires."""
+        return cls(None)
+
+    def restart(self) -> None:
+        """Restart the clock (useful when a budget object is reused)."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed since the budget was created or restarted."""
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds remaining (``inf`` for an unlimited budget)."""
+        if self.seconds is None:
+            return math.inf
+        return max(0.0, self.seconds - self.elapsed)
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self.seconds is not None and self.elapsed >= self.seconds
+
+    def fraction(self, ratio: float) -> "TimeBudget":
+        """A fresh budget worth ``ratio`` of this budget's total allowance."""
+        if self.seconds is None:
+            return TimeBudget(None)
+        return TimeBudget(self.seconds * ratio)
+
+
+class Scheduler(ABC):
+    """Builds a BSP schedule for a DAG on a machine."""
+
+    #: Short name used in reports, tables and the registry.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule(
+        self,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        budget: TimeBudget | None = None,
+    ) -> BspSchedule:
+        """Return a valid BSP schedule of ``dag`` on ``machine``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ScheduleImprover(ABC):
+    """Improves an existing BSP schedule without ever making it worse."""
+
+    name: str = "improver"
+
+    @abstractmethod
+    def improve(
+        self,
+        schedule: BspSchedule,
+        budget: TimeBudget | None = None,
+    ) -> BspSchedule:
+        """Return a schedule whose cost is at most that of ``schedule``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def best_schedule(*schedules: BspSchedule | None) -> BspSchedule:
+    """The lowest-cost schedule among the given ones (``None`` entries skipped)."""
+    candidates = [s for s in schedules if s is not None]
+    if not candidates:
+        raise ValueError("best_schedule requires at least one schedule")
+    return min(candidates, key=lambda s: s.cost())

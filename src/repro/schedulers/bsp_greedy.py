@@ -1,0 +1,179 @@
+"""The BSPg greedy initialisation heuristic (paper §4.2, Appendix A.2, Algorithm 1).
+
+BSPg builds a BSP schedule directly, superstep by superstep, while still
+simulating concrete start/finish times inside each computation phase so that
+the per-processor work stays balanced.  The rules are:
+
+* a processor may only be assigned a node ``v`` when all of ``v``'s direct
+  predecessors are already available to it *within the current superstep*
+  (computed on the same processor, or in an earlier superstep);
+* nodes that became ready but have predecessors on several processors in the
+  current superstep are parked in a global ``ready_all`` set and only become
+  assignable (to anybody) when the next superstep starts;
+* when at least half of the processors are idle and nothing in ``ready_all``
+  can be assigned without communication, the computation phase is closed and
+  the next superstep begins;
+* tie-breaking between assignable nodes uses a communication-saving score:
+  a candidate ``v`` is preferred when its predecessors ``u`` (or their
+  direct successors) already live on the target processor, weighted by
+  ``c(u) / outdeg(u)``.
+
+Communication steps are not constructed explicitly; the resulting schedule
+uses the lazy communication schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.dag import ComputationalDAG
+from ..core.machine import BspMachine
+from ..core.schedule import BspSchedule
+from .base import Scheduler, TimeBudget
+
+__all__ = ["BspGreedyScheduler"]
+
+
+class BspGreedyScheduler(Scheduler):
+    """Greedy BSP-tailored initialisation heuristic (``BSPg``).
+
+    Parameters
+    ----------
+    idle_fraction:
+        The computation phase of the current superstep is closed once at
+        least this fraction of the processors is idle and cannot receive
+        further work without communication (the paper uses one half).
+    """
+
+    name = "bsp_greedy"
+
+    def __init__(self, idle_fraction: float = 0.5) -> None:
+        self.idle_fraction = idle_fraction
+
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        budget: TimeBudget | None = None,
+    ) -> BspSchedule:
+        n = dag.num_nodes
+        num_procs = machine.num_procs
+        procs = np.zeros(n, dtype=np.int64)
+        supersteps = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return BspSchedule(dag, machine, procs, supersteps)
+
+        assigned = np.zeros(n, dtype=bool)
+        finished = np.zeros(n, dtype=bool)
+        remaining_preds = np.array([dag.in_degree(v) for v in dag.nodes()])
+        outdeg = np.array([max(dag.out_degree(v), 1) for v in dag.nodes()])
+
+        ready: set[int] = set(dag.sources())
+        ready_all: set[int] = set(ready)
+        ready_proc: list[set[int]] = [set() for _ in range(num_procs)]
+        free = [True] * num_procs
+
+        superstep = 0
+        end_step = False
+        unassigned = n
+        # Heap of (finish_time, node); a sentinel node of -1 marks the
+        # "time 0" entry that opens every superstep.
+        finish_events: list[tuple[float, int]] = [(0.0, -1)]
+        idle_threshold = max(1, int(np.ceil(self.idle_fraction * num_procs)))
+
+        def choose_node(proc: int) -> int | None:
+            """Pick the best assignable node for ``proc`` (Appendix A.2 score)."""
+            pool = ready_proc[proc] if ready_proc[proc] else ready_all
+            if not pool:
+                return None
+            best_node = None
+            best_score = -1.0
+            for v in pool:
+                score = 0.0
+                for u in dag.predecessors(v):
+                    on_proc = assigned[u] and procs[u] == proc
+                    if not on_proc:
+                        on_proc = any(
+                            assigned[w] and procs[w] == proc for w in dag.successors(u)
+                        )
+                    if on_proc:
+                        score += dag.comm(u) / outdeg[u]
+                if score > best_score or (score == best_score and (best_node is None or v < best_node)):
+                    best_score = score
+                    best_node = v
+            return best_node
+
+        def assignable(proc: int) -> bool:
+            return free[proc] and bool(ready_proc[proc] or ready_all)
+
+        while unassigned > 0:
+            if end_step and not finish_events:
+                # open the next superstep: everything that is ready becomes
+                # available to every processor
+                for pool in ready_proc:
+                    pool.clear()
+                ready_all = set(ready)
+                superstep += 1
+                end_step = False
+                finish_events = [(0.0, -1)]
+
+            if not finish_events:
+                # Nothing running and the step was not explicitly closed:
+                # force a new superstep (can happen when every ready node
+                # needs cross-processor data).
+                end_step = True
+                continue
+
+            time_now, _ = finish_events[0]
+            # process *all* nodes finishing at this time
+            while finish_events and finish_events[0][0] == time_now:
+                _, node = heapq.heappop(finish_events)
+                if node < 0:
+                    continue
+                finished[node] = True
+                free[int(procs[node])] = True
+                for succ in dag.successors(node):
+                    remaining_preds[succ] -= 1
+                    if remaining_preds[succ] == 0:
+                        ready.add(succ)
+                        # can `succ` still be computed inside this superstep
+                        # on the finishing node's processor?
+                        proc = int(procs[node])
+                        if all(
+                            (assigned[u] and (procs[u] == proc or supersteps[u] < superstep))
+                            for u in dag.predecessors(succ)
+                        ):
+                            ready_proc[proc].add(succ)
+
+            if not end_step:
+                progress = True
+                while progress:
+                    progress = False
+                    for proc in range(num_procs):
+                        if not assignable(proc):
+                            continue
+                        node = choose_node(proc)
+                        if node is None:
+                            continue
+                        ready.discard(node)
+                        ready_all.discard(node)
+                        for pool in ready_proc:
+                            pool.discard(node)
+                        procs[node] = proc
+                        supersteps[node] = superstep
+                        assigned[node] = True
+                        unassigned -= 1
+                        free[proc] = False
+                        heapq.heappush(finish_events, (time_now + dag.work(node), node))
+                        progress = True
+
+            idle_procs = sum(
+                1 for proc in range(num_procs) if free[proc] and not ready_proc[proc]
+            )
+            if not ready_all and idle_procs >= idle_threshold:
+                end_step = True
+
+        return BspSchedule(dag, machine, procs, supersteps)

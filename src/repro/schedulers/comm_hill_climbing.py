@@ -1,0 +1,160 @@
+"""Hill climbing over the communication schedule (``HCcs``, paper §4.3, Appendix A.3).
+
+With the node assignment ``(π, τ)`` fixed, every required transfer of a
+value ``v`` to a processor ``q`` may be placed in any communication phase
+between ``τ(v)`` and one phase before the value is first needed on ``q``.
+``HCcs`` starts from the lazy placement (everything as late as possible) and
+greedily moves single transfers to a different feasible phase whenever that
+strictly decreases the h-relation cost.  Only communication costs change, so
+the incremental evaluation is a constant number of row updates per candidate.
+
+Like the paper's implementation, transfers are always sent directly from
+``π(v)`` (no forwarding through third processors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.comm import CommStep, CommWindow
+from ..core.schedule import BspSchedule
+from .base import ScheduleImprover, TimeBudget
+
+__all__ = ["CommScheduleHillClimbing"]
+
+_EPS = 1e-9
+
+
+class CommScheduleHillClimbing(ScheduleImprover):
+    """Greedy first-improvement local search on the communication schedule."""
+
+    name = "comm_hill_climbing"
+
+    def __init__(self, max_passes: int = 50) -> None:
+        self.max_passes = max_passes
+
+    def improve(
+        self,
+        schedule: BspSchedule,
+        budget: TimeBudget | None = None,
+    ) -> BspSchedule:
+        budget = budget or TimeBudget.unlimited()
+        machine = schedule.machine
+        dag = schedule.dag
+        windows = schedule.comm_windows()
+        if not windows:
+            return schedule
+        num_supersteps = schedule.num_supersteps
+
+        # start from the incumbent's own placement when it is explicit,
+        # otherwise from the lazy placement (the window's latest phase)
+        explicit = {}
+        if not schedule.uses_lazy_comm:
+            for step in schedule.comm_schedule:
+                explicit[(step.node, step.source, step.target)] = step.superstep
+        choices = np.array(
+            [
+                explicit.get((w.node, w.source, w.target), w.latest)
+                for w in windows
+            ],
+            dtype=np.int64,
+        )
+        # clamp any out-of-window explicit choice back into the window
+        for index, window in enumerate(windows):
+            choices[index] = min(max(choices[index], window.earliest), window.latest)
+
+        send = np.zeros((num_supersteps, machine.num_procs), dtype=np.float64)
+        recv = np.zeros((num_supersteps, machine.num_procs), dtype=np.float64)
+        volumes = np.array(
+            [
+                dag.comm(w.node) * machine.numa[w.source, w.target]
+                for w in windows
+            ],
+            dtype=np.float64,
+        )
+        for index, window in enumerate(windows):
+            send[choices[index], window.source] += volumes[index]
+            recv[choices[index], window.target] += volumes[index]
+        comm_max = np.maximum(send, recv).max(axis=1)
+
+        def phase_cost(s: int) -> float:
+            return float(np.maximum(send[s], recv[s]).max())
+
+        improved_any = True
+        passes = 0
+        while improved_any and passes < self.max_passes and not budget.expired():
+            improved_any = False
+            passes += 1
+            for index, window in enumerate(windows):
+                if budget.expired():
+                    break
+                if window.earliest == window.latest:
+                    continue
+                current = int(choices[index])
+                best_phase = current
+                best_delta = 0.0
+                for candidate in range(window.earliest, window.latest + 1):
+                    if candidate == current:
+                        continue
+                    delta = self._move_delta(
+                        send, recv, comm_max, volumes[index], window, current, candidate
+                    )
+                    if delta < best_delta - _EPS:
+                        best_delta = delta
+                        best_phase = candidate
+                if best_phase != current:
+                    self._apply_move(
+                        send, recv, comm_max, volumes[index], window, current, best_phase
+                    )
+                    choices[index] = best_phase
+                    improved_any = True
+
+        comm_schedule = frozenset(
+            CommStep(w.node, w.source, w.target, int(choices[i]))
+            for i, w in enumerate(windows)
+        )
+        candidate = schedule.with_comm_schedule(comm_schedule)
+        return candidate if candidate.cost() < schedule.cost() - _EPS else schedule
+
+    @staticmethod
+    def _move_delta(
+        send: np.ndarray,
+        recv: np.ndarray,
+        comm_max: np.ndarray,
+        volume: float,
+        window: CommWindow,
+        old_phase: int,
+        new_phase: int,
+    ) -> float:
+        """Change in total h-relation cost if the transfer moves phases (no state change)."""
+        old_rows = {}
+        for s in (old_phase, new_phase):
+            old_rows[s] = (send[s].copy(), recv[s].copy())
+        send[old_phase, window.source] -= volume
+        recv[old_phase, window.target] -= volume
+        send[new_phase, window.source] += volume
+        recv[new_phase, window.target] += volume
+        delta = 0.0
+        for s in (old_phase, new_phase):
+            delta += float(np.maximum(send[s], recv[s]).max()) - comm_max[s]
+        for s, (send_row, recv_row) in old_rows.items():
+            send[s] = send_row
+            recv[s] = recv_row
+        return delta
+
+    @staticmethod
+    def _apply_move(
+        send: np.ndarray,
+        recv: np.ndarray,
+        comm_max: np.ndarray,
+        volume: float,
+        window: CommWindow,
+        old_phase: int,
+        new_phase: int,
+    ) -> None:
+        send[old_phase, window.source] -= volume
+        recv[old_phase, window.target] -= volume
+        send[new_phase, window.source] += volume
+        recv[new_phase, window.target] += volume
+        for s in (old_phase, new_phase):
+            comm_max[s] = float(np.maximum(send[s], recv[s]).max())

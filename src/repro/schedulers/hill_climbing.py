@@ -1,0 +1,263 @@
+"""Hill-climbing local search over node assignments (``HC``, paper §4.3, Appendix A.3).
+
+Starting from a valid BSP schedule (with the lazy communication schedule),
+``HC`` repeatedly applies single-node moves — reassigning one node to any
+processor in its current superstep, the previous superstep or the next
+superstep — as long as a move strictly decreases the total cost.  The paper
+uses the greedy "first improving move" variant, which is what this module
+implements.
+
+Cost changes are evaluated incrementally through :class:`LazyCostTracker`,
+which maintains per-superstep/per-processor work, send and receive volumes
+under the lazy communication schedule.  Applying a move only touches the
+matrix rows of the affected supersteps and the transfers of the moved node
+and its direct predecessors, so a candidate evaluation costs
+``O(P + deg(v) + Σ_{u∈pred(v)} outdeg(u))`` instead of a full re-evaluation.
+Rejected moves are rolled back by applying the inverse move (the tracker is
+an exact function of the assignment, so this restores the state bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dag import ComputationalDAG
+from ..core.machine import BspMachine
+from ..core.schedule import BspSchedule
+from .base import ScheduleImprover, TimeBudget
+
+__all__ = ["LazyCostTracker", "HillClimbingImprover"]
+
+_EPS = 1e-9
+
+
+class LazyCostTracker:
+    """Incrementally maintained cost of a lazy-communication BSP schedule.
+
+    The tracker owns mutable copies of the assignment arrays.  The number of
+    supersteps is fixed at construction time; node moves are restricted to
+    the existing supersteps (the surrounding pipeline compacts empty
+    supersteps afterwards).
+    """
+
+    def __init__(
+        self,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        procs: np.ndarray,
+        supersteps: np.ndarray,
+        num_supersteps: int | None = None,
+    ) -> None:
+        self.dag = dag
+        self.machine = machine
+        self.procs = np.asarray(procs, dtype=np.int64).copy()
+        self.supersteps = np.asarray(supersteps, dtype=np.int64).copy()
+        self.num_supersteps = (
+            int(self.supersteps.max(initial=-1)) + 1
+            if num_supersteps is None
+            else num_supersteps
+        )
+        P = machine.num_procs
+        S = max(self.num_supersteps, 1)
+        self.work = np.zeros((S, P), dtype=np.float64)
+        self.send = np.zeros((S, P), dtype=np.float64)
+        self.recv = np.zeros((S, P), dtype=np.float64)
+        self._work_max = np.zeros(S, dtype=np.float64)
+        self._comm_max = np.zeros(S, dtype=np.float64)
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _transfers_of(self, v: int) -> list[tuple[int, int, int, float]]:
+        """Lazy transfers of node ``v``: list of ``(phase, source, target, volume)``."""
+        dag = self.dag
+        pv = int(self.procs[v])
+        first_need: dict[int, int] = {}
+        for w in dag.successors(v):
+            q = int(self.procs[w])
+            if q == pv:
+                continue
+            sw = int(self.supersteps[w])
+            if q not in first_need or sw < first_need[q]:
+                first_need[q] = sw
+        comm_v = dag.comm(v)
+        numa = self.machine.numa
+        return [
+            (sw - 1, pv, q, comm_v * numa[pv, q]) for q, sw in first_need.items()
+        ]
+
+    def _build(self) -> None:
+        dag = self.dag
+        np.add.at(self.work, (self.supersteps, self.procs), dag.work_weights)
+        for v in dag.nodes():
+            for phase, source, target, volume in self._transfers_of(v):
+                self.send[phase, source] += volume
+                self.recv[phase, target] += volume
+        np.max(self.work, axis=1, out=self._work_max)
+        np.maximum(self.send, self.recv).max(axis=1, out=self._comm_max)
+
+    # ------------------------------------------------------------------ #
+    # cost
+    # ------------------------------------------------------------------ #
+    def cost(self) -> float:
+        """Current total cost (work + g·comm + latency)."""
+        return float(
+            self._work_max.sum()
+            + self.machine.g * self._comm_max.sum()
+            + self.machine.latency * self.num_supersteps
+        )
+
+    def _refresh_superstep(self, s: int) -> None:
+        self._work_max[s] = self.work[s].max()
+        self._comm_max[s] = np.maximum(self.send[s], self.recv[s]).max()
+
+    # ------------------------------------------------------------------ #
+    # moves
+    # ------------------------------------------------------------------ #
+    def is_valid_move(self, v: int, new_proc: int, new_step: int) -> bool:
+        """Whether moving ``v`` to ``(new_proc, new_step)`` keeps the schedule valid."""
+        if not 0 <= new_step < self.num_supersteps:
+            return False
+        if not 0 <= new_proc < self.machine.num_procs:
+            return False
+        dag = self.dag
+        for u in dag.predecessors(v):
+            su = int(self.supersteps[u])
+            if int(self.procs[u]) == new_proc:
+                if su > new_step:
+                    return False
+            elif su >= new_step:
+                return False
+        for w in dag.successors(v):
+            sw = int(self.supersteps[w])
+            if int(self.procs[w]) == new_proc:
+                if new_step > sw:
+                    return False
+            elif new_step >= sw:
+                return False
+        return True
+
+    def apply_move(self, v: int, new_proc: int, new_step: int) -> float:
+        """Apply the move and return the resulting change in total cost."""
+        dag = self.dag
+        old_proc = int(self.procs[v])
+        old_step = int(self.supersteps[v])
+        if (old_proc, old_step) == (new_proc, new_step):
+            return 0.0
+
+        touched: set[int] = {old_step, new_step}
+
+        affected = [v] + dag.predecessors(v)
+        old_transfers = {u: self._transfers_of(u) for u in affected}
+
+        before = (
+            self._work_max.sum()
+            + self.machine.g * self._comm_max.sum()
+        )
+
+        # work
+        work_v = dag.work(v)
+        self.work[old_step, old_proc] -= work_v
+        self.work[new_step, new_proc] += work_v
+
+        # remove old transfer volumes of v and its predecessors
+        for u in affected:
+            for phase, source, target, volume in old_transfers[u]:
+                self.send[phase, source] -= volume
+                self.recv[phase, target] -= volume
+                touched.add(phase)
+
+        # reassign and add back the recomputed transfers
+        self.procs[v] = new_proc
+        self.supersteps[v] = new_step
+        for u in affected:
+            for phase, source, target, volume in self._transfers_of(u):
+                self.send[phase, source] += volume
+                self.recv[phase, target] += volume
+                touched.add(phase)
+
+        for s in touched:
+            if 0 <= s < self.num_supersteps:
+                self._refresh_superstep(s)
+
+        after = (
+            self._work_max.sum()
+            + self.machine.g * self._comm_max.sum()
+        )
+        return float(after - before)
+
+    def assignment(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the current ``(π, τ)`` arrays."""
+        return self.procs.copy(), self.supersteps.copy()
+
+
+class HillClimbingImprover(ScheduleImprover):
+    """Greedy first-improvement hill climbing over single-node moves (``HC``).
+
+    Parameters
+    ----------
+    max_passes:
+        Upper bound on the number of full passes over all nodes (a pass with
+        no improving move terminates the search early).
+    max_steps:
+        Optional upper bound on the number of *accepted* moves (used by the
+        multilevel refinement phase, which runs short bursts of HC).
+    """
+
+    name = "hill_climbing"
+
+    def __init__(self, max_passes: int = 50, max_steps: int | None = None) -> None:
+        self.max_passes = max_passes
+        self.max_steps = max_steps
+
+    def improve(
+        self,
+        schedule: BspSchedule,
+        budget: TimeBudget | None = None,
+    ) -> BspSchedule:
+        budget = budget or TimeBudget.unlimited()
+        dag = schedule.dag
+        machine = schedule.machine
+        if dag.num_nodes == 0 or schedule.num_supersteps == 0:
+            return schedule
+
+        tracker = LazyCostTracker(
+            dag, machine, schedule.procs, schedule.supersteps, schedule.num_supersteps
+        )
+        accepted = 0
+        improved_any = True
+        passes = 0
+        while improved_any and passes < self.max_passes and not budget.expired():
+            improved_any = False
+            passes += 1
+            for v in dag.nodes():
+                if budget.expired():
+                    break
+                if self.max_steps is not None and accepted >= self.max_steps:
+                    break
+                current_proc = int(tracker.procs[v])
+                current_step = int(tracker.supersteps[v])
+                moved = False
+                for new_step in (current_step - 1, current_step, current_step + 1):
+                    if moved:
+                        break
+                    for new_proc in range(machine.num_procs):
+                        if (new_proc, new_step) == (current_proc, current_step):
+                            continue
+                        if not tracker.is_valid_move(v, new_proc, new_step):
+                            continue
+                        delta = tracker.apply_move(v, new_proc, new_step)
+                        if delta < -_EPS:
+                            accepted += 1
+                            improved_any = True
+                            moved = True
+                            break
+                        # roll back by applying the inverse move
+                        tracker.apply_move(v, current_proc, current_step)
+            if self.max_steps is not None and accepted >= self.max_steps:
+                break
+
+        procs, supersteps = tracker.assignment()
+        candidate = BspSchedule(dag, machine, procs, supersteps).compacted()
+        return candidate if candidate.cost() < schedule.cost() - _EPS else schedule

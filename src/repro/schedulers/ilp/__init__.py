@@ -1,0 +1,20 @@
+"""ILP-based scheduling methods: ILPfull, ILPpart, ILPcs and ILPinit (paper §4.4)."""
+
+from .backend import MilpProblem, MilpSolution
+from .commsched import IlpCommScheduleImprover
+from .full import IlpFullImprover
+from .init import IlpInitScheduler
+from .partial import IlpPartialImprover
+from .window import WindowIlp, WindowIlpResult, estimate_window_variables
+
+__all__ = [
+    "IlpCommScheduleImprover",
+    "IlpFullImprover",
+    "IlpInitScheduler",
+    "IlpPartialImprover",
+    "MilpProblem",
+    "MilpSolution",
+    "WindowIlp",
+    "WindowIlpResult",
+    "estimate_window_variables",
+]

@@ -1,0 +1,165 @@
+"""Thin MILP backend used by all ILP-based scheduling methods.
+
+The paper uses the CBC solver through its Python interface; this repository
+substitutes ``scipy.optimize.milp`` (the HiGHS solver shipped with SciPy),
+hidden behind :class:`MilpProblem` so the formulations do not depend on the
+solver API.  See DESIGN.md for the substitution rationale.
+
+:class:`MilpProblem` is a small incremental model builder: variables are
+added one by one (binary or continuous, with objective coefficients), linear
+constraints are stored as sparse triples, and :meth:`solve` assembles the
+sparse constraint matrix and calls HiGHS with a time limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ...core.exceptions import SolverError
+
+__all__ = ["MilpProblem", "MilpSolution"]
+
+
+@dataclass
+class MilpSolution:
+    """Result of a MILP solve."""
+
+    values: np.ndarray
+    objective: float
+    status: int
+    message: str
+
+    @property
+    def feasible(self) -> bool:
+        """Whether a feasible (not necessarily optimal) solution was found."""
+        return self.values is not None and self.values.size > 0
+
+    def value(self, index: int) -> float:
+        """Value of variable ``index``."""
+        return float(self.values[index])
+
+    def is_one(self, index: int, threshold: float = 0.5) -> bool:
+        """Whether binary variable ``index`` is set in the solution."""
+        return self.values[index] > threshold
+
+
+class MilpProblem:
+    """Incremental mixed-integer linear program builder (minimisation)."""
+
+    def __init__(self, name: str = "milp") -> None:
+        self.name = name
+        self._objective: list[float] = []
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._integrality: list[int] = []
+        # constraints as sparse triples
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._vals: list[float] = []
+        self._row_lower: list[float] = []
+        self._row_upper: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        """Number of variables added so far."""
+        return len(self._objective)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of linear constraints added so far."""
+        return len(self._row_lower)
+
+    def add_binary(self, objective: float = 0.0) -> int:
+        """Add a binary variable; returns its index."""
+        return self._add_var(0.0, 1.0, objective, integer=True)
+
+    def add_continuous(
+        self, lower: float = 0.0, upper: float = np.inf, objective: float = 0.0
+    ) -> int:
+        """Add a continuous variable; returns its index."""
+        return self._add_var(lower, upper, objective, integer=False)
+
+    def _add_var(self, lower: float, upper: float, objective: float, integer: bool) -> int:
+        self._objective.append(float(objective))
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._integrality.append(1 if integer else 0)
+        return len(self._objective) - 1
+
+    def add_constraint(
+        self,
+        coefficients: dict[int, float],
+        lower: float = -np.inf,
+        upper: float = np.inf,
+    ) -> None:
+        """Add the constraint ``lower <= Σ coeff_i x_i <= upper``."""
+        if not coefficients:
+            raise SolverError("constraint must reference at least one variable")
+        row = self.num_constraints
+        for col, value in coefficients.items():
+            if not 0 <= col < self.num_variables:
+                raise SolverError(f"constraint references unknown variable {col}")
+            self._rows.append(row)
+            self._cols.append(col)
+            self._vals.append(float(value))
+        self._row_lower.append(float(lower))
+        self._row_upper.append(float(upper))
+
+    def add_le(self, coefficients: dict[int, float], upper: float) -> None:
+        """Add ``Σ coeff_i x_i <= upper``."""
+        self.add_constraint(coefficients, -np.inf, upper)
+
+    def add_ge(self, coefficients: dict[int, float], lower: float) -> None:
+        """Add ``Σ coeff_i x_i >= lower``."""
+        self.add_constraint(coefficients, lower, np.inf)
+
+    def add_eq(self, coefficients: dict[int, float], value: float) -> None:
+        """Add ``Σ coeff_i x_i == value``."""
+        self.add_constraint(coefficients, value, value)
+
+    # ------------------------------------------------------------------ #
+    def solve(self, time_limit: float | None = None, mip_rel_gap: float = 0.0) -> MilpSolution:
+        """Solve the model with HiGHS; returns a (possibly infeasible) solution object.
+
+        A ``time_limit`` of ``None`` lets the solver run to optimality.  When
+        no feasible point is found, :attr:`MilpSolution.feasible` is false.
+        """
+        if self.num_variables == 0:
+            return MilpSolution(np.zeros(0), 0.0, 0, "empty model")
+        c = np.asarray(self._objective, dtype=np.float64)
+        bounds = Bounds(np.asarray(self._lower), np.asarray(self._upper))
+        integrality = np.asarray(self._integrality, dtype=np.int64)
+        constraints = None
+        if self.num_constraints:
+            matrix = sparse.csr_matrix(
+                (self._vals, (self._rows, self._cols)),
+                shape=(self.num_constraints, self.num_variables),
+            )
+            constraints = LinearConstraint(
+                matrix, np.asarray(self._row_lower), np.asarray(self._row_upper)
+            )
+        options: dict[str, float | bool] = {"disp": False}
+        if time_limit is not None:
+            options["time_limit"] = max(float(time_limit), 0.05)
+        if mip_rel_gap:
+            options["mip_rel_gap"] = float(mip_rel_gap)
+        result = milp(
+            c=c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=bounds,
+            options=options,
+        )
+        values = result.x if result.x is not None else np.zeros(0)
+        objective = float(result.fun) if result.fun is not None else float("inf")
+        return MilpSolution(
+            values=np.asarray(values),
+            objective=objective,
+            status=int(result.status),
+            message=str(result.message),
+        )

@@ -1,0 +1,336 @@
+"""Shared "superstep window" ILP formulation (paper §4.4, Appendix A.4).
+
+All three assignment-optimising ILP methods of the paper — ``ILPfull``,
+``ILPpart`` and ``ILPinit`` — are instances of the same problem: reassign a
+set of nodes ``V0`` to processors and to supersteps inside a window
+``S0 = [s_lo, s_hi]``, with the rest of the schedule fixed.  This module
+implements that formulation once:
+
+Variables
+---------
+* ``comp[v,p,s]``  (binary)      — node ``v ∈ V0`` computed on ``p`` in ``s``;
+* ``send[v,p1,p2,s]`` (binary)   — value of ``v`` sent ``p1 → p2`` in the
+  communication phase of ``s``; for boundary predecessors (values computed
+  before the window) only ``p1 = π(v)`` is allowed, as in the paper;
+* ``pres[v,p,s]`` (continuous)   — value of ``v`` available on ``p`` during
+  superstep ``s`` (for computing successors or for sending);
+* ``W[s]``, ``H[s]`` (continuous) — work and h-relation maxima per superstep.
+
+Constraints ensure each ``V0`` node is computed exactly once, precedence
+through availability, send-only-if-present, availability recurrences
+anchored at the fixed context, presence of values needed by fixed successors
+after the window, and the max-constraints defining ``W`` and ``H`` on top of
+the fixed base traffic/work of nodes outside the model.  The objective is
+``Σ_s W[s] + g · H[s]`` (latency is constant for a fixed window).
+
+Simplifications relative to the paper (documented in DESIGN.md): no extra
+communication phase before the window, and cost savings from deleting fixed
+transfers outside the window are ignored — both match the paper's own
+pragmatic restrictions.  The surrounding pipeline re-derives the lazy
+communication schedule after extraction and only accepts the result when the
+exact evaluated cost improves, so these approximations never compromise
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ...core.comm import CommStep
+from ...core.dag import ComputationalDAG
+from ...core.exceptions import SolverError
+from ...core.machine import BspMachine
+from .backend import MilpProblem
+
+__all__ = ["WindowIlp", "WindowIlpResult", "estimate_window_variables"]
+
+
+def estimate_window_variables(
+    num_reassigned: int, num_supersteps: int, num_procs: int
+) -> int:
+    """The paper's size estimate ``|V0| · |S0| · P²`` for a window ILP."""
+    return num_reassigned * num_supersteps * num_procs * num_procs
+
+
+@dataclass
+class WindowIlpResult:
+    """Result of a window ILP solve."""
+
+    feasible: bool
+    procs: dict[int, int]
+    supersteps: dict[int, int]
+    objective: float
+    message: str = ""
+
+
+class WindowIlp:
+    """Builds and solves one superstep-window ILP.
+
+    Parameters
+    ----------
+    dag, machine:
+        Problem instance.
+    fixed_procs, fixed_supersteps:
+        Assignment arrays for the *whole* DAG; entries for nodes being
+        reassigned (and nodes not yet assigned, for ``ILPinit``) are ignored
+        and may be ``-1``.
+    reassign:
+        The nodes ``V0`` to (re)assign.
+    window:
+        Inclusive superstep window ``(s_lo, s_hi)``.
+    context_comm:
+        Communication steps of the fixed context (typically the incumbent's
+        lazy schedule).  Steps of nodes being reassigned are ignored; steps
+        of boundary predecessors delivered *before* the window seed the
+        initial presence; steps of unrelated nodes inside the window become
+        constant base traffic.
+    """
+
+    def __init__(
+        self,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        fixed_procs: Sequence[int] | np.ndarray,
+        fixed_supersteps: Sequence[int] | np.ndarray,
+        reassign: Sequence[int],
+        window: tuple[int, int],
+        context_comm: Iterable[CommStep] = (),
+    ) -> None:
+        self.dag = dag
+        self.machine = machine
+        self.fixed_procs = np.asarray(fixed_procs, dtype=np.int64)
+        self.fixed_supersteps = np.asarray(fixed_supersteps, dtype=np.int64)
+        self.reassign = list(dict.fromkeys(int(v) for v in reassign))
+        self.window = (int(window[0]), int(window[1]))
+        if self.window[0] < 0 or self.window[1] < self.window[0]:
+            raise SolverError(f"invalid superstep window {window}")
+        self.context_comm = list(context_comm)
+        self._validate_context()
+
+    # ------------------------------------------------------------------ #
+    def _validate_context(self) -> None:
+        """Check the structural assumptions the formulation relies on."""
+        s_lo, s_hi = self.window
+        reassign_set = set(self.reassign)
+        for v in self.reassign:
+            for u in self.dag.predecessors(v):
+                if u in reassign_set:
+                    continue
+                step = int(self.fixed_supersteps[u])
+                if step < 0 or step >= s_lo:
+                    raise SolverError(
+                        f"fixed predecessor {u} of reassigned node {v} must be "
+                        f"assigned before the window (superstep {step})"
+                    )
+            for w in self.dag.successors(v):
+                if w in reassign_set:
+                    continue
+                step = int(self.fixed_supersteps[w])
+                if 0 <= step <= s_hi:
+                    raise SolverError(
+                        f"fixed successor {w} of reassigned node {v} must be "
+                        f"assigned after the window or left unassigned"
+                    )
+
+    # ------------------------------------------------------------------ #
+    def solve(self, time_limit: float | None = None) -> WindowIlpResult:
+        """Build the MILP, run the backend and extract the new assignment."""
+        dag, machine = self.dag, self.machine
+        s_lo, s_hi = self.window
+        window_steps = list(range(s_lo, s_hi + 1))
+        num_procs = machine.num_procs
+        reassign_set = set(self.reassign)
+
+        # boundary predecessors: fixed nodes feeding the reassigned ones
+        boundary: list[int] = []
+        for v in self.reassign:
+            for u in dag.predecessors(v):
+                if u not in reassign_set and u not in boundary:
+                    boundary.append(u)
+        model_nodes = self.reassign + boundary
+
+        problem = MilpProblem(name="window_ilp")
+
+        # --- variables -------------------------------------------------- #
+        comp: dict[tuple[int, int, int], int] = {}
+        for v in self.reassign:
+            for p in range(num_procs):
+                for s in window_steps:
+                    comp[(v, p, s)] = problem.add_binary()
+
+        send: dict[tuple[int, int, int, int], int] = {}
+        for v in model_nodes:
+            sources = (
+                range(num_procs)
+                if v in reassign_set
+                else [int(self.fixed_procs[v])]
+            )
+            for p1 in sources:
+                for p2 in range(num_procs):
+                    if p1 == p2:
+                        continue
+                    for s in window_steps:
+                        send[(v, p1, p2, s)] = problem.add_binary()
+
+        pres: dict[tuple[int, int, int], int] = {}
+        for v in model_nodes:
+            for p in range(num_procs):
+                for s in window_steps:
+                    pres[(v, p, s)] = problem.add_continuous(0.0, 1.0)
+
+        work_max = {s: problem.add_continuous(0.0, np.inf, objective=1.0) for s in window_steps}
+        comm_max = {
+            s: problem.add_continuous(0.0, np.inf, objective=machine.g)
+            for s in window_steps
+        }
+
+        # --- fixed context constants ------------------------------------ #
+        pres0 = self._initial_presence(boundary, reassign_set)
+        base_work, base_send, base_recv = self._base_loads(reassign_set, set(boundary))
+
+        # --- constraints -------------------------------------------------#
+        # (1) every reassigned node computed exactly once
+        for v in self.reassign:
+            problem.add_eq(
+                {comp[(v, p, s)]: 1.0 for p in range(num_procs) for s in window_steps},
+                1.0,
+            )
+
+        # (2) presence recurrence
+        for v in model_nodes:
+            for p in range(num_procs):
+                for s in window_steps:
+                    coefficients = {pres[(v, p, s)]: 1.0}
+                    constant = 0.0
+                    if s > s_lo:
+                        coefficients[pres[(v, p, s - 1)]] = -1.0
+                        for p1 in range(num_procs):
+                            key = (v, p1, p, s - 1)
+                            if key in send:
+                                coefficients[send[key]] = -1.0
+                    else:
+                        constant = pres0.get((v, p), 0.0)
+                    if v in reassign_set:
+                        coefficients[comp[(v, p, s)]] = -1.0
+                    problem.add_le(coefficients, constant)
+
+        # (3) sending requires presence on the source
+        for (v, p1, p2, s), send_var in send.items():
+            problem.add_le({send_var: 1.0, pres[(v, p1, s)]: -1.0}, 0.0)
+
+        # (4) precedence: computing v needs every predecessor available
+        boundary_set = set(boundary)
+        for v in self.reassign:
+            for u in dag.predecessors(v):
+                if u not in reassign_set and u not in boundary_set:
+                    continue
+                for p in range(num_procs):
+                    for s in window_steps:
+                        problem.add_le(
+                            {comp[(v, p, s)]: 1.0, pres[(u, p, s)]: -1.0}, 0.0
+                        )
+
+        # (5) values needed by fixed successors after the window must reach
+        #     their processor by the end of the window
+        for v in self.reassign:
+            needed_procs = set()
+            for w in dag.successors(v):
+                if w in reassign_set:
+                    continue
+                step = int(self.fixed_supersteps[w])
+                if step > s_hi:
+                    needed_procs.add(int(self.fixed_procs[w]))
+            for q in needed_procs:
+                coefficients = {pres[(v, q, s_hi)]: 1.0}
+                for p1 in range(num_procs):
+                    key = (v, p1, q, s_hi)
+                    if key in send:
+                        coefficients[send[key]] = 1.0
+                problem.add_ge(coefficients, 1.0)
+
+        # (6) work maxima
+        for s in window_steps:
+            for p in range(num_procs):
+                coefficients = {work_max[s]: 1.0}
+                for v in self.reassign:
+                    coefficients[comp[(v, p, s)]] = -dag.work(v)
+                problem.add_ge(coefficients, base_work.get((s, p), 0.0))
+
+        # (7) communication maxima (send side and receive side)
+        numa = machine.numa
+        outgoing: dict[tuple[int, int], dict[int, float]] = {}
+        incoming: dict[tuple[int, int], dict[int, float]] = {}
+        for (v, p1, p2, step), send_var in send.items():
+            volume = dag.comm(v) * numa[p1, p2]
+            outgoing.setdefault((step, p1), {})[send_var] = -volume
+            incoming.setdefault((step, p2), {})[send_var] = -volume
+        for s in window_steps:
+            for p in range(num_procs):
+                send_coeffs = {comm_max[s]: 1.0, **outgoing.get((s, p), {})}
+                recv_coeffs = {comm_max[s]: 1.0, **incoming.get((s, p), {})}
+                problem.add_ge(send_coeffs, base_send.get((s, p), 0.0))
+                problem.add_ge(recv_coeffs, base_recv.get((s, p), 0.0))
+
+        solution = problem.solve(time_limit=time_limit)
+        if not solution.feasible:
+            return WindowIlpResult(False, {}, {}, float("inf"), solution.message)
+
+        new_procs: dict[int, int] = {}
+        new_steps: dict[int, int] = {}
+        for (v, p, s), var in comp.items():
+            if solution.is_one(var):
+                new_procs[v] = p
+                new_steps[v] = s
+        missing = [v for v in self.reassign if v not in new_procs]
+        if missing:
+            return WindowIlpResult(
+                False, {}, {}, float("inf"), f"nodes without assignment: {missing}"
+            )
+        return WindowIlpResult(True, new_procs, new_steps, solution.objective, solution.message)
+
+    # ------------------------------------------------------------------ #
+    def _initial_presence(
+        self, boundary: list[int], reassign_set: set[int]
+    ) -> dict[tuple[int, int], float]:
+        """Presence constants at the start of the window for boundary predecessors."""
+        s_lo, _ = self.window
+        pres0: dict[tuple[int, int], float] = {}
+        for u in boundary:
+            pres0[(u, int(self.fixed_procs[u]))] = 1.0
+        for step in self.context_comm:
+            if step.node in reassign_set:
+                continue
+            if step.node in set(boundary) and step.superstep < s_lo:
+                pres0[(step.node, step.target)] = 1.0
+        return pres0
+
+    def _base_loads(
+        self, reassign_set: set[int], boundary_set: set[int]
+    ) -> tuple[dict, dict, dict]:
+        """Constant work/send/recv loads inside the window from nodes outside the model."""
+        s_lo, s_hi = self.window
+        base_work: dict[tuple[int, int], float] = {}
+        base_send: dict[tuple[int, int], float] = {}
+        base_recv: dict[tuple[int, int], float] = {}
+        for v in self.dag.nodes():
+            if v in reassign_set:
+                continue
+            step = int(self.fixed_supersteps[v])
+            if s_lo <= step <= s_hi and int(self.fixed_procs[v]) >= 0:
+                key = (step, int(self.fixed_procs[v]))
+                base_work[key] = base_work.get(key, 0.0) + self.dag.work(v)
+        numa = self.machine.numa
+        for step in self.context_comm:
+            if step.node in reassign_set or step.node in boundary_set:
+                continue
+            if not s_lo <= step.superstep <= s_hi:
+                continue
+            volume = self.dag.comm(step.node) * numa[step.source, step.target]
+            send_key = (step.superstep, step.source)
+            recv_key = (step.superstep, step.target)
+            base_send[send_key] = base_send.get(send_key, 0.0) + volume
+            base_recv[recv_key] = base_recv.get(recv_key, 0.0) + volume
+        return base_work, base_send, base_recv

@@ -1,0 +1,15 @@
+"""Multilevel (coarsen-solve-refine) scheduling (paper §4.5)."""
+
+from .coarsen import CoarseningSequence, ContractionRecord, QuotientDag, coarsen_dag
+from .refine import project_to_original, restrict_to_quotient
+from .scheduler import MultilevelScheduler
+
+__all__ = [
+    "CoarseningSequence",
+    "ContractionRecord",
+    "MultilevelScheduler",
+    "QuotientDag",
+    "coarsen_dag",
+    "project_to_original",
+    "restrict_to_quotient",
+]

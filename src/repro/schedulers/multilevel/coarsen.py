@@ -1,0 +1,201 @@
+"""Acyclicity-preserving DAG coarsening (paper §4.5, Appendix A.5).
+
+The multilevel scheduler repeatedly contracts single edges of the DAG.  An
+edge ``(u, v)`` may be contracted only when there is no *other* directed
+path from ``u`` to ``v`` (otherwise the contraction would create a cycle).
+Among the contractable candidates the selection rule of the paper is used:
+sort all edges by the combined work weight ``w(u) + w(v)``, restrict to the
+lightest third, and among those pick the edge whose source has the largest
+communication weight ``c(u)`` (a heavy output that we would like to keep on
+one processor).  The contracted node accumulates both the work and the
+communication weights of its two endpoints.
+
+The full contraction history is recorded in a :class:`CoarseningSequence`
+so the uncoarsening phase can rebuild the DAG at any intermediate level (a
+*quotient* DAG over the current clusters) and project schedules between
+levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core.dag import ComputationalDAG
+from ...core.exceptions import DagError
+
+__all__ = ["ContractionRecord", "QuotientDag", "CoarseningSequence", "coarsen_dag"]
+
+
+@dataclass(frozen=True)
+class ContractionRecord:
+    """One edge contraction: node ``removed`` was merged into node ``kept``."""
+
+    kept: int
+    removed: int
+
+
+@dataclass
+class QuotientDag:
+    """The DAG obtained by merging every cluster of original nodes into one node."""
+
+    dag: ComputationalDAG
+    #: original node index -> coarse node index
+    orig_to_coarse: np.ndarray
+    #: coarse node index -> representative original node index
+    coarse_to_rep: list[int]
+
+
+@dataclass
+class CoarseningSequence:
+    """The original DAG plus the ordered list of contractions applied to it."""
+
+    original: ComputationalDAG
+    records: list[ContractionRecord] = field(default_factory=list)
+
+    @property
+    def num_contractions(self) -> int:
+        """Total number of contraction steps recorded."""
+        return len(self.records)
+
+    def representative_map(self, num_contractions: int | None = None) -> np.ndarray:
+        """Map every original node to its cluster representative.
+
+        Only the first ``num_contractions`` records are applied (all of them
+        by default), which is how the uncoarsening phase walks back towards
+        the original DAG.
+        """
+        if num_contractions is None:
+            num_contractions = self.num_contractions
+        if not 0 <= num_contractions <= self.num_contractions:
+            raise DagError(
+                f"num_contractions must be in [0, {self.num_contractions}]"
+            )
+        parent = np.arange(self.original.num_nodes, dtype=np.int64)
+        for record in self.records[:num_contractions]:
+            parent[record.removed] = record.kept
+        # path compression: resolve chains (removed nodes may point at nodes
+        # that were themselves removed later)
+        for v in range(len(parent)):
+            root = v
+            while parent[root] != root:
+                root = parent[root]
+            while parent[v] != root:
+                parent[v], v = root, int(parent[v])
+        return parent
+
+    def quotient(self, num_contractions: int | None = None) -> QuotientDag:
+        """Build the quotient DAG after the first ``num_contractions`` contractions."""
+        rep = self.representative_map(num_contractions)
+        reps = sorted(set(int(r) for r in rep))
+        coarse_index = {r: i for i, r in enumerate(reps)}
+        orig_to_coarse = np.array([coarse_index[int(rep[v])] for v in self.original.nodes()])
+
+        work = np.zeros(len(reps), dtype=np.float64)
+        comm = np.zeros(len(reps), dtype=np.float64)
+        np.add.at(work, orig_to_coarse, self.original.work_weights)
+        np.add.at(comm, orig_to_coarse, self.original.comm_weights)
+
+        quotient = ComputationalDAG(
+            len(reps), work, comm, name=f"{self.original.name}_coarse{len(reps)}"
+        )
+        seen_edges: set[tuple[int, int]] = set()
+        for edge in self.original.edges():
+            cu = int(orig_to_coarse[edge.source])
+            cv = int(orig_to_coarse[edge.target])
+            if cu != cv and (cu, cv) not in seen_edges:
+                seen_edges.add((cu, cv))
+                quotient.add_edge(cu, cv)
+        return QuotientDag(dag=quotient, orig_to_coarse=orig_to_coarse, coarse_to_rep=reps)
+
+
+class _MutableGraph:
+    """Working representation used while contracting edges."""
+
+    def __init__(self, dag: ComputationalDAG) -> None:
+        self.succ: dict[int, set[int]] = {v: set(dag.successors(v)) for v in dag.nodes()}
+        self.pred: dict[int, set[int]] = {v: set(dag.predecessors(v)) for v in dag.nodes()}
+        self.work: dict[int, float] = {v: dag.work(v) for v in dag.nodes()}
+        self.comm: dict[int, float] = {v: dag.comm(v) for v in dag.nodes()}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.succ)
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [(u, v) for u, targets in self.succ.items() for v in targets]
+
+    def is_contractable(self, u: int, v: int) -> bool:
+        """True when the only ``u -> v`` path is the direct edge."""
+        stack = [w for w in self.succ[u] if w != v]
+        seen = set(stack)
+        while stack:
+            x = stack.pop()
+            for w in self.succ[x]:
+                if w == v:
+                    return False
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return True
+
+    def contract(self, u: int, v: int) -> None:
+        """Merge ``v`` into ``u`` (the edge ``(u, v)`` must exist and be contractable)."""
+        self.succ[u].discard(v)
+        self.pred[v].discard(u)
+        for w in self.succ.pop(v):
+            self.pred[w].discard(v)
+            if w != u:
+                self.succ[u].add(w)
+                self.pred[w].add(u)
+        for w in self.pred.pop(v):
+            self.succ[w].discard(v)
+            if w != u:
+                self.pred[u].add(w)
+                self.succ[w].add(u)
+        self.work[u] += self.work.pop(v)
+        self.comm[u] += self.comm.pop(v)
+
+
+def coarsen_dag(
+    dag: ComputationalDAG,
+    target_nodes: int,
+    light_fraction: float = 1.0 / 3.0,
+) -> CoarseningSequence:
+    """Contract edges until at most ``target_nodes`` nodes remain.
+
+    The paper's selection rule is applied at every step (lightest third by
+    merged work weight, then largest source communication weight).  The
+    procedure stops early when no contractable edge exists (e.g. the graph
+    has become edgeless).
+    """
+    if target_nodes < 1:
+        raise DagError("target_nodes must be >= 1")
+    sequence = CoarseningSequence(original=dag)
+    graph = _MutableGraph(dag)
+
+    while graph.num_nodes > target_nodes:
+        edges = graph.edges()
+        if not edges:
+            break
+        edges.sort(key=lambda edge: (graph.work[edge[0]] + graph.work[edge[1]], edge))
+        cutoff = max(1, int(np.ceil(len(edges) * light_fraction)))
+        light = edges[:cutoff]
+        light.sort(key=lambda edge: (-graph.comm[edge[0]], edge))
+        chosen: tuple[int, int] | None = None
+        for candidate in light:
+            if graph.is_contractable(*candidate):
+                chosen = candidate
+                break
+        if chosen is None:
+            # fall back to scanning the remaining edges (rare)
+            for candidate in edges[cutoff:]:
+                if graph.is_contractable(*candidate):
+                    chosen = candidate
+                    break
+        if chosen is None:
+            break
+        graph.contract(*chosen)
+        sequence.records.append(ContractionRecord(kept=chosen[0], removed=chosen[1]))
+    return sequence

@@ -1,0 +1,51 @@
+"""Projection of schedules between coarsening levels (paper §4.5).
+
+Projecting a schedule of a quotient DAG down to the original DAG simply
+gives every original node the processor/superstep of its cluster; because
+the quotient was acyclic and its schedule valid, the projected schedule is
+always a valid BSP schedule of the original DAG.  Projecting *up* (from an
+assignment of original nodes that is constant on every cluster) is the
+inverse operation used between refinement bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.machine import BspMachine
+from ...core.schedule import BspSchedule
+from .coarsen import QuotientDag
+
+__all__ = ["project_to_original", "restrict_to_quotient"]
+
+
+def project_to_original(
+    quotient: QuotientDag,
+    coarse_schedule: BspSchedule,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assignment arrays for the original DAG induced by a quotient schedule."""
+    procs = coarse_schedule.procs[quotient.orig_to_coarse]
+    supersteps = coarse_schedule.supersteps[quotient.orig_to_coarse]
+    return procs.copy(), supersteps.copy()
+
+
+def restrict_to_quotient(
+    quotient: QuotientDag,
+    machine: BspMachine,
+    procs: np.ndarray,
+    supersteps: np.ndarray,
+) -> BspSchedule:
+    """Schedule of the quotient DAG induced by a cluster-constant original assignment.
+
+    Every coarse node takes the assignment of its representative original
+    node.  The caller must guarantee that all original nodes of a cluster
+    share the same assignment (which the multilevel scheduler maintains as
+    an invariant).
+    """
+    coarse_procs = np.array(
+        [int(procs[rep]) for rep in quotient.coarse_to_rep], dtype=np.int64
+    )
+    coarse_steps = np.array(
+        [int(supersteps[rep]) for rep in quotient.coarse_to_rep], dtype=np.int64
+    )
+    return BspSchedule(quotient.dag, machine, coarse_procs, coarse_steps)

@@ -1,0 +1,141 @@
+"""The multilevel (coarsen–solve–refine) scheduler (paper §4.5, Appendix A.5).
+
+Pipeline (Figure 4 of the paper):
+
+1. **Coarsen** the DAG by repeated acyclicity-preserving edge contractions
+   down to a fraction of its original size (the paper evaluates 15% and
+   30% and keeps the better result, which is also the default here).
+2. **Solve** the BSP scheduling problem on the coarse DAG with a base
+   scheduler (by default the framework pipeline of Figure 3, without the
+   final communication-schedule ILP).
+3. **Uncoarsen and refine**: undo the contractions a few at a time; after
+   every batch of uncontractions, refine the projected schedule with a short
+   burst of hill climbing on the current (partially uncoarsened) quotient
+   DAG.
+4. After full uncoarsening, re-optimise the communication schedule on the
+   original DAG (``HCcs`` and, when enabled, ``ILPcs``).
+"""
+
+from __future__ import annotations
+
+from ...core.dag import ComputationalDAG
+from ...core.machine import BspMachine
+from ...core.schedule import BspSchedule
+from ..base import Scheduler, ScheduleImprover, TimeBudget, best_schedule
+from ..comm_hill_climbing import CommScheduleHillClimbing
+from ..hill_climbing import HillClimbingImprover
+from .coarsen import coarsen_dag
+from .refine import project_to_original, restrict_to_quotient
+
+__all__ = ["MultilevelScheduler"]
+
+
+class MultilevelScheduler(Scheduler):
+    """Coarsen–solve–refine scheduling for communication-dominated instances.
+
+    Parameters
+    ----------
+    base_scheduler:
+        Scheduler used on the coarse DAG.  Defaults to the framework's base
+        pipeline (constructed lazily to avoid a circular import).
+    coarsening_ratios:
+        Fractions of the original node count to coarsen to; the best result
+        over all ratios is returned (paper: 0.30 and 0.15).
+    refine_interval:
+        Number of uncontraction steps between two refinement bursts (paper: 5).
+    refine_max_steps:
+        Maximum number of accepted hill-climbing moves per refinement burst
+        (paper: 100).
+    comm_improvers:
+        Improvers applied to the fully uncoarsened schedule (default:
+        ``HCcs``; the pipeline variant also appends ``ILPcs``).
+    min_nodes:
+        Instances smaller than this are scheduled directly by the base
+        scheduler (coarsening a tiny DAG is pointless, as the paper notes).
+    """
+
+    name = "multilevel"
+
+    def __init__(
+        self,
+        base_scheduler: Scheduler | None = None,
+        coarsening_ratios: tuple[float, ...] = (0.3, 0.15),
+        refine_interval: int = 5,
+        refine_max_steps: int = 100,
+        comm_improvers: tuple[ScheduleImprover, ...] | None = None,
+        min_nodes: int = 16,
+    ) -> None:
+        self.base_scheduler = base_scheduler
+        self.coarsening_ratios = coarsening_ratios
+        self.refine_interval = max(1, refine_interval)
+        self.refine_max_steps = refine_max_steps
+        self.comm_improvers = (
+            comm_improvers if comm_improvers is not None else (CommScheduleHillClimbing(),)
+        )
+        self.min_nodes = min_nodes
+
+    # ------------------------------------------------------------------ #
+    def _resolve_base(self) -> Scheduler:
+        if self.base_scheduler is not None:
+            return self.base_scheduler
+        from ..pipeline import SchedulingPipeline  # local import: avoids circularity
+
+        return SchedulingPipeline.default(use_ilp=True, use_comm_ilp=False)
+
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        budget: TimeBudget | None = None,
+    ) -> BspSchedule:
+        budget = budget or TimeBudget.unlimited()
+        base = self._resolve_base()
+        if dag.num_nodes < self.min_nodes:
+            return base.schedule(dag, machine, budget)
+
+        candidates: list[BspSchedule] = []
+        per_ratio = budget.fraction(1.0 / max(len(self.coarsening_ratios), 1))
+        for ratio in self.coarsening_ratios:
+            per_ratio.restart()
+            candidates.append(self._run_one_ratio(dag, machine, base, ratio, per_ratio))
+        return best_schedule(*candidates)
+
+    # ------------------------------------------------------------------ #
+    def _run_one_ratio(
+        self,
+        dag: ComputationalDAG,
+        machine: BspMachine,
+        base: Scheduler,
+        ratio: float,
+        budget: TimeBudget,
+    ) -> BspSchedule:
+        target = max(2, int(round(dag.num_nodes * ratio)))
+        sequence = coarsen_dag(dag, target_nodes=target)
+
+        # solve on the fully coarsened DAG
+        full_quotient = sequence.quotient()
+        coarse_schedule = base.schedule(full_quotient.dag, machine, budget.fraction(0.5))
+        procs, supersteps = project_to_original(full_quotient, coarse_schedule)
+
+        # gradual uncoarsening with refinement bursts
+        refiner = HillClimbingImprover(max_steps=self.refine_max_steps)
+        total = sequence.num_contractions
+        level = total - self.refine_interval
+        while level > 0:
+            if budget.expired():
+                break
+            quotient = sequence.quotient(level)
+            projected = restrict_to_quotient(quotient, machine, procs, supersteps)
+            refined = refiner.improve(projected, budget.fraction(0.1))
+            procs, supersteps = project_to_original(quotient, refined)
+            level -= self.refine_interval
+
+        # final refinement and communication optimisation on the original DAG
+        schedule = BspSchedule(dag, machine, procs, supersteps).compacted()
+        schedule = refiner.improve(schedule, budget.fraction(0.2))
+        for improver in self.comm_improvers:
+            if budget.expired():
+                break
+            schedule = improver.improve(schedule, budget.fraction(0.2))
+        return schedule

@@ -1,0 +1,58 @@
+"""Name-based registry of schedulers (baselines, heuristics and pipelines).
+
+The experiment harness and the examples refer to schedulers by the short
+names used throughout the paper (``cilk``, ``hdagg``, ``bsp_greedy``,
+``framework``, ``multilevel``, ...).  :func:`create_scheduler` builds a
+fresh instance for a given name, optionally forwarding constructor keyword
+arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.exceptions import ConfigurationError
+from .base import Scheduler
+from .bsp_greedy import BspGreedyScheduler
+from .cilk import CilkScheduler
+from .clustering import LinearClusteringScheduler
+from .hdagg import HDaggScheduler
+from .ilp import IlpInitScheduler
+from .listsched import BlEstScheduler, EtfScheduler
+from .pipeline import MultilevelPipeline, SchedulingPipeline
+from .source_heuristic import SourceScheduler
+from .trivial import RoundRobinScheduler, TrivialScheduler
+
+__all__ = ["SCHEDULER_FACTORIES", "available_schedulers", "create_scheduler"]
+
+SCHEDULER_FACTORIES: dict[str, Callable[..., Scheduler]] = {
+    "trivial": TrivialScheduler,
+    "round_robin": RoundRobinScheduler,
+    "cilk": CilkScheduler,
+    "bl_est": BlEstScheduler,
+    "etf": EtfScheduler,
+    "hdagg": HDaggScheduler,
+    "clustering": LinearClusteringScheduler,
+    "bsp_greedy": BspGreedyScheduler,
+    "source": SourceScheduler,
+    "ilp_init": IlpInitScheduler,
+    "framework": SchedulingPipeline,
+    "framework_heuristics": SchedulingPipeline.heuristics_only,
+    "multilevel": MultilevelPipeline,
+}
+
+
+def available_schedulers() -> list[str]:
+    """Sorted list of registered scheduler names."""
+    return sorted(SCHEDULER_FACTORIES)
+
+
+def create_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its registry name."""
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from exc
+    return factory(**kwargs)

@@ -1,0 +1,104 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BspMachine, BspSchedule, ComputationalDAG
+from repro.dagdb import SparseMatrixPattern, build_spmv_dag
+
+
+def build_diamond_dag() -> ComputationalDAG:
+    """A 4-node diamond: 0 -> {1, 2} -> 3, unit weights."""
+    dag = ComputationalDAG(4)
+    dag.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    return dag
+
+
+def build_chain_dag(length: int = 5, work: float = 1.0, comm: float = 1.0) -> ComputationalDAG:
+    """A simple path 0 -> 1 -> ... -> length-1."""
+    dag = ComputationalDAG(length, [work] * length, [comm] * length)
+    dag.add_edges([(i, i + 1) for i in range(length - 1)])
+    return dag
+
+
+def build_fork_join_dag(width: int = 4) -> ComputationalDAG:
+    """One source fanning out to ``width`` nodes that join into one sink."""
+    dag = ComputationalDAG(width + 2)
+    for i in range(1, width + 1):
+        dag.add_edge(0, i)
+        dag.add_edge(i, width + 1)
+    return dag
+
+
+def build_paper_example_dag() -> ComputationalDAG:
+    """A small two-layer DAG in the spirit of Figure 1 of the paper."""
+    dag = ComputationalDAG(12)
+    # first layer: 0..5 sources feeding 6..8, second layer: 9..11
+    edges = [
+        (0, 6), (1, 6), (1, 7), (2, 7), (3, 7), (4, 8), (5, 8),
+        (6, 9), (7, 9), (7, 10), (8, 10), (8, 11),
+    ]
+    dag.add_edges(edges)
+    return dag
+
+
+def random_dag(num_nodes: int, edge_prob: float, seed: int) -> ComputationalDAG:
+    """Random DAG: edge (i, j) for i < j with the given probability, random weights."""
+    rng = np.random.default_rng(seed)
+    works = rng.integers(1, 6, size=num_nodes).astype(float)
+    comms = rng.integers(1, 4, size=num_nodes).astype(float)
+    dag = ComputationalDAG(num_nodes, works, comms, name=f"random_{seed}")
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if rng.random() < edge_prob:
+                dag.add_edge(i, j)
+    return dag
+
+
+def assert_valid_schedule(schedule: BspSchedule) -> None:
+    """Assert the schedule satisfies every BSP validity condition."""
+    violations = schedule.violations()
+    assert not violations, "invalid schedule:\n" + "\n".join(violations)
+
+
+@pytest.fixture
+def diamond_dag() -> ComputationalDAG:
+    return build_diamond_dag()
+
+
+@pytest.fixture
+def chain_dag() -> ComputationalDAG:
+    return build_chain_dag()
+
+
+@pytest.fixture
+def fork_join_dag() -> ComputationalDAG:
+    return build_fork_join_dag()
+
+
+@pytest.fixture
+def paper_example_dag() -> ComputationalDAG:
+    return build_paper_example_dag()
+
+
+@pytest.fixture
+def spmv_dag() -> ComputationalDAG:
+    pattern = SparseMatrixPattern.random(8, 0.35, seed=3, ensure_diagonal=True)
+    return build_spmv_dag(pattern).dag
+
+
+@pytest.fixture
+def machine2() -> BspMachine:
+    return BspMachine.uniform(2, g=1, latency=2)
+
+
+@pytest.fixture
+def machine4() -> BspMachine:
+    return BspMachine.uniform(4, g=2, latency=5)
+
+
+@pytest.fixture
+def numa_machine8() -> BspMachine:
+    return BspMachine.numa_hierarchy(8, delta=3, g=1, latency=5)

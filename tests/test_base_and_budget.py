@@ -1,0 +1,67 @@
+"""Unit tests for the scheduler base classes and the TimeBudget helper."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BspMachine
+from repro.schedulers import Scheduler, ScheduleImprover, TimeBudget, best_schedule
+from repro.schedulers.trivial import TrivialScheduler
+
+from conftest import random_dag
+
+
+class TestTimeBudget:
+    def test_unlimited_never_expires(self):
+        budget = TimeBudget.unlimited()
+        assert not budget.expired()
+        assert budget.remaining == float("inf")
+
+    def test_zero_budget_expires_immediately(self):
+        budget = TimeBudget(0.0)
+        assert budget.expired()
+        assert budget.remaining == 0.0
+
+    def test_elapsed_grows(self):
+        budget = TimeBudget(10.0)
+        first = budget.elapsed
+        time.sleep(0.01)
+        assert budget.elapsed > first
+        assert budget.remaining < 10.0
+        assert not budget.expired()
+
+    def test_restart_resets_clock(self):
+        budget = TimeBudget(0.05)
+        time.sleep(0.06)
+        assert budget.expired()
+        budget.restart()
+        assert not budget.expired()
+
+    def test_fraction(self):
+        budget = TimeBudget(10.0)
+        half = budget.fraction(0.5)
+        assert half.seconds == pytest.approx(5.0)
+        assert TimeBudget.unlimited().fraction(0.5).seconds is None
+
+
+class TestBaseClasses:
+    def test_scheduler_is_abstract(self):
+        with pytest.raises(TypeError):
+            Scheduler()  # type: ignore[abstract]
+        with pytest.raises(TypeError):
+            ScheduleImprover()  # type: ignore[abstract]
+
+    def test_repr_contains_name(self):
+        assert "trivial" in repr(TrivialScheduler())
+
+    def test_best_schedule_ignores_none(self):
+        dag = random_dag(10, 0.2, seed=0)
+        machine = BspMachine.uniform(2, latency=1)
+        schedule = TrivialScheduler().schedule(dag, machine)
+        assert best_schedule(None, schedule, None) is schedule
+
+    def test_best_schedule_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_schedule()

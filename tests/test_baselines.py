@@ -1,0 +1,154 @@
+"""Unit tests for the baseline schedulers: trivial, round-robin, Cilk, BL-EST, ETF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BspMachine, ComputationalDAG
+from repro.schedulers import (
+    BlEstScheduler,
+    CilkScheduler,
+    EtfScheduler,
+    RoundRobinScheduler,
+    TrivialScheduler,
+)
+
+from conftest import (
+    assert_valid_schedule,
+    build_chain_dag,
+    build_diamond_dag,
+    build_fork_join_dag,
+    build_paper_example_dag,
+    random_dag,
+)
+
+ALL_BASELINES = [
+    TrivialScheduler,
+    RoundRobinScheduler,
+    CilkScheduler,
+    BlEstScheduler,
+    EtfScheduler,
+]
+
+
+class TestAllBaselinesProduceValidSchedules:
+    @pytest.mark.parametrize("scheduler_cls", ALL_BASELINES)
+    @pytest.mark.parametrize("num_procs", [1, 2, 4])
+    def test_valid_on_small_dags(self, scheduler_cls, num_procs):
+        machine = BspMachine.uniform(num_procs, g=2, latency=3)
+        for dag in (
+            build_chain_dag(6),
+            build_diamond_dag(),
+            build_fork_join_dag(5),
+            build_paper_example_dag(),
+        ):
+            schedule = scheduler_cls().schedule(dag, machine)
+            assert_valid_schedule(schedule)
+            assert schedule.dag is dag
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_BASELINES)
+    def test_valid_on_random_dags(self, scheduler_cls):
+        machine = BspMachine.uniform(4, g=1, latency=1)
+        for seed in range(3):
+            dag = random_dag(30, 0.15, seed=seed)
+            assert_valid_schedule(scheduler_cls().schedule(dag, machine))
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_BASELINES)
+    def test_empty_dag(self, scheduler_cls):
+        machine = BspMachine.uniform(2)
+        dag = ComputationalDAG(0)
+        schedule = scheduler_cls().schedule(dag, machine)
+        assert schedule.cost() == 0.0
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_BASELINES)
+    def test_numa_machine(self, scheduler_cls, numa_machine8):
+        dag = random_dag(25, 0.2, seed=4)
+        assert_valid_schedule(scheduler_cls().schedule(dag, numa_machine8))
+
+
+class TestTrivial:
+    def test_cost_equals_serial_work_plus_latency(self):
+        dag = random_dag(20, 0.2, seed=0)
+        machine = BspMachine.uniform(8, g=5, latency=7)
+        schedule = TrivialScheduler().schedule(dag, machine)
+        assert schedule.cost() == dag.total_work + machine.latency
+        assert schedule.num_supersteps == 1
+
+
+class TestCilk:
+    def test_deterministic_with_seed(self, spmv_dag, machine4):
+        a = CilkScheduler(seed=1).schedule(spmv_dag, machine4)
+        b = CilkScheduler(seed=1).schedule(spmv_dag, machine4)
+        assert a.cost() == b.cost()
+        assert np.array_equal(a.procs, b.procs)
+
+    def test_work_stealing_spreads_independent_work(self):
+        """With plenty of independent tasks, more than one processor gets used."""
+        dag = build_fork_join_dag(16)
+        machine = BspMachine.uniform(4, g=0, latency=0)
+        schedule = CilkScheduler(seed=0).schedule(dag, machine)
+        assert len(set(schedule.procs)) > 1
+
+    def test_classical_schedule_no_idle_when_work_available(self):
+        """Greedy work stealing keeps the makespan near total_work / P for wide DAGs."""
+        dag = build_fork_join_dag(32)
+        classical = CilkScheduler(seed=0).classical_schedule(dag, 4)
+        classical.validate()
+        lower_bound = dag.total_work / 4
+        assert classical.makespan <= 2 * lower_bound + 2
+
+    def test_chain_stays_on_one_processor(self):
+        dag = build_chain_dag(10)
+        classical = CilkScheduler(seed=0).classical_schedule(dag, 4)
+        # a chain has no parallelism: every node should run on the processor
+        # that finished its predecessor (no steal can happen on an empty stack)
+        assert len(set(classical.procs.tolist())) == 1
+
+    def test_zero_work_nodes_handled(self):
+        dag = ComputationalDAG(4, [0, 0, 1, 1])
+        dag.add_edges([(0, 1), (1, 2), (2, 3)])
+        machine = BspMachine.uniform(2)
+        assert_valid_schedule(CilkScheduler().schedule(dag, machine))
+
+
+class TestListSchedulers:
+    def test_bl_est_priority_is_bottom_level(self):
+        """The node with the longest outgoing path is scheduled first."""
+        dag = ComputationalDAG(4, [1, 1, 5, 1])
+        dag.add_edges([(0, 2), (1, 3)])
+        dag.set_work(2, 5)  # branch through node 2 is heavier
+        classical = BlEstScheduler().classical_schedule(dag, BspMachine.uniform(1))
+        assert classical.start_times[0] < classical.start_times[1]
+
+    def test_etf_picks_globally_earliest_start(self):
+        dag = build_fork_join_dag(4)
+        machine = BspMachine.uniform(2, g=1)
+        classical = EtfScheduler().classical_schedule(dag, machine)
+        classical.validate()
+
+    def test_est_accounts_for_communication_volume(self):
+        """With huge comm weights, both successors of a node stay on its processor."""
+        dag = ComputationalDAG(3, [1, 1, 1], [100, 1, 1])
+        dag.add_edges([(0, 1), (0, 2)])
+        machine = BspMachine.uniform(2, g=10)
+        for scheduler in (BlEstScheduler(), EtfScheduler()):
+            classical = scheduler.classical_schedule(dag, machine)
+            assert classical.procs[1] == classical.procs[0]
+            assert classical.procs[2] == classical.procs[0]
+
+    def test_est_ignores_communication_when_free(self):
+        """With g = 0 the successors can spread across processors."""
+        dag = build_fork_join_dag(8)
+        machine = BspMachine.uniform(4, g=0)
+        classical = EtfScheduler().classical_schedule(dag, machine)
+        assert len(set(classical.procs.tolist())) > 1
+
+    def test_numa_average_multiplier_used(self):
+        dag = ComputationalDAG(2, [1, 1], [10, 1])
+        dag.add_edge(0, 1)
+        numa = BspMachine.numa_hierarchy(4, delta=4, g=1)
+        classical = BlEstScheduler().classical_schedule(dag, numa)
+        # the communication penalty (10 * avg lambda > 10) far exceeds any
+        # waiting time, so node 1 is co-located with node 0
+        assert classical.procs[1] == classical.procs[0]

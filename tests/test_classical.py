@@ -1,0 +1,130 @@
+"""Unit tests for classical (time-indexed) schedules and BSP conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BspMachine, ClassicalSchedule, ScheduleError, classical_to_bsp
+
+from conftest import assert_valid_schedule, build_chain_dag, build_diamond_dag
+
+
+class TestClassicalSchedule:
+    def test_finish_times_default_to_start_plus_work(self):
+        dag = build_chain_dag(3, work=2.0)
+        classical = ClassicalSchedule(
+            dag, num_procs=1, procs=np.zeros(3, int), start_times=np.array([0.0, 2.0, 4.0])
+        )
+        assert list(classical.finish_times) == [2.0, 4.0, 6.0]
+        assert classical.makespan == 6.0
+
+    def test_validate_accepts_correct_schedule(self):
+        dag = build_diamond_dag()
+        classical = ClassicalSchedule(
+            dag,
+            num_procs=2,
+            procs=np.array([0, 0, 1, 0]),
+            start_times=np.array([0.0, 1.0, 1.0, 2.0]),
+        )
+        classical.validate()
+
+    def test_validate_rejects_precedence_violation(self):
+        dag = build_chain_dag(2)
+        classical = ClassicalSchedule(
+            dag, num_procs=1, procs=np.zeros(2, int), start_times=np.array([1.0, 0.0])
+        )
+        with pytest.raises(ScheduleError):
+            classical.validate()
+
+    def test_validate_rejects_overlap_on_processor(self):
+        dag = build_diamond_dag()
+        classical = ClassicalSchedule(
+            dag,
+            num_procs=1,
+            procs=np.zeros(4, int),
+            start_times=np.array([0.0, 0.5, 1.0, 2.0]),
+        )
+        with pytest.raises(ScheduleError):
+            classical.validate()
+
+    def test_wrong_length_rejected(self):
+        dag = build_chain_dag(3)
+        with pytest.raises(ScheduleError):
+            ClassicalSchedule(dag, 1, np.zeros(2, int), np.zeros(2))
+
+    def test_empty_dag_makespan(self):
+        from repro.core import ComputationalDAG
+
+        dag = ComputationalDAG(0)
+        classical = ClassicalSchedule(dag, 1, np.zeros(0, int), np.zeros(0))
+        assert classical.makespan == 0.0
+
+
+class TestConversionToBsp:
+    def test_single_processor_gives_single_superstep(self):
+        dag = build_chain_dag(4)
+        classical = ClassicalSchedule(
+            dag, num_procs=1, procs=np.zeros(4, int), start_times=np.arange(4, dtype=float)
+        )
+        machine = BspMachine.uniform(1, latency=1)
+        schedule = classical_to_bsp(classical, machine)
+        assert schedule.num_supersteps == 1
+        assert_valid_schedule(schedule)
+
+    def test_cross_processor_dependency_opens_superstep(self):
+        dag = build_chain_dag(2)
+        classical = ClassicalSchedule(
+            dag, num_procs=2, procs=np.array([0, 1]), start_times=np.array([0.0, 1.0])
+        )
+        machine = BspMachine.uniform(2, latency=1)
+        schedule = classical_to_bsp(classical, machine)
+        assert schedule.superstep_of(0) == 0
+        assert schedule.superstep_of(1) == 1
+        assert_valid_schedule(schedule)
+
+    def test_diamond_two_processors(self):
+        dag = build_diamond_dag()
+        classical = ClassicalSchedule(
+            dag,
+            num_procs=2,
+            procs=np.array([0, 0, 1, 0]),
+            start_times=np.array([0.0, 1.0, 1.0, 2.0]),
+        )
+        machine = BspMachine.uniform(2, latency=1)
+        schedule = classical_to_bsp(classical, machine)
+        assert_valid_schedule(schedule)
+        # node 2 depends on cross-processor node 0 -> must be in a later superstep
+        assert schedule.superstep_of(2) > schedule.superstep_of(0)
+        # node 3 depends on cross-processor node 2 -> again a later superstep
+        assert schedule.superstep_of(3) > schedule.superstep_of(2)
+
+    def test_processor_assignment_preserved(self):
+        dag = build_diamond_dag()
+        procs = np.array([1, 0, 1, 0])
+        classical = ClassicalSchedule(
+            dag, num_procs=2, procs=procs, start_times=np.array([0.0, 1.0, 1.0, 2.0])
+        )
+        schedule = classical_to_bsp(classical, BspMachine.uniform(2))
+        assert np.array_equal(schedule.procs, procs)
+
+    def test_machine_with_fewer_processors_rejected(self):
+        dag = build_chain_dag(2)
+        classical = ClassicalSchedule(
+            dag, num_procs=4, procs=np.array([0, 3]), start_times=np.array([0.0, 1.0])
+        )
+        with pytest.raises(ScheduleError):
+            classical_to_bsp(classical, BspMachine.uniform(2))
+
+    def test_supersteps_monotone_in_start_time(self):
+        dag = build_diamond_dag()
+        classical = ClassicalSchedule(
+            dag,
+            num_procs=2,
+            procs=np.array([0, 1, 0, 1]),
+            start_times=np.array([0.0, 1.0, 1.0, 2.0]),
+        )
+        schedule = classical_to_bsp(classical, BspMachine.uniform(2))
+        order = sorted(dag.nodes(), key=lambda v: classical.start_times[v])
+        steps = [schedule.superstep_of(v) for v in order]
+        assert steps == sorted(steps)

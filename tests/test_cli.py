@@ -1,0 +1,113 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import load_schedule
+from repro.io import read_hyperdag, write_hyperdag
+
+from conftest import random_dag
+
+
+@pytest.fixture
+def hyperdag_file(tmp_path):
+    dag = random_dag(20, 0.2, seed=3)
+    path = tmp_path / "instance.hdag"
+    write_hyperdag(dag, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--generator", "cg", "--size", "6", "--output", "x.hdag"]
+        )
+        assert args.command == "generate"
+        assert args.generator == "cg"
+        assert args.size == 6
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule", "input.hdag"])
+        assert args.scheduler == "framework"
+        assert args.procs == 4
+        assert args.numa_delta is None
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "x.hdag", "--scheduler", "nope"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("generator", ["spmv", "cg", "pagerank"])
+    def test_generates_hyperdag_files(self, tmp_path, generator, capsys):
+        output = tmp_path / f"{generator}.hdag"
+        code = main(
+            [
+                "generate",
+                "--generator", generator,
+                "--size", "5",
+                "--density", "0.4",
+                "--iterations", "2",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        dag = read_hyperdag(output)
+        assert dag.num_nodes > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedule_with_fast_heuristic(self, hyperdag_file, capsys):
+        code = main(
+            [
+                "schedule", str(hyperdag_file),
+                "--scheduler", "bsp_greedy",
+                "--procs", "4", "--g", "2", "--latency", "3",
+                "--render",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost" in out
+        assert "superstep 0" in out
+
+    def test_schedule_with_numa_and_json_output(self, hyperdag_file, tmp_path, capsys):
+        output = tmp_path / "schedule.json"
+        code = main(
+            [
+                "schedule", str(hyperdag_file),
+                "--scheduler", "hdagg",
+                "--procs", "8", "--numa-delta", "3",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        loaded = load_schedule(output)
+        assert loaded.is_valid()
+        assert loaded.machine.num_procs == 8
+        payload = json.loads(output.read_text())
+        assert payload["machine"]["num_procs"] == 8
+
+
+class TestCompare:
+    def test_compare_prints_cost_table(self, hyperdag_file, capsys):
+        code = main(
+            [
+                "compare", str(hyperdag_file),
+                "--procs", "4", "--g", "3",
+                "--schedulers", "cilk", "hdagg", "source",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("cilk", "hdagg", "source"):
+            assert name in out

@@ -1,0 +1,110 @@
+"""Unit tests for communication schedules (lazy/eager derivation, windows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BspMachine,
+    BspSchedule,
+    CommStep,
+    ScheduleError,
+    eager_comm_schedule,
+    lazy_comm_schedule,
+    required_transfers,
+)
+from repro.core.comm import comm_schedule_from_choices
+
+from conftest import build_chain_dag, build_diamond_dag
+
+
+class TestRequiredTransfers:
+    def test_no_transfers_on_single_processor(self, diamond_dag):
+        procs = np.zeros(4, dtype=int)
+        steps = np.array([0, 1, 1, 2])
+        assert required_transfers(diamond_dag, procs, steps) == []
+
+    def test_cross_processor_transfer_window(self, diamond_dag):
+        procs = np.array([0, 0, 1, 0])
+        steps = np.array([0, 1, 1, 3])
+        windows = required_transfers(diamond_dag, procs, steps)
+        # node 0 must reach proc 1 (for node 2), node 2 must reach proc 0 (for node 3)
+        assert len(windows) == 2
+        by_node = {w.node: w for w in windows}
+        assert by_node[0].target == 1
+        assert by_node[0].earliest == 0 and by_node[0].latest == 0
+        assert by_node[2].target == 0
+        assert by_node[2].earliest == 1 and by_node[2].latest == 2
+
+    def test_one_transfer_per_target_processor(self):
+        dag = build_diamond_dag()
+        # node 0 feeds nodes 1 and 2 which both live on processor 1
+        procs = np.array([0, 1, 1, 1])
+        steps = np.array([0, 1, 2, 3])
+        windows = required_transfers(dag, procs, steps)
+        zero_windows = [w for w in windows if w.node == 0]
+        assert len(zero_windows) == 1
+        assert zero_windows[0].latest == 0  # first need is superstep 1
+
+    def test_impossible_transfer_raises(self, diamond_dag):
+        procs = np.array([0, 1, 0, 0])
+        steps = np.array([0, 0, 0, 1])  # node 1 on another proc in the same superstep
+        with pytest.raises(ScheduleError):
+            required_transfers(diamond_dag, procs, steps)
+
+
+class TestLazyAndEager:
+    def test_lazy_uses_latest_phase(self, diamond_dag):
+        procs = np.array([0, 0, 1, 0])
+        steps = np.array([0, 1, 2, 4])
+        lazy = lazy_comm_schedule(diamond_dag, procs, steps)
+        eager = eager_comm_schedule(diamond_dag, procs, steps)
+        lazy_by_node = {s.node: s.superstep for s in lazy}
+        eager_by_node = {s.node: s.superstep for s in eager}
+        assert lazy_by_node[0] == 1   # needed by node 2 in superstep 2
+        assert eager_by_node[0] == 0  # as early as possible
+        assert lazy_by_node[2] == 3   # needed by node 3 in superstep 4
+        assert eager_by_node[2] == 2
+
+    def test_lazy_schedule_is_valid(self, diamond_dag, machine2):
+        procs = np.array([0, 0, 1, 0])
+        steps = np.array([0, 1, 1, 2])
+        schedule = BspSchedule(diamond_dag, machine2, procs, steps)
+        assert schedule.is_valid()
+        assert schedule.uses_lazy_comm
+
+    def test_eager_schedule_is_valid(self, diamond_dag, machine2):
+        procs = np.array([0, 0, 1, 0])
+        steps = np.array([0, 1, 2, 4])
+        comm = eager_comm_schedule(diamond_dag, procs, steps)
+        schedule = BspSchedule(diamond_dag, machine2, procs, steps, comm)
+        assert schedule.is_valid()
+
+    def test_chain_on_two_processors(self, machine2):
+        dag = build_chain_dag(4)
+        procs = np.array([0, 1, 0, 1])
+        steps = np.array([0, 1, 2, 3])
+        lazy = lazy_comm_schedule(dag, procs, steps)
+        assert len(lazy) == 3
+        for step in lazy:
+            assert step.superstep == steps[step.node]  # latest possible = next node's step - 1
+
+
+class TestChoices:
+    def test_comm_schedule_from_choices(self, diamond_dag):
+        procs = np.array([0, 0, 1, 0])
+        steps = np.array([0, 1, 2, 4])
+        windows = required_transfers(diamond_dag, procs, steps)
+        choices = [w.earliest for w in windows]
+        comm = comm_schedule_from_choices(windows, choices)
+        assert len(comm) == len(windows)
+        assert all(isinstance(step, CommStep) for step in comm)
+
+    def test_out_of_window_choice_rejected(self, diamond_dag):
+        procs = np.array([0, 0, 1, 0])
+        steps = np.array([0, 1, 2, 4])
+        windows = required_transfers(diamond_dag, procs, steps)
+        bad = [w.latest + 1 for w in windows]
+        with pytest.raises(ScheduleError):
+            comm_schedule_from_choices(windows, bad)

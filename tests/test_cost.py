@@ -1,0 +1,121 @@
+"""Unit tests for the BSP(+NUMA) cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BspMachine, BspSchedule, CommStep, ComputationalDAG, evaluate_cost
+
+from conftest import build_diamond_dag
+
+
+class TestWorkCost:
+    def test_single_superstep_max_over_procs(self):
+        dag = ComputationalDAG(4, [3, 1, 2, 5])
+        machine = BspMachine.uniform(2, g=1, latency=0)
+        procs = np.array([0, 0, 1, 1])
+        steps = np.zeros(4, dtype=int)
+        breakdown = evaluate_cost(dag, machine, procs, steps, [])
+        # proc 0 does 3+1=4, proc 1 does 2+5=7 -> max 7
+        assert breakdown.work == 7.0
+        assert breakdown.comm == 0.0
+        assert breakdown.total == 7.0
+
+    def test_work_summed_over_supersteps(self):
+        dag = ComputationalDAG(4, [3, 1, 2, 5])
+        machine = BspMachine.uniform(2, g=1, latency=0)
+        procs = np.array([0, 1, 0, 1])
+        steps = np.array([0, 0, 1, 1])
+        breakdown = evaluate_cost(dag, machine, procs, steps, [])
+        assert breakdown.work_per_superstep == (3.0, 5.0)
+        assert breakdown.work == 8.0
+
+
+class TestCommCost:
+    def test_h_relation_max_of_send_and_receive(self):
+        dag = ComputationalDAG(3, [1, 1, 1], [4, 2, 1])
+        machine = BspMachine.uniform(3, g=2, latency=0)
+        procs = np.array([0, 1, 2])
+        steps = np.array([0, 0, 1])
+        comm = [CommStep(0, 0, 2, 0), CommStep(1, 1, 2, 0)]
+        breakdown = evaluate_cost(dag, machine, procs, steps, comm)
+        # send: proc0=4, proc1=2; recv: proc2=6 -> h-relation 6; times g=2
+        assert breakdown.comm_per_superstep[0] == 6.0
+        assert breakdown.comm == 12.0
+
+    def test_numa_multiplier_applied(self):
+        dag = ComputationalDAG(2, [1, 1], [5, 1])
+        machine = BspMachine.numa_hierarchy(4, delta=3, g=1, latency=0)
+        procs = np.array([0, 2])
+        steps = np.array([0, 1])
+        comm = [CommStep(0, 0, 2, 0)]
+        breakdown = evaluate_cost(dag, machine, procs, steps, comm)
+        # c(0)=5 times lambda(0,2)=3 -> 15
+        assert breakdown.comm == 15.0
+
+    def test_send_and_receive_counted_separately_per_processor(self):
+        dag = ComputationalDAG(2, [1, 1], [3, 3])
+        machine = BspMachine.uniform(2, g=1, latency=0)
+        procs = np.array([0, 1])
+        steps = np.array([0, 0])
+        # both values exchanged in phase 0 (not needed by anyone, but legal)
+        comm = [CommStep(0, 0, 1, 0), CommStep(1, 1, 0, 0)]
+        breakdown = evaluate_cost(dag, machine, procs, steps, comm)
+        # each proc sends 3 and receives 3 -> h-relation is 3, not 6
+        assert breakdown.comm_per_superstep[0] == 3.0
+
+
+class TestLatency:
+    def test_latency_per_superstep(self):
+        dag = build_diamond_dag()
+        machine = BspMachine.uniform(2, g=1, latency=7)
+        procs = np.zeros(4, dtype=int)
+        steps = np.array([0, 1, 1, 2])
+        breakdown = evaluate_cost(dag, machine, procs, steps, [])
+        assert breakdown.latency == 21.0
+        assert breakdown.num_supersteps == 3
+
+    def test_empty_supersteps_still_pay_latency(self):
+        dag = ComputationalDAG(2)
+        machine = BspMachine.uniform(1, latency=5)
+        procs = np.array([0, 0])
+        steps = np.array([0, 3])
+        breakdown = evaluate_cost(dag, machine, procs, steps, [])
+        assert breakdown.num_supersteps == 4
+        assert breakdown.latency == 20.0
+
+
+class TestTotals:
+    def test_total_combines_components(self):
+        dag = build_diamond_dag()
+        machine = BspMachine.uniform(2, g=3, latency=2)
+        schedule = BspSchedule(
+            dag, machine, np.array([0, 0, 1, 0]), np.array([0, 1, 1, 2])
+        )
+        breakdown = schedule.cost_breakdown()
+        assert breakdown.total == pytest.approx(
+            breakdown.work + breakdown.comm + breakdown.latency
+        )
+        assert float(breakdown) == breakdown.total
+        assert schedule.cost() == breakdown.total
+
+    def test_empty_dag_zero_cost(self):
+        dag = ComputationalDAG(0)
+        machine = BspMachine.uniform(2, latency=5)
+        breakdown = evaluate_cost(dag, machine, np.zeros(0, int), np.zeros(0, int), [])
+        assert breakdown.total == 0.0
+
+    def test_trivial_schedule_cost_is_serial_work_plus_latency(self):
+        dag = ComputationalDAG(5, [2, 3, 4, 5, 6])
+        machine = BspMachine.uniform(4, g=10, latency=3)
+        trivial = BspSchedule.trivial(dag, machine)
+        assert trivial.cost() == dag.total_work + machine.latency
+
+    def test_explicit_num_supersteps(self):
+        dag = ComputationalDAG(1)
+        machine = BspMachine.uniform(1, latency=1)
+        breakdown = evaluate_cost(
+            dag, machine, np.array([0]), np.array([0]), [], num_supersteps=3
+        )
+        assert breakdown.latency == 3.0

@@ -1,0 +1,226 @@
+"""Unit tests for the ComputationalDAG container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationalDAG, CycleError, DagError
+
+from conftest import build_chain_dag, build_diamond_dag, build_fork_join_dag
+
+
+class TestConstruction:
+    def test_empty_dag(self):
+        dag = ComputationalDAG(0)
+        assert dag.num_nodes == 0
+        assert dag.num_edges == 0
+        assert dag.total_work == 0.0
+        assert dag.topological_order() == []
+        assert dag.depth() == 0
+        assert dag.critical_path_length() == 0.0
+
+    def test_default_weights_are_one(self):
+        dag = ComputationalDAG(3)
+        assert dag.work(0) == 1.0
+        assert dag.comm(2) == 1.0
+        assert dag.total_work == 3.0
+        assert dag.total_comm == 3.0
+
+    def test_explicit_weights(self):
+        dag = ComputationalDAG(3, [1, 2, 3], [4, 5, 6])
+        assert dag.work(1) == 2.0
+        assert dag.comm(2) == 6.0
+        assert dag.total_work == 6.0
+        assert dag.total_comm == 15.0
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(DagError):
+            ComputationalDAG(3, work_weights=[1, 2])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DagError):
+            ComputationalDAG(2, work_weights=[1, -1])
+        dag = ComputationalDAG(2)
+        with pytest.raises(DagError):
+            dag.set_work(0, -3)
+        with pytest.raises(DagError):
+            dag.set_comm(1, -1)
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(DagError):
+            ComputationalDAG(-1)
+
+    def test_add_node_returns_index(self):
+        dag = ComputationalDAG(2)
+        new = dag.add_node(work=7, comm=3)
+        assert new == 2
+        assert dag.num_nodes == 3
+        assert dag.work(2) == 7.0
+        assert dag.comm(2) == 3.0
+
+    def test_add_nodes_bulk(self):
+        dag = ComputationalDAG(0)
+        indices = dag.add_nodes(5, work=2)
+        assert indices == [0, 1, 2, 3, 4]
+        assert dag.total_work == 10.0
+
+    def test_set_weights(self):
+        dag = ComputationalDAG(2)
+        dag.set_work(0, 9)
+        dag.set_comm(1, 4)
+        assert dag.work(0) == 9.0
+        assert dag.comm(1) == 4.0
+
+    def test_weight_views_are_read_only(self):
+        dag = ComputationalDAG(2)
+        with pytest.raises(ValueError):
+            dag.work_weights[0] = 5
+
+
+class TestEdges:
+    def test_add_edge_and_neighbourhoods(self):
+        dag = build_diamond_dag()
+        assert dag.num_edges == 4
+        assert sorted(dag.successors(0)) == [1, 2]
+        assert dag.predecessors(3) == [1, 2]
+        assert dag.out_degree(0) == 2
+        assert dag.in_degree(3) == 2
+        assert dag.has_edge(0, 1)
+        assert not dag.has_edge(1, 0)
+
+    def test_duplicate_edge_rejected(self):
+        dag = ComputationalDAG(2)
+        dag.add_edge(0, 1)
+        with pytest.raises(DagError):
+            dag.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        dag = ComputationalDAG(1)
+        with pytest.raises(CycleError):
+            dag.add_edge(0, 0)
+
+    def test_unknown_node_rejected(self):
+        dag = ComputationalDAG(2)
+        with pytest.raises(DagError):
+            dag.add_edge(0, 5)
+
+    def test_check_cycle_flag(self):
+        dag = build_chain_dag(3)
+        with pytest.raises(CycleError):
+            dag.add_edge(2, 0, check_cycle=True)
+
+    def test_cycle_detected_lazily(self):
+        dag = ComputationalDAG(2)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 0)  # no eager check
+        assert not dag.is_acyclic()
+        with pytest.raises(CycleError):
+            dag.topological_order()
+
+    def test_edges_iteration(self):
+        dag = build_diamond_dag()
+        edges = {(e.source, e.target) for e in dag.edges()}
+        assert edges == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_sources_and_sinks(self):
+        dag = build_fork_join_dag(3)
+        assert dag.sources() == [0]
+        assert dag.sinks() == [4]
+
+
+class TestStructuralAlgorithms:
+    def test_topological_order_respects_edges(self):
+        dag = build_diamond_dag()
+        order = dag.topological_order()
+        position = {v: i for i, v in enumerate(order)}
+        for edge in dag.edges():
+            assert position[edge.source] < position[edge.target]
+
+    def test_levels(self):
+        dag = build_diamond_dag()
+        levels = dag.levels()
+        assert list(levels) == [0, 1, 1, 2]
+        assert dag.depth() == 3
+
+    def test_bottom_levels_unit_weights(self):
+        dag = build_chain_dag(4)
+        assert list(dag.bottom_levels()) == [4, 3, 2, 1]
+        assert dag.critical_path_length() == 4.0
+
+    def test_bottom_levels_weighted(self):
+        dag = ComputationalDAG(3, [1, 10, 2])
+        dag.add_edges([(0, 1), (0, 2)])
+        assert list(dag.bottom_levels()) == [11, 10, 2]
+
+    def test_has_path(self):
+        dag = build_diamond_dag()
+        assert dag.has_path(0, 3)
+        assert dag.has_path(1, 3)
+        assert not dag.has_path(1, 2)
+        assert dag.has_path(2, 2)
+
+    def test_descendants_and_ancestors(self):
+        dag = build_diamond_dag()
+        assert dag.descendants(0) == {1, 2, 3}
+        assert dag.ancestors(3) == {0, 1, 2}
+        assert dag.descendants(3) == set()
+        assert dag.ancestors(0) == set()
+
+    def test_weakly_connected_components(self):
+        dag = ComputationalDAG(5)
+        dag.add_edge(0, 1)
+        dag.add_edge(2, 3)
+        components = dag.weakly_connected_components()
+        assert sorted(map(tuple, components)) == [(0, 1), (2, 3), (4,)]
+
+    def test_largest_connected_component(self):
+        dag = ComputationalDAG(6, [1, 2, 3, 4, 5, 6])
+        dag.add_edges([(0, 1), (1, 2), (3, 4)])
+        sub = dag.largest_connected_component()
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        # weights carried over
+        assert sub.total_work == 1 + 2 + 3
+
+    def test_induced_subgraph_relabels(self):
+        dag = build_diamond_dag()
+        sub = dag.induced_subgraph([0, 1, 3])
+        assert sub.num_nodes == 3
+        assert {(e.source, e.target) for e in sub.edges()} == {(0, 1), (1, 2)}
+
+    def test_cache_invalidation_after_mutation(self):
+        dag = build_chain_dag(3)
+        assert dag.depth() == 3
+        v = dag.add_node()
+        dag.add_edge(2, v)
+        assert dag.depth() == 4
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self):
+        dag = build_diamond_dag()
+        dag.set_work(1, 7)
+        graph = dag.to_networkx()
+        back = ComputationalDAG.from_networkx(graph)
+        assert back.num_nodes == dag.num_nodes
+        assert back.num_edges == dag.num_edges
+        assert back.work(1) == 7.0
+        assert {(e.source, e.target) for e in back.edges()} == {
+            (e.source, e.target) for e in dag.edges()
+        }
+
+    def test_from_networkx_rejects_cycles(self):
+        import networkx as nx
+
+        graph = nx.DiGraph([(0, 1), (1, 0)])
+        with pytest.raises(CycleError):
+            ComputationalDAG.from_networkx(graph)
+
+    def test_copy_is_independent(self):
+        dag = build_diamond_dag()
+        clone = dag.copy()
+        clone.add_edge(1, 2)
+        assert dag.num_edges == 4
+        assert clone.num_edges == 5
+        assert np.array_equal(dag.work_weights, clone.work_weights)

@@ -1,0 +1,107 @@
+"""Unit tests for dataset construction (tiny/small/medium/large/huge, training)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.dagdb import (
+    DATASET_INTERVALS,
+    DATASET_NAMES,
+    build_dataset,
+    build_training_set,
+    dataset_interval,
+)
+
+
+class TestIntervals:
+    def test_known_dataset_names(self):
+        assert DATASET_NAMES == ("tiny", "small", "medium", "large", "huge")
+
+    def test_paper_scale_matches_paper(self):
+        assert dataset_interval("tiny", "paper") == (40, 80)
+        assert dataset_interval("small", "paper") == (250, 500)
+        assert dataset_interval("medium", "paper") == (1000, 2000)
+        assert dataset_interval("large", "paper") == (5000, 10000)
+        assert dataset_interval("huge", "paper") == (50000, 100000)
+
+    def test_bench_scale_is_smaller_and_ordered(self):
+        previous_high = 0
+        for name in DATASET_NAMES:
+            low, high = dataset_interval(name, "bench")
+            paper_low, paper_high = dataset_interval(name, "paper")
+            assert low < high
+            assert high <= paper_high
+            assert low >= previous_high * 0.3  # intervals roughly increasing
+            previous_high = high
+
+    def test_unknown_dataset_or_scale(self):
+        with pytest.raises(ConfigurationError):
+            dataset_interval("gigantic", "bench")
+        with pytest.raises(ConfigurationError):
+            dataset_interval("tiny", "nano")
+
+
+class TestBenchDatasets:
+    @pytest.mark.parametrize("name", ["tiny", "small"])
+    def test_dataset_composition(self, name):
+        instances = build_dataset(name, scale="bench")
+        generators = {inst.generator for inst in instances}
+        # all four fine-grained generators are represented
+        assert {"spmv", "exp", "cg", "knn"} <= generators
+        kinds = {inst.kind for inst in instances}
+        assert "fine" in kinds
+        # names carry the dataset prefix
+        assert all(inst.name.startswith(name) for inst in instances)
+
+    def test_small_has_deep_and_wide_variants(self):
+        instances = build_dataset("small", scale="bench")
+        names = {inst.name for inst in instances}
+        assert any("deep" in n for n in names)
+        assert any("wide" in n for n in names)
+
+    def test_tiny_single_variant(self):
+        instances = build_dataset("tiny", scale="bench")
+        assert not any("wide" in inst.name for inst in instances)
+
+    def test_sizes_roughly_in_interval(self):
+        low, high = dataset_interval("small", "bench")
+        instances = build_dataset("small", scale="bench")
+        for inst in instances:
+            assert 0.4 * low <= inst.num_nodes <= 2.0 * high, inst.name
+
+    def test_deterministic_for_fixed_seed(self):
+        first = build_dataset("tiny", scale="bench", seed=3)
+        second = build_dataset("tiny", scale="bench", seed=3)
+        assert [i.num_nodes for i in first] == [i.num_nodes for i in second]
+        assert [i.name for i in first] == [i.name for i in second]
+
+    def test_coarse_instances_can_be_disabled(self):
+        with_coarse = build_dataset("tiny", scale="bench", include_coarse=True)
+        without = build_dataset("tiny", scale="bench", include_coarse=False)
+        assert len(without) <= len(with_coarse)
+        assert all(inst.kind == "fine" for inst in without)
+
+    def test_all_dags_are_acyclic_with_positive_weights(self):
+        for inst in build_dataset("tiny", scale="bench"):
+            assert inst.dag.is_acyclic()
+            assert inst.dag.total_work > 0
+            assert inst.dag.total_comm > 0
+
+    def test_instance_metadata(self):
+        instances = build_dataset("tiny", scale="bench")
+        fine = [i for i in instances if i.kind == "fine"]
+        assert all("matrix_size" in i.params for i in fine)
+        assert all(i.num_nodes == i.dag.num_nodes for i in instances)
+
+
+class TestTrainingSet:
+    def test_training_set_size_and_mix(self):
+        instances = build_training_set(scale="bench")
+        assert len(instances) == 10
+        assert {inst.generator for inst in instances} == {"spmv", "exp", "cg", "knn"}
+
+    def test_training_sizes_span_interval(self):
+        low, high = dataset_interval("training", "bench")
+        sizes = [inst.num_nodes for inst in build_training_set(scale="bench")]
+        assert min(sizes) < (low + high) / 2 < max(sizes)

@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (runner, grids, drivers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRunner,
+    MachineSpec,
+    aggregate_improvement,
+    aggregate_ratio,
+    no_numa_machine_grid,
+    numa_machine_grid,
+    run_initializer_comparison,
+    run_no_numa_grid,
+    run_numa_grid,
+)
+from repro.dagdb import build_dataset
+from repro.schedulers import PipelineConfig
+
+
+#: heuristics-only configuration so harness tests stay fast
+FAST_HEURISTIC = PipelineConfig(use_ilp=False, use_comm_ilp=False, local_search_seconds=0.2)
+
+
+class TestMachineSpecs:
+    def test_build_uniform_and_numa(self):
+        uniform = MachineSpec(4, g=3, latency=5).build()
+        assert uniform.num_procs == 4 and uniform.is_uniform
+        numa = MachineSpec(8, g=1, latency=5, numa_delta=3).build()
+        assert not numa.is_uniform
+        assert numa.max_numa_multiplier == 9
+
+    def test_labels(self):
+        assert MachineSpec(4, 3, 5).label() == "P=4,g=3,l=5"
+        assert "D=2" in MachineSpec(8, 1, 5, 2).label()
+
+    def test_grids_match_paper(self):
+        no_numa = no_numa_machine_grid()
+        assert len(no_numa) == 9  # P in {4,8,16} x g in {1,3,5}
+        assert all(spec.numa_delta is None for spec in no_numa)
+        numa = numa_machine_grid()
+        assert len(numa) == 6  # P in {8,16} x delta in {2,3,4}
+        assert all(spec.g == 1 for spec in numa)
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def records(self):
+        runner = ExperimentRunner(config=FAST_HEURISTIC, include_trivial=True)
+        instances = build_dataset("tiny", scale="bench", include_coarse=False)[:2]
+        specs = [MachineSpec(4, 1, 5), MachineSpec(4, 5, 5)]
+        return runner.run(instances, specs)
+
+    def test_record_structure(self, records):
+        assert len(records) == 4
+        for record in records:
+            assert record.dataset == "tiny"
+            assert record.num_nodes > 0
+            for key in ("cilk", "hdagg", "init", "hccs", "ilp", "final", "trivial"):
+                assert key in record.costs
+                assert record.costs[key] > 0
+
+    def test_stage_costs_monotone(self, records):
+        for record in records:
+            assert record.costs["init"] >= record.costs["hccs"] - 1e-9
+            assert record.costs["hccs"] >= record.costs["final"] - 1e-9
+
+    def test_ratio_helper(self, records):
+        record = records[0]
+        assert record.ratio("final", "cilk") == pytest.approx(
+            record.costs["final"] / record.costs["cilk"]
+        )
+
+    def test_aggregations(self, records):
+        ratio = aggregate_ratio(records, "final", "cilk")
+        improvement = aggregate_improvement(records, "final", "cilk")
+        assert 0 < ratio <= 1.2
+        assert improvement == pytest.approx(1 - ratio)
+
+    def test_list_baselines_included_on_demand(self):
+        runner = ExperimentRunner(config=FAST_HEURISTIC, include_list_baselines=True)
+        instance = build_dataset("tiny", scale="bench", include_coarse=False)[0]
+        record = runner.run_instance(instance, MachineSpec(2, 1, 5))
+        assert "etf" in record.costs and "bl_est" in record.costs
+
+
+class TestDrivers:
+    def test_run_no_numa_grid_small(self):
+        records = run_no_numa_grid(
+            datasets=("tiny",),
+            procs=(4,),
+            g_values=(1, 5),
+            config=FAST_HEURISTIC,
+            max_instances_per_dataset=2,
+        )
+        assert len(records) == 4
+        assert {record.spec.g for record in records} == {1, 5}
+
+    def test_run_numa_grid_small(self):
+        records = run_numa_grid(
+            datasets=("tiny",),
+            procs=(8,),
+            deltas=(4,),
+            config=FAST_HEURISTIC,
+            max_instances_per_dataset=2,
+        )
+        assert len(records) == 2
+        assert all(record.spec.numa_delta == 4 for record in records)
+
+    def test_framework_beats_cilk_on_average(self):
+        """The qualitative headline of §7.1 holds even for the heuristic-only pipeline."""
+        records = run_no_numa_grid(
+            datasets=("tiny",),
+            procs=(4,),
+            g_values=(5,),
+            config=FAST_HEURISTIC,
+            max_instances_per_dataset=4,
+        )
+        assert aggregate_improvement(records, "final", "cilk") > 0
+
+    def test_initializer_comparison_counts(self):
+        wins = run_initializer_comparison(
+            procs=(4,), g_values=(1,), ilp_init_time=0.5, scale="bench"
+        )
+        assert len(wins) == 10  # 10 training instances x 1 machine point
+        assert all(w.winner in w.costs for w in wins)
+        assert all(w.costs[w.winner] == min(w.costs.values()) for w in wins)

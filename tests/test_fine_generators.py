@@ -1,0 +1,149 @@
+"""Unit tests for the fine-grained DAG generators (spmv, exp, cg, knn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DagError
+from repro.dagdb import (
+    FINE_GENERATORS,
+    SparseMatrixPattern,
+    build_cg_dag,
+    build_iterated_spmv_dag,
+    build_knn_dag,
+    build_spmv_dag,
+)
+
+
+@pytest.fixture
+def small_pattern():
+    return SparseMatrixPattern.from_coordinates(
+        3, [(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]
+    )
+
+
+class TestSpmv:
+    def test_figure2_style_structure(self):
+        """The paper's Figure 2 example: a 2x2 matrix with 3 nonzeros."""
+        pattern = SparseMatrixPattern.from_coordinates(2, [(0, 0), (1, 0), (1, 1)])
+        result = build_spmv_dag(pattern)
+        dag = result.dag
+        # sources: 3 matrix entries + 2 vector entries = 5; multiplies: 3;
+        # reduce: 1 (row 1 has two products; row 0 has one and skips the add)
+        assert len(result.nodes_with_role("input:A")) == 3
+        assert len(result.nodes_with_role("input:u")) == 2
+        assert len(result.nodes_with_role("multiply")) == 3
+        assert len(result.nodes_with_role("reduce")) == 1
+        assert dag.num_nodes == 9
+        assert dag.is_acyclic()
+
+    def test_depth_is_at_most_three(self, small_pattern):
+        dag = build_spmv_dag(small_pattern).dag
+        assert dag.depth() <= 3
+
+    def test_weight_rule(self, small_pattern):
+        result = build_spmv_dag(small_pattern)
+        dag = result.dag
+        for v in dag.nodes():
+            if dag.in_degree(v) == 0:
+                assert dag.work(v) == 1.0
+            else:
+                assert dag.work(v) == max(dag.in_degree(v) - 1, 1)
+            assert dag.comm(v) == 1.0
+
+    def test_empty_rows_produce_no_output_node(self):
+        pattern = SparseMatrixPattern.from_coordinates(3, [(0, 0)])
+        result = build_spmv_dag(pattern)
+        # only row 0 produces anything; 1 matrix source + 3 vector sources + 1 multiply
+        assert result.dag.num_nodes == 5
+
+    def test_scaling_with_nnz(self):
+        small = build_spmv_dag(SparseMatrixPattern.random(8, 0.2, seed=1)).dag
+        large = build_spmv_dag(SparseMatrixPattern.random(8, 0.8, seed=1)).dag
+        assert large.num_nodes > small.num_nodes
+
+
+class TestIteratedSpmv:
+    def test_node_count_grows_with_iterations(self, small_pattern):
+        one = build_iterated_spmv_dag(small_pattern, 1).dag
+        three = build_iterated_spmv_dag(small_pattern, 3).dag
+        assert three.num_nodes > one.num_nodes
+        assert three.depth() > one.depth()
+
+    def test_single_iteration_matches_spmv(self, small_pattern):
+        exp1 = build_iterated_spmv_dag(small_pattern, 1).dag
+        spmv = build_spmv_dag(small_pattern).dag
+        assert exp1.num_nodes == spmv.num_nodes
+        assert exp1.num_edges == spmv.num_edges
+
+    def test_invalid_iterations(self, small_pattern):
+        with pytest.raises(DagError):
+            build_iterated_spmv_dag(small_pattern, 0)
+
+    def test_vanishing_product_stops_early(self):
+        # matrix with an empty row everywhere except row 0 referencing column 1:
+        # after one iteration the vector support no longer feeds any row
+        pattern = SparseMatrixPattern.from_coordinates(2, [(0, 1)])
+        dag = build_iterated_spmv_dag(pattern, 5).dag
+        assert dag.is_acyclic()
+        assert dag.num_nodes <= 5
+
+
+class TestKnn:
+    def test_support_grows_along_reachability(self):
+        # ring-like structure: 0->1->2->... so support grows one row per hop
+        pattern = SparseMatrixPattern.from_coordinates(
+            4, [(1, 0), (2, 1), (3, 2)]
+        )
+        result = build_knn_dag(pattern, 3, start_index=0)
+        assert result.dag.num_nodes > 4
+        assert result.dag.is_acyclic()
+
+    def test_start_index_validation(self, small_pattern):
+        with pytest.raises(DagError):
+            build_knn_dag(small_pattern, 2, start_index=10)
+        with pytest.raises(DagError):
+            build_knn_dag(small_pattern, 0)
+
+    def test_knn_smaller_than_exp(self, small_pattern):
+        """knn starts from a single nonzero, so it generates fewer nodes than exp."""
+        knn = build_knn_dag(small_pattern, 3).dag
+        exp = build_iterated_spmv_dag(small_pattern, 3).dag
+        assert knn.num_nodes <= exp.num_nodes
+
+
+class TestCg:
+    def test_structure_and_growth(self, small_pattern):
+        one = build_cg_dag(small_pattern, 1).dag
+        three = build_cg_dag(small_pattern, 3).dag
+        assert one.is_acyclic()
+        assert three.num_nodes > one.num_nodes
+        assert three.depth() > one.depth()
+
+    def test_roles_present(self, small_pattern):
+        result = build_cg_dag(small_pattern, 2)
+        roles = set(result.roles.values())
+        assert "scalar:alpha" in roles
+        assert "scalar:beta" in roles
+        assert any(role.startswith("axpy") for role in roles)
+
+    def test_invalid_iterations(self, small_pattern):
+        with pytest.raises(DagError):
+            build_cg_dag(small_pattern, 0)
+
+    def test_weight_rule_applied(self, small_pattern):
+        dag = build_cg_dag(small_pattern, 2).dag
+        for v in dag.nodes():
+            expected = 1.0 if dag.in_degree(v) == 0 else max(dag.in_degree(v) - 1, 1)
+            assert dag.work(v) == expected
+
+
+class TestRegistry:
+    def test_all_four_generators_registered(self):
+        assert set(FINE_GENERATORS) == {"spmv", "exp", "knn", "cg"}
+
+    def test_registry_callables_produce_dags(self, small_pattern):
+        for name, generator in FINE_GENERATORS.items():
+            result = generator(small_pattern, 2)
+            assert result.dag.num_nodes > 0, name
+            assert result.dag.is_acyclic(), name

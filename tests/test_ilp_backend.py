@@ -1,0 +1,83 @@
+"""Unit tests for the MILP backend wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SolverError
+from repro.schedulers import MilpProblem
+
+
+class TestModelBuilding:
+    def test_variable_counting(self):
+        problem = MilpProblem()
+        x = problem.add_binary(objective=1.0)
+        y = problem.add_continuous(0, 10, objective=2.0)
+        assert (x, y) == (0, 1)
+        assert problem.num_variables == 2
+        assert problem.num_constraints == 0
+
+    def test_constraint_validation(self):
+        problem = MilpProblem()
+        with pytest.raises(SolverError):
+            problem.add_constraint({}, 0, 1)
+        with pytest.raises(SolverError):
+            problem.add_constraint({5: 1.0}, 0, 1)
+
+    def test_empty_model_solves(self):
+        solution = MilpProblem().solve()
+        assert solution.objective == 0.0
+
+
+class TestSolving:
+    def test_simple_binary_knapsack(self):
+        """max 3a + 2b + 2c subject to a + b + c <= 2 (as minimisation)."""
+        problem = MilpProblem()
+        a = problem.add_binary(objective=-3)
+        b = problem.add_binary(objective=-2)
+        c = problem.add_binary(objective=-2)
+        problem.add_le({a: 1, b: 1, c: 1}, 2)
+        solution = problem.solve()
+        assert solution.feasible
+        assert solution.objective == pytest.approx(-5)
+        assert solution.is_one(a)
+        assert solution.is_one(b) != solution.is_one(c)
+
+    def test_equality_and_ge_constraints(self):
+        problem = MilpProblem()
+        x = problem.add_continuous(0, 10, objective=1.0)
+        y = problem.add_continuous(0, 10, objective=1.0)
+        problem.add_eq({x: 1, y: 1}, 6)
+        problem.add_ge({x: 1}, 2)
+        solution = problem.solve()
+        assert solution.feasible
+        assert solution.objective == pytest.approx(6)
+        assert solution.value(x) >= 2 - 1e-6
+
+    def test_mixed_integer_rounding(self):
+        """Integrality forces the binary away from the LP optimum."""
+        problem = MilpProblem()
+        x = problem.add_binary(objective=1.0)
+        y = problem.add_continuous(0, 1, objective=0.4)
+        # x + y >= 1.5  -> with x binary the best is x=1, y=0.5
+        problem.add_ge({x: 1, y: 1}, 1.5)
+        solution = problem.solve()
+        assert solution.feasible
+        assert solution.is_one(x)
+        assert solution.value(y) == pytest.approx(0.5)
+
+    def test_infeasible_model_reports_not_feasible(self):
+        problem = MilpProblem()
+        x = problem.add_binary()
+        problem.add_ge({x: 1}, 2)
+        solution = problem.solve()
+        assert not solution.feasible
+
+    def test_time_limit_does_not_crash(self):
+        problem = MilpProblem()
+        variables = [problem.add_binary(objective=-(i % 7 + 1)) for i in range(60)]
+        problem.add_le({v: 1 for v in variables}, 10)
+        solution = problem.solve(time_limit=0.2)
+        # with such a tiny model HiGHS still finds the optimum, but the call
+        # must honour the option without blowing up
+        assert solution.feasible

@@ -1,0 +1,80 @@
+"""Unit tests for the aggregation metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    communication_to_computation_ratio,
+    cost_ratio,
+    geometric_mean,
+    improvement,
+    improvement_from_ratios,
+    mean_cost_ratio,
+)
+from repro.core import BspMachine, ComputationalDAG
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_less_sensitive_to_outliers_than_arithmetic_mean(self):
+        ratios = [0.5, 0.5, 0.5, 4.0]
+        geo = geometric_mean(ratios)
+        arith = sum(ratios) / len(ratios)
+        assert geo < arith
+
+
+class TestRatiosAndImprovements:
+    def test_cost_ratio(self):
+        assert cost_ratio(50, 100) == 0.5
+        assert cost_ratio(10, 0) == math.inf
+        assert cost_ratio(0, 0) == 1.0
+
+    def test_mean_cost_ratio(self):
+        assert mean_cost_ratio([50, 25], [100, 100]) == pytest.approx(
+            math.sqrt(0.5 * 0.25)
+        )
+        with pytest.raises(ValueError):
+            mean_cost_ratio([1], [1, 2])
+
+    def test_improvement_matches_paper_convention(self):
+        """A mean ratio of 0.56 is reported as a 44% cost reduction (§7.1)."""
+        assert improvement_from_ratios([0.56]) == pytest.approx(0.44)
+        assert improvement([56.0], [100.0]) == pytest.approx(0.44)
+
+    def test_negative_improvement_when_worse(self):
+        assert improvement([120.0], [100.0]) < 0
+
+
+class TestCcr:
+    def test_plain_definition(self):
+        dag = ComputationalDAG(4, [1, 1, 1, 1], [2, 2, 2, 2])
+        assert communication_to_computation_ratio(dag) == pytest.approx(2.0)
+
+    def test_machine_extension_scales_with_g_and_numa(self):
+        dag = ComputationalDAG(4, [1, 1, 1, 1], [2, 2, 2, 2])
+        uniform = BspMachine.uniform(4, g=3)
+        numa = BspMachine.numa_hierarchy(4, delta=4, g=3)
+        plain = communication_to_computation_ratio(dag)
+        with_uniform = communication_to_computation_ratio(dag, uniform)
+        with_numa = communication_to_computation_ratio(dag, numa)
+        assert with_uniform == pytest.approx(plain * 3)
+        assert with_numa > with_uniform
+
+    def test_zero_work(self):
+        dag = ComputationalDAG(2, [0, 0], [1, 1])
+        assert communication_to_computation_ratio(dag) == math.inf

@@ -1,0 +1,165 @@
+"""Unit tests for DAG coarsening and the multilevel scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BspMachine, BspSchedule, ComputationalDAG, DagError
+from repro.schedulers import BspGreedyScheduler, MultilevelScheduler
+from repro.schedulers.multilevel import (
+    CoarseningSequence,
+    coarsen_dag,
+    project_to_original,
+    restrict_to_quotient,
+)
+
+from conftest import assert_valid_schedule, build_chain_dag, build_diamond_dag, random_dag
+from repro.dagdb import SparseMatrixPattern, build_cg_dag
+
+
+class TestCoarsening:
+    def test_coarsens_to_target_size(self):
+        dag = random_dag(40, 0.12, seed=1)
+        sequence = coarsen_dag(dag, target_nodes=10)
+        quotient = sequence.quotient()
+        assert quotient.dag.num_nodes <= 12
+        assert sequence.num_contractions == dag.num_nodes - quotient.dag.num_nodes
+
+    def test_quotient_remains_acyclic_at_every_level(self):
+        dag = random_dag(30, 0.15, seed=2)
+        sequence = coarsen_dag(dag, target_nodes=5)
+        for level in range(0, sequence.num_contractions + 1, 5):
+            assert sequence.quotient(level).dag.is_acyclic()
+
+    def test_weights_are_conserved(self):
+        dag = random_dag(25, 0.15, seed=3)
+        sequence = coarsen_dag(dag, target_nodes=6)
+        quotient = sequence.quotient()
+        assert quotient.dag.total_work == pytest.approx(dag.total_work)
+        assert quotient.dag.total_comm == pytest.approx(dag.total_comm)
+
+    def test_zero_contractions_is_identity(self):
+        dag = build_diamond_dag()
+        sequence = coarsen_dag(dag, target_nodes=dag.num_nodes)
+        assert sequence.num_contractions == 0
+        quotient = sequence.quotient()
+        assert quotient.dag.num_nodes == dag.num_nodes
+        assert quotient.dag.num_edges == dag.num_edges
+
+    def test_chain_coarsens_fully(self):
+        dag = build_chain_dag(10)
+        sequence = coarsen_dag(dag, target_nodes=1)
+        assert sequence.quotient().dag.num_nodes == 1
+
+    def test_contraction_prefers_light_nodes_with_heavy_outputs(self):
+        """The selection rule merges the light/heavy-output edge first."""
+        dag = ComputationalDAG(4, [1, 1, 10, 10], [9, 1, 1, 1])
+        dag.add_edge(0, 1)   # light nodes, source with heavy output
+        dag.add_edge(2, 3)   # heavy nodes
+        sequence = coarsen_dag(dag, target_nodes=3)
+        assert sequence.num_contractions == 1
+        record = sequence.records[0]
+        assert (record.kept, record.removed) == (0, 1)
+
+    def test_contraction_never_creates_cycles(self):
+        """Edge (u,v) with an alternative u->v path must not be contracted first."""
+        dag = ComputationalDAG(3)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        dag.add_edge(0, 2)  # transitive edge: contracting it would create a cycle
+        sequence = coarsen_dag(dag, target_nodes=2)
+        quotient = sequence.quotient()
+        assert quotient.dag.is_acyclic()
+
+    def test_representative_map_bounds(self):
+        dag = build_chain_dag(5)
+        sequence = coarsen_dag(dag, target_nodes=2)
+        with pytest.raises(DagError):
+            sequence.representative_map(sequence.num_contractions + 1)
+        assert list(sequence.representative_map(0)) == list(range(5))
+
+    def test_target_validation(self):
+        with pytest.raises(DagError):
+            coarsen_dag(build_chain_dag(3), target_nodes=0)
+
+    def test_disconnected_graph_stops_at_no_edges(self):
+        dag = ComputationalDAG(4)  # no edges at all
+        sequence = coarsen_dag(dag, target_nodes=1)
+        assert sequence.quotient().dag.num_nodes == 4
+
+
+class TestProjection:
+    def test_project_and_restrict_roundtrip(self):
+        dag = random_dag(30, 0.15, seed=5)
+        machine = BspMachine.uniform(4, g=1, latency=2)
+        sequence = coarsen_dag(dag, target_nodes=8)
+        quotient = sequence.quotient()
+        coarse_schedule = BspGreedyScheduler().schedule(quotient.dag, machine)
+        procs, steps = project_to_original(quotient, coarse_schedule)
+        projected = BspSchedule(dag, machine, procs, steps)
+        assert_valid_schedule(projected)
+        # restricting back to the quotient reproduces the coarse assignment
+        back = restrict_to_quotient(quotient, machine, procs, steps)
+        assert np.array_equal(back.procs, coarse_schedule.procs)
+        assert np.array_equal(back.supersteps, coarse_schedule.supersteps)
+
+    def test_projection_valid_at_intermediate_levels(self):
+        dag = random_dag(25, 0.2, seed=6)
+        machine = BspMachine.uniform(2, g=1, latency=1)
+        sequence = coarsen_dag(dag, target_nodes=6)
+        full_quotient = sequence.quotient()
+        coarse_schedule = BspGreedyScheduler().schedule(full_quotient.dag, machine)
+        procs, steps = project_to_original(full_quotient, coarse_schedule)
+        # at every intermediate level the cluster-constant assignment is valid
+        for level in range(0, sequence.num_contractions + 1, 4):
+            quotient = sequence.quotient(level)
+            restricted = restrict_to_quotient(quotient, machine, procs, steps)
+            assert_valid_schedule(restricted)
+
+
+class TestMultilevelScheduler:
+    def test_valid_schedule_on_original_dag(self):
+        dag = build_cg_dag(
+            SparseMatrixPattern.random(5, 0.35, seed=4, ensure_diagonal=True), 2
+        ).dag
+        machine = BspMachine.numa_hierarchy(8, delta=4, g=1, latency=5)
+        scheduler = MultilevelScheduler(base_scheduler=BspGreedyScheduler())
+        schedule = scheduler.schedule(dag, machine)
+        assert schedule.dag is dag
+        assert_valid_schedule(schedule)
+
+    def test_small_instances_fall_back_to_base(self):
+        dag = build_diamond_dag()
+        machine = BspMachine.uniform(2, g=1, latency=1)
+        scheduler = MultilevelScheduler(base_scheduler=BspGreedyScheduler(), min_nodes=16)
+        base = BspGreedyScheduler().schedule(dag, machine)
+        schedule = scheduler.schedule(dag, machine)
+        assert schedule.cost() == pytest.approx(base.cost())
+
+    def test_competitive_with_trivial_when_communication_dominates(self):
+        """§7.3: with huge NUMA costs ML stays close to the trivial schedule's cost
+        (the paper reports it beats it in all but a handful of cases) while the
+        conventional baselines blow up by integer factors."""
+        dag = build_cg_dag(
+            SparseMatrixPattern.random(6, 0.3, seed=1, ensure_diagonal=True), 3
+        ).dag
+        machine = BspMachine.numa_hierarchy(8, delta=4, g=1, latency=5)
+        scheduler = MultilevelScheduler(base_scheduler=BspGreedyScheduler())
+        schedule = scheduler.schedule(dag, machine)
+        trivial_cost = BspSchedule.trivial(dag, machine).cost()
+        from repro.schedulers import CilkScheduler, HDaggScheduler
+
+        cilk_cost = CilkScheduler(seed=0).schedule(dag, machine).cost()
+        hdagg_cost = HDaggScheduler().schedule(dag, machine).cost()
+        assert schedule.cost() <= 1.25 * trivial_cost
+        assert schedule.cost() < 0.75 * hdagg_cost
+        assert schedule.cost() < 0.5 * cilk_cost
+
+    def test_single_ratio_configuration(self):
+        dag = random_dag(40, 0.1, seed=9)
+        machine = BspMachine.numa_hierarchy(4, delta=3, g=1, latency=3)
+        scheduler = MultilevelScheduler(
+            base_scheduler=BspGreedyScheduler(), coarsening_ratios=(0.3,)
+        )
+        assert_valid_schedule(scheduler.schedule(dag, machine))

@@ -1,0 +1,58 @@
+"""Unit tests for the scheduler registry and the top-level package API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import BspMachine, ConfigurationError
+from repro.schedulers import Scheduler, available_schedulers, create_scheduler
+
+from conftest import assert_valid_schedule, random_dag
+
+
+class TestRegistry:
+    def test_expected_names_present(self):
+        names = available_schedulers()
+        for expected in (
+            "cilk", "bl_est", "etf", "hdagg", "bsp_greedy", "source",
+            "ilp_init", "framework", "multilevel", "trivial",
+        ):
+            assert expected in names
+
+    def test_create_scheduler_returns_scheduler_instances(self):
+        for name in ("cilk", "hdagg", "bsp_greedy", "source", "trivial", "round_robin"):
+            scheduler = create_scheduler(name)
+            assert isinstance(scheduler, Scheduler)
+
+    def test_create_scheduler_forwards_kwargs(self):
+        cilk = create_scheduler("cilk", seed=42)
+        assert cilk.seed == 42
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            create_scheduler("does_not_exist")
+
+    def test_created_schedulers_produce_valid_schedules(self):
+        dag = random_dag(20, 0.2, seed=1)
+        machine = BspMachine.uniform(4, g=1, latency=2)
+        for name in ("cilk", "bl_est", "etf", "hdagg", "bsp_greedy", "source", "trivial"):
+            assert_valid_schedule(create_scheduler(name).schedule(dag, machine))
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_pattern_works(self):
+        from repro import BspMachine, SchedulingPipeline
+        from repro.dagdb import SparseMatrixPattern, build_spmv_dag
+
+        dag = build_spmv_dag(SparseMatrixPattern.random(6, 0.4, seed=1)).dag
+        machine = BspMachine.uniform(4, g=1, latency=5)
+        schedule = SchedulingPipeline.heuristics_only(0.2).schedule(dag, machine)
+        assert schedule.cost() > 0

@@ -1,0 +1,94 @@
+"""Unit tests for sparse matrix pattern generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DagError
+from repro.dagdb import SparseMatrixPattern
+from repro.dagdb.sparsegen import pattern_from_sequence_of_rows
+
+
+class TestConstruction:
+    def test_random_density_and_determinism(self):
+        a = SparseMatrixPattern.random(40, 0.3, seed=1)
+        b = SparseMatrixPattern.random(40, 0.3, seed=1)
+        c = SparseMatrixPattern.random(40, 0.3, seed=2)
+        assert a.rows == b.rows
+        assert a.rows != c.rows
+        assert 0.15 < a.density() < 0.45
+
+    def test_random_extreme_densities(self):
+        empty = SparseMatrixPattern.random(10, 0.0, seed=0)
+        dense = SparseMatrixPattern.random(10, 1.0, seed=0)
+        assert empty.nnz == 0
+        assert dense.nnz == 100
+
+    def test_ensure_diagonal(self):
+        pattern = SparseMatrixPattern.random(15, 0.05, seed=0, ensure_diagonal=True)
+        for i in range(15):
+            assert i in pattern.row(i)
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(DagError):
+            SparseMatrixPattern.random(5, 1.5)
+
+    def test_from_coordinates(self):
+        pattern = SparseMatrixPattern.from_coordinates(3, [(0, 1), (2, 0), (0, 1)])
+        assert pattern.nnz == 2
+        assert pattern.row(0) == (1,)
+        assert pattern.row(2) == (0,)
+
+    def test_from_coordinates_out_of_range(self):
+        with pytest.raises(DagError):
+            SparseMatrixPattern.from_coordinates(2, [(0, 5)])
+
+    def test_dense_and_tridiagonal(self):
+        dense = SparseMatrixPattern.dense(4)
+        assert dense.nnz == 16
+        tri = SparseMatrixPattern.tridiagonal(5)
+        assert tri.nnz == 13
+        assert tri.row(0) == (0, 1)
+        assert tri.row(2) == (1, 2, 3)
+
+    def test_lower_triangular(self):
+        pattern = SparseMatrixPattern.lower_triangular_random(20, 0.3, seed=1)
+        for i in range(20):
+            assert i in pattern.row(i)
+            assert all(j <= i for j in pattern.row(i))
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(DagError):
+            SparseMatrixPattern(size=2, rows=((1, 0), ()))  # unsorted
+        with pytest.raises(DagError):
+            SparseMatrixPattern(size=2, rows=((5,), ()))  # out of range
+        with pytest.raises(DagError):
+            SparseMatrixPattern(size=2, rows=((0,),))  # wrong number of rows
+
+    def test_pattern_from_sequence_of_rows(self):
+        pattern = pattern_from_sequence_of_rows([[1, 0, 1], [1]])
+        assert pattern.row(0) == (0, 1)
+        assert pattern.row(1) == (1,)
+
+
+class TestQueries:
+    def test_column_and_coordinates(self):
+        pattern = SparseMatrixPattern.from_coordinates(3, [(0, 1), (2, 1), (1, 0)])
+        assert pattern.column(1) == (0, 2)
+        assert sorted(pattern.coordinates()) == [(0, 1), (1, 0), (2, 1)]
+
+    def test_to_dense(self):
+        pattern = SparseMatrixPattern.from_coordinates(2, [(0, 1)])
+        dense = pattern.to_dense()
+        assert dense.shape == (2, 2)
+        assert dense[0, 1] == 1
+        assert dense.sum() == 1
+
+    def test_transpose(self):
+        pattern = SparseMatrixPattern.from_coordinates(3, [(0, 1), (2, 0)])
+        transposed = pattern.transpose()
+        assert sorted(transposed.coordinates()) == [(0, 2), (1, 0)]
+
+    def test_density_of_empty_matrix(self):
+        assert SparseMatrixPattern(0, ()).density() == 0.0

@@ -1,0 +1,187 @@
+"""Tests for the table/figure formatters, using synthetic records (no scheduling runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    InstanceRecord,
+    MachineSpec,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    format_grid,
+    table1_no_numa_improvements,
+    table2_numa_improvements,
+    table3_multilevel_improvements,
+    table4_5_initializer_wins,
+    table6_detailed_no_numa,
+    table7_algorithm_ratios,
+    table8_vs_etf,
+    table9_latency,
+    table10_numa_detailed,
+    table11_12_huge,
+    table13_multilevel_vs_baselines,
+    table14_multilevel_vs_base,
+)
+from repro.analysis.experiments import InitializerWin
+
+
+def _record(dataset, p, g, delta=None, latency=5.0, **costs) -> InstanceRecord:
+    base = {
+        "cilk": 100.0,
+        "hdagg": 80.0,
+        "init": 70.0,
+        "hccs": 65.0,
+        "ilp": 60.0,
+        "final": 60.0,
+    }
+    base.update(costs)
+    return InstanceRecord(
+        instance=f"{dataset}_x",
+        dataset=dataset,
+        generator="spmv",
+        num_nodes=50,
+        spec=MachineSpec(p, g, latency, delta),
+        costs=base,
+    )
+
+
+@pytest.fixture
+def no_numa_records():
+    return [
+        _record("tiny", 4, 1, etf=90.0, bl_est=110.0),
+        _record("tiny", 4, 5, etf=95.0, bl_est=120.0, final=50.0),
+        _record("small", 8, 1, etf=90.0, bl_est=115.0),
+        _record("small", 8, 5, etf=85.0, bl_est=125.0, final=40.0),
+    ]
+
+
+@pytest.fixture
+def numa_records():
+    return [
+        _record("small", 8, 1, delta=2, multilevel=70.0, ml_c15=75.0, ml_c30=72.0, ml_copt=70.0),
+        _record("small", 8, 1, delta=4, multilevel=40.0, ml_c15=45.0, ml_c30=42.0, ml_copt=40.0),
+        _record("medium", 16, 1, delta=2, multilevel=65.0, ml_c15=68.0, ml_c30=66.0, ml_copt=65.0),
+        _record("medium", 16, 1, delta=4, multilevel=25.0, ml_c15=30.0, ml_c30=28.0, ml_copt=25.0),
+    ]
+
+
+class TestNoNumaTables:
+    def test_table1_structure(self, no_numa_records):
+        rows, text = table1_no_numa_improvements(no_numa_records)
+        assert "by_g_and_P" in rows and "by_g_and_dataset" in rows
+        assert "P=4" in rows["by_g_and_P"]
+        assert "g=1" in rows["by_g_and_P"]["P=4"]
+        assert "Table 1" in text
+        # 40% improvement vs cilk for the (P=4, g=1) cell
+        assert "40%" in rows["by_g_and_P"]["P=4"]["g=1"]
+
+    def test_table6_has_all_cells(self, no_numa_records):
+        rows, text = table6_detailed_no_numa(no_numa_records)
+        assert rows["tiny"]["g=1,P=4"]
+        assert rows["small"]["g=5,P=8"]
+        assert "Table 6" in text
+
+    def test_figure5_normalised_to_cilk(self, no_numa_records):
+        series, text = figure5_series(no_numa_records)
+        assert series["g=1"]["Cilk"] == pytest.approx(1.0)
+        assert series["g=1"]["HDagg"] == pytest.approx(0.8)
+        assert series["g=5"]["ILP"] < series["g=5"]["HCcs"]
+        assert "Figure 5" in text
+
+    def test_table7_includes_list_baselines(self, no_numa_records):
+        series, text = table7_algorithm_ratios(no_numa_records, g=5)
+        assert series["tiny"]["BL-EST"] == pytest.approx(1.2)
+        assert series["tiny"]["ETF"] == pytest.approx(0.95)
+        assert "Table 7" in text
+
+    def test_table8_vs_etf(self, no_numa_records):
+        values, text = table8_vs_etf(no_numa_records, dataset="tiny")
+        assert values[(4, 5)] == pytest.approx(1 - 50.0 / 95.0)
+        assert "Table 8" in text
+
+    def test_table9_latency(self):
+        records = [
+            _record("medium", 8, 1, latency=2.0, final=70.0),
+            _record("medium", 8, 1, latency=20.0, final=40.0),
+        ]
+        values, text = table9_latency(records)
+        assert values[2.0][0] == pytest.approx(0.30)
+        assert values[20.0][0] == pytest.approx(0.60)
+        assert "Table 9" in text
+
+
+class TestNumaTables:
+    def test_table2(self, numa_records):
+        rows, text = table2_numa_improvements(numa_records)
+        assert "P=8" in rows and "D=4" in rows["P=8"]
+        assert "Table 2" in text
+
+    def test_table3_multilevel(self, numa_records):
+        rows, text = table3_multilevel_improvements(numa_records)
+        # ML improvement vs cilk at P=16, D=4 is 75%
+        assert "75%" in rows["P=16"]["D=4"]
+        assert "Table 3" in text
+
+    def test_table10_detailed(self, numa_records):
+        rows, text = table10_numa_detailed(numa_records)
+        assert rows["small"]["P=8,D=2"]
+        assert "Table 10" in text
+
+    def test_figure6_includes_ml_column(self, numa_records):
+        series, text = figure6_series(numa_records)
+        assert series["P=8,D=4"]["ML"] == pytest.approx(0.4)
+        assert "ILP" in series["P=8,D=2"]
+        assert "Figure 6" in text
+
+    def test_table13_and_14(self, numa_records):
+        values13, text13 = table13_multilevel_vs_baselines(numa_records)
+        assert values13["ml_copt"]["P=16,D=4"][0] == pytest.approx(0.75)
+        assert "Table 13" in text13
+        values14, text14 = table14_multilevel_vs_base(numa_records)
+        # multilevel/base ratio at P=16, D=4: ml_copt 25 over the base final cost 60
+        assert values14["ml_copt"]["P=16,D=4"] == pytest.approx(25.0 / 60.0)
+        assert values14["ml_c15"]["P=8,D=2"] == pytest.approx(75.0 / 60.0)
+        assert "Table 14" in text14
+
+
+class TestHugeAndInitializerTables:
+    def test_table11_12(self):
+        records = [
+            _record("huge", 4, 1, final=80.0),
+            _record("huge", 4, 3, final=70.0),
+            _record("huge", 8, 1, delta=2, final=65.0),
+        ]
+        rows, text = table11_12_huge(records)
+        assert "g=1" in rows["P=4"]
+        assert "D=2" in rows["P=8"]
+        assert "11/12" in text
+
+    def test_figure7(self):
+        records = [_record("huge", 4, 1), _record("huge", 16, 1, final=55.0)]
+        series, text = figure7_series(records)
+        assert series["P=4"]["Cilk"] == pytest.approx(1.0)
+        assert series["P=16"]["HCcs"] == pytest.approx(0.65)
+        assert "Figure 7" in text
+
+    def test_table4_5_counts(self):
+        wins = [
+            InitializerWin("a", "spmv", 40, MachineSpec(4, 1, 5), "source", {"source": 1.0}),
+            InitializerWin("b", "spmv", 40, MachineSpec(4, 1, 5), "bsp_greedy", {"bsp_greedy": 1.0}),
+            InitializerWin("c", "cg", 40, MachineSpec(8, 1, 5), "ilp_init", {"ilp_init": 1.0}),
+            InitializerWin("d", "cg", 400, MachineSpec(8, 1, 5), "bsp_greedy", {"bsp_greedy": 1.0}),
+        ]
+        rows, text = table4_5_initializer_wins(wins)
+        assert rows["table4"]["P=4"]["source"] == 1
+        assert rows["table4"]["P=4"]["bsp_greedy"] == 1
+        assert "Table 4" in text and "Table 5" in text
+
+
+class TestFormatGrid:
+    def test_format_grid_alignment_and_missing_cells(self):
+        rows = {"row1": {"a": "1", "b": "2"}, "row2": {"a": "3"}}
+        text = format_grid(rows, "name", "Title")
+        assert text.startswith("Title")
+        assert "row2" in text
+        assert "-" in text.splitlines()[-1]  # missing cell rendered as '-'
