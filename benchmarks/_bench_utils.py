@@ -1,8 +1,10 @@
-"""Helpers shared by the benchmark modules (table persistence, output directory)."""
+"""Helpers shared by the benchmark modules (table/JSON persistence, output directory)."""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -12,3 +14,16 @@ def save_table(name: str, text: str) -> None:
     print("\n" + text + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def save_json(name: str, payload: Any) -> Path:
+    """Persist a JSON-serialisable payload under ``benchmarks/results/``.
+
+    Used by the kernel micro-benchmarks so that successive PRs can track the
+    performance trajectory (the files are stable, machine-readable records
+    of timings and speedups).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,174 @@
+"""Micro-benchmarks: CSR DAG kernels vs. the seed list-of-lists implementations.
+
+Measures ``levels``, ``bottom_levels`` and full-neighbourhood iteration on
+layered random DAGs of 10k and 100k nodes:
+
+* **seed** — the pure-Python reference kernels in
+  :mod:`repro.core.reference`, which mirror the pre-CSR container
+  (list-of-lists adjacency, per-node Python loops, copying accessors);
+* **csr** — the vectorized kernels behind the CSR-backed
+  :class:`~repro.core.dag.ComputationalDAG`.
+
+Results (timings plus speedups) are printed and persisted as JSON under
+``benchmarks/results/bench_dag_kernels.json`` via
+:func:`_bench_utils.save_json`, so future PRs can track the trajectory.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_dag_kernels.py``)
+or through pytest (``pytest benchmarks/bench_dag_kernels.py``); the pytest
+entry point also asserts the >= 5x acceptance threshold on the 100k DAG.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))  # for direct execution
+from _bench_utils import save_json
+
+from repro.core import ComputationalDAG, DagBuilder
+from repro.core import csr
+from repro.core import reference as ref
+
+SIZES = (10_000, 100_000)
+ACCEPTANCE_SIZE = 100_000
+# >= 5x is the acceptance target on a quiet machine; shared CI runners can
+# override the floor (REPRO_BENCH_MIN_SPEEDUP) so load spikes don't gate PRs
+ACCEPTANCE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+
+
+# ---------------------------------------------------------------------- #
+# instance generation
+# ---------------------------------------------------------------------- #
+def build_layered_dag(
+    num_nodes: int, num_layers: int = 64, out_degree: int = 3, seed: int = 0
+) -> ComputationalDAG:
+    """Random layered DAG: every node gets ``out_degree`` targets in the next layer."""
+    rng = np.random.default_rng(seed)
+    layer_of = np.sort(rng.integers(0, num_layers, size=num_nodes))
+    builder = DagBuilder(name=f"layered_{num_nodes}")
+    builder.add_nodes_array(
+        rng.integers(1, 6, size=num_nodes).astype(np.float64),
+        rng.integers(1, 4, size=num_nodes).astype(np.float64),
+    )
+    starts = np.searchsorted(layer_of, np.arange(num_layers + 1))
+    for layer in range(num_layers - 1):
+        src_lo, src_hi = int(starts[layer]), int(starts[layer + 1])
+        dst_lo, dst_hi = int(starts[layer + 1]), int(starts[layer + 2])
+        if src_hi == src_lo or dst_hi == dst_lo:
+            continue
+        sources = np.repeat(np.arange(src_lo, src_hi), out_degree)
+        targets = rng.integers(dst_lo, dst_hi, size=sources.size)
+        builder.add_edges_array(*csr.dedupe_edges(num_nodes, sources, targets))
+    return builder.freeze()
+
+
+# ---------------------------------------------------------------------- #
+# timing helpers
+# ---------------------------------------------------------------------- #
+def _best_of(callable_, repeats: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_one_size(num_nodes: int) -> dict:
+    dag = build_layered_dag(num_nodes)
+    succ, pred = ref.adjacency_from_edges(
+        dag.num_nodes, list(zip(*[a.tolist() for a in dag.edge_arrays()]))
+    )
+    work = dag.work_weights.tolist()
+
+    # both sides run on pre-built adjacency: the seed side owned its lists,
+    # the CSR side builds its arrays once per DAG (timed separately below)
+    build_time, _ = _best_of(lambda: dag.copy().succ_indptr)
+    succ_indptr, succ_indices = dag.succ_indptr, dag.succ_indices
+    pred_indptr = dag.pred_indptr
+    work_arr = dag.work_weights
+
+    timings: dict[str, dict[str, float]] = {}
+
+    # --- levels -------------------------------------------------------- #
+    seed_time, seed_levels = _best_of(lambda: ref.levels_ref(succ, pred))
+    csr_time, csr_levels_result = _best_of(
+        lambda: csr.topological_levels(num_nodes, succ_indptr, succ_indices, pred_indptr)
+    )
+    assert csr_levels_result.tolist() == seed_levels, "levels kernels disagree"
+    timings["levels"] = {"seed_s": seed_time, "csr_s": csr_time, "speedup": seed_time / csr_time}
+
+    # --- bottom levels -------------------------------------------------- #
+    levels = csr_levels_result
+    seed_time, seed_bl = _best_of(lambda: ref.bottom_levels_ref(succ, pred, work))
+    csr_time, csr_bl = _best_of(
+        lambda: csr.bottom_levels_csr(levels, succ_indptr, succ_indices, work_arr)
+    )
+    assert csr_bl.tolist() == seed_bl, "bottom-level kernels disagree"
+    timings["bottom_levels"] = {"seed_s": seed_time, "csr_s": csr_time, "speedup": seed_time / csr_time}
+
+    # --- neighbourhood iteration ---------------------------------------- #
+    # seed: copying accessor semantics (fresh list per visited node)
+    def seed_neighbourhood_sweep():
+        total = 0
+        for v in range(len(succ)):
+            total += len(list(succ[v]))
+        return total
+
+    # csr: one vectorized pass over the flat successor array
+    def csr_neighbourhood_sweep():
+        return int(np.diff(dag.succ_indptr).sum())
+
+    seed_time, seed_total = _best_of(seed_neighbourhood_sweep)
+    csr_time, csr_total = _best_of(csr_neighbourhood_sweep)
+    assert seed_total == csr_total == dag.num_edges
+    timings["neighbourhood_sweep"] = {
+        "seed_s": seed_time,
+        "csr_s": csr_time,
+        "speedup": seed_time / csr_time,
+    }
+
+    return {
+        "num_nodes": dag.num_nodes,
+        "num_edges": dag.num_edges,
+        "depth": dag.depth(),
+        "csr_build_s": build_time,
+        "kernels": timings,
+    }
+
+
+def run_benchmarks() -> dict:
+    report = {"sizes": [bench_one_size(n) for n in SIZES]}
+    save_json("bench_dag_kernels", report)
+    for entry in report["sizes"]:
+        print(f"\nn={entry['num_nodes']} m={entry['num_edges']} depth={entry['depth']}")
+        for kernel, t in entry["kernels"].items():
+            print(
+                f"  {kernel:20s} seed {t['seed_s'] * 1e3:9.2f} ms   "
+                f"csr {t['csr_s'] * 1e3:8.2f} ms   speedup {t['speedup']:7.1f}x"
+            )
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry point
+# ---------------------------------------------------------------------- #
+def test_csr_kernels_meet_acceptance_speedup():
+    """levels/bottom_levels must be >= 5x faster than the seed path at 100k nodes."""
+    report = run_benchmarks()
+    big = next(e for e in report["sizes"] if e["num_nodes"] == ACCEPTANCE_SIZE)
+    for kernel in ("levels", "bottom_levels"):
+        speedup = big["kernels"][kernel]["speedup"]
+        assert speedup >= ACCEPTANCE_SPEEDUP, (
+            f"{kernel} speedup {speedup:.1f}x below the {ACCEPTANCE_SPEEDUP}x target"
+        )
+
+
+if __name__ == "__main__":
+    run_benchmarks()

@@ -18,6 +18,11 @@ node-count intervals.
 
 from __future__ import annotations
 
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -37,6 +42,7 @@ __all__ = [
     "MachineSpec",
     "InstanceRecord",
     "ExperimentRunner",
+    "run_grid",
     "no_numa_machine_grid",
     "numa_machine_grid",
     "run_no_numa_grid",
@@ -190,14 +196,161 @@ class ExperimentRunner:
         self,
         instances: Iterable[DatasetInstance],
         specs: Iterable[MachineSpec],
+        workers: int | None = None,
     ) -> list[InstanceRecord]:
-        """Cartesian product of instances and machine points."""
-        records = []
-        specs = list(specs)
-        for instance in instances:
-            for spec in specs:
-                records.append(self.run_instance(instance, spec))
-        return records
+        """Cartesian product of instances and machine points.
+
+        ``workers`` > 1 distributes the grid over a process pool; see
+        :func:`run_grid` for the guarantees.
+        """
+        return run_grid(self, instances, specs, workers=workers)
+
+
+# ---------------------------------------------------------------------- #
+# process-parallel grid execution
+# ---------------------------------------------------------------------- #
+def _default_workers() -> int:
+    """Worker count from the ``REPRO_WORKERS`` environment knob (default 1)."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(int(raw), 1)
+    except ValueError:
+        warnings.warn(f"ignoring non-integer REPRO_WORKERS={raw!r}", stacklevel=2)
+        return 1
+
+
+#: per-worker runner installed by the pool initializer, so the (potentially
+#: heavy) runner configuration is pickled once per worker, not per grid point
+_WORKER_RUNNER: "ExperimentRunner | None" = None
+
+
+def _init_grid_worker(runner: "ExperimentRunner") -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+
+
+def _run_grid_task(
+    task: tuple[DatasetInstance, list[MachineSpec]]
+) -> list[InstanceRecord]:
+    """Module-level trampoline so grid tasks are picklable for the pool.
+
+    A task is one instance plus the machine specs to run it on, so a heavy
+    instance crosses the worker pipe once per task, not once per spec.
+    """
+    instance, specs = task
+    assert _WORKER_RUNNER is not None
+    return [_WORKER_RUNNER.run_instance(instance, spec) for spec in specs]
+
+
+def run_grid(
+    runner: "ExperimentRunner",
+    instances: Iterable[DatasetInstance],
+    specs: Iterable[MachineSpec],
+    workers: int | None = None,
+) -> list[InstanceRecord]:
+    """Run the ``instances × specs`` grid, optionally process-parallel.
+
+    Every grid point is independent (the runner re-seeds its schedulers per
+    instance), so the grid is embarrassingly parallel.  Results always come
+    back in the deterministic serial order — instance-major, spec-minor —
+    regardless of ``workers``.  When the pipeline configuration is free of
+    wall-clock budgets (``local_search_seconds=None`` and friends), every
+    scheduler is deterministic and a parallel run reproduces the serial
+    records bit-for-bit; with wall-clock budgets the *set* of grid points
+    and their ordering are still identical, but local-search depth can vary
+    with machine load, parallel or not.
+
+    ``workers=None`` reads the ``REPRO_WORKERS`` environment variable
+    (default 1 = serial).  If the platform cannot provide a process pool
+    (no ``fork``/``spawn``, sandboxed interpreter, unpicklable runner
+    configuration), the grid gracefully falls back to serial execution with
+    a warning instead of failing; exceptions raised by the experiment
+    itself — including an individual instance that cannot be serialised —
+    cancel the remaining grid points and propagate promptly.
+    """
+    instances = list(instances)
+    specs = list(specs)
+    pairs = [(instance, spec) for instance in instances for spec in specs]
+    if workers is None:
+        workers = _default_workers()
+
+    def serial() -> list[InstanceRecord]:
+        return [runner.run_instance(instance, spec) for instance, spec in pairs]
+
+    if workers <= 1 or len(pairs) <= 1:
+        return serial()
+
+    # pre-flight: prove the shared configuration can cross a process
+    # boundary (pickle signals this with TypeError/AttributeError/ValueError
+    # as often as with PicklingError).  Only the small shared payloads are
+    # probed — serialising the full instance list here would double the
+    # pickling work and materialise a dataset-sized blob; an unpicklable
+    # individual instance instead fails fast below.
+    try:
+        pickle.dumps((runner, specs))
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError) as exc:
+        warnings.warn(
+            f"grid inputs are not picklable ({exc!r}); running the grid serially",
+            stacklevel=2,
+        )
+        return serial()
+
+    # one task per instance when that saturates the pool (the instance then
+    # crosses the pipe once, not once per spec); otherwise one task per pair
+    if len(instances) >= workers or len(specs) == 1:
+        tasks = [(instance, specs) for instance in instances]
+    else:
+        tasks = [(instance, [spec]) for instance, spec in pairs]
+
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            initializer=_init_grid_worker,
+            initargs=(runner,),
+        )
+    except (OSError, ImportError, NotImplementedError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running the grid serially",
+            stacklevel=2,
+        )
+        return serial()
+    try:
+        futures = [pool.submit(_run_grid_task, task) for task in tasks]
+    except BaseException:
+        pool.shutdown(cancel_futures=True)
+        raise
+    results: list[list[InstanceRecord] | None] = [None] * len(tasks)
+    broken: BrokenProcessPool | None = None
+    for index, future in enumerate(futures):
+        try:
+            results[index] = future.result()
+        except BrokenProcessPool as exc:
+            # crashed/killed worker: keep harvesting what did complete
+            broken = exc
+        except BaseException:
+            # a genuine experiment error — including an instance that fails
+            # task-level pickling — cancels the remaining grid points and
+            # propagates promptly instead of sitting through the whole grid
+            pool.shutdown(cancel_futures=True)
+            raise
+    pool.shutdown(cancel_futures=True)
+    if broken is not None:
+        # recompute only the tasks that never finished; completed parallel
+        # results are kept rather than thrown away
+        warnings.warn(
+            f"process pool failed ({broken!r}); recomputing "
+            f"{sum(r is None for r in results)} unfinished task(s) serially",
+            stacklevel=2,
+        )
+        for index, task in enumerate(tasks):
+            if results[index] is None:
+                instance, task_specs = task
+                results[index] = [
+                    runner.run_instance(instance, spec) for spec in task_specs
+                ]
+    return [record for chunk in results for record in chunk]  # type: ignore[union-attr]
 
 
 # ---------------------------------------------------------------------- #
@@ -265,13 +418,16 @@ def run_no_numa_grid(
     include_list_baselines: bool = False,
     max_instances_per_dataset: int | None = None,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[InstanceRecord]:
     """The uniform-BSP experiment of Section 7.1 (Tables 1, 6–8; Figure 5)."""
     runner = ExperimentRunner(
         config=config, include_list_baselines=include_list_baselines, seed=seed
     )
     instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
-    return runner.run(instances, no_numa_machine_grid(procs, g_values, latency))
+    return runner.run(
+        instances, no_numa_machine_grid(procs, g_values, latency), workers=workers
+    )
 
 
 def run_numa_grid(
@@ -286,6 +442,7 @@ def run_numa_grid(
     include_trivial: bool = False,
     max_instances_per_dataset: int | None = None,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[InstanceRecord]:
     """The NUMA experiment of Section 7.2/7.3 (Tables 2, 3, 10, 13, 14; Figure 6)."""
     runner = ExperimentRunner(
@@ -295,7 +452,9 @@ def run_numa_grid(
         seed=seed,
     )
     instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
-    return runner.run(instances, numa_machine_grid(procs, deltas, g, latency))
+    return runner.run(
+        instances, numa_machine_grid(procs, deltas, g, latency), workers=workers
+    )
 
 
 def run_latency_sweep(
@@ -307,12 +466,13 @@ def run_latency_sweep(
     config: PipelineConfig | None = None,
     max_instances: int | None = None,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[InstanceRecord]:
     """The latency experiment of Appendix C.3 (Table 9)."""
     runner = ExperimentRunner(config=config, seed=seed)
     instances = _dataset_instances((dataset,), scale, seed, max_instances)
     specs = [MachineSpec(procs, g, latency) for latency in latencies]
-    return runner.run(instances, specs)
+    return runner.run(instances, specs, workers=workers)
 
 
 def run_huge_experiment(
@@ -325,6 +485,7 @@ def run_huge_experiment(
     local_search_seconds: float | None = 5.0,
     max_instances: int | None = None,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[InstanceRecord]:
     """The huge-dataset experiment of Appendix C.5 (Tables 11, 12; Figure 7).
 
@@ -339,7 +500,7 @@ def run_huge_experiment(
         specs = numa_machine_grid((8, 16), deltas, 1.0, latency)
     else:
         specs = no_numa_machine_grid(procs, g_values, latency)
-    return runner.run(instances, specs)
+    return runner.run(instances, specs, workers=workers)
 
 
 # ---------------------------------------------------------------------- #

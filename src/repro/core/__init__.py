@@ -3,7 +3,7 @@
 from .classical import ClassicalSchedule, classical_to_bsp
 from .comm import CommStep, CommWindow, eager_comm_schedule, lazy_comm_schedule, required_transfers
 from .cost import CostBreakdown, evaluate_cost
-from .dag import ComputationalDAG, EdgeView
+from .dag import ComputationalDAG, DagBuilder, EdgeView
 from .exceptions import (
     ConfigurationError,
     CycleError,
@@ -37,6 +37,7 @@ __all__ = [
     "ConfigurationError",
     "CostBreakdown",
     "CycleError",
+    "DagBuilder",
     "DagError",
     "EdgeView",
     "MachineError",

@@ -1,4 +1,4 @@
-"""Weighted computational DAG container.
+"""Weighted computational DAG container backed by CSR adjacency.
 
 A :class:`ComputationalDAG` stores the structure of a computation as used
 throughout the paper (Section 3.1): nodes are operations, directed edges are
@@ -14,12 +14,23 @@ cached; every mutation invalidates the caches.
 
 Implementation notes
 --------------------
-Adjacency is stored as Python lists of lists (successor and predecessor
-lists) because the schedulers traverse neighbourhoods node-by-node; the
-weight vectors are numpy arrays so that aggregate quantities (total work,
-load sums) vectorise.  This follows the HPC-Python guidance of keeping the
-hot aggregate math in numpy while leaving irregular graph traversals in
-plain Python structures.
+Adjacency lives in flat edge buffers (``source``/``target`` int64 arrays
+with capacity doubling, so ``add_node``/``add_edge`` are amortized O(1))
+from which two CSR (compressed sparse row) views are materialised lazily:
+``succ_indptr``/``succ_indices`` and ``pred_indptr``/``pred_indices``.
+Rows preserve edge insertion order, so neighbourhood traversals visit
+exactly the same sequence as the historical list-of-lists container.  The
+derived kernels (levels, bottom levels, reachability, induced subgraphs)
+are vectorized over the CSR arrays in :mod:`repro.core.csr`; mutating the
+DAG simply drops the CSR arrays and they are rebuilt in ``O(n + m)`` on the
+next structural query (*lazy rebuild* — no caller of the mutation API needs
+to change).
+
+For bulk construction, :class:`DagBuilder` exposes the same append API
+without any per-edge validation (plus vectorized ``add_edges_array``) and
+``freeze()``-s into a :class:`ComputationalDAG` with a single vectorized
+duplicate check.  The DAG-database generators and the coarsening quotient
+builder emit their edge buffers directly through it.
 """
 
 from __future__ import annotations
@@ -30,9 +41,19 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from .csr import (
+    bottom_levels_csr,
+    build_csr,
+    gather_rows,
+    has_path_csr,
+    reachable_mask,
+    topological_levels,
+)
 from .exceptions import CycleError, DagError
 
-__all__ = ["ComputationalDAG", "EdgeView"]
+__all__ = ["ComputationalDAG", "DagBuilder", "EdgeView"]
+
+_INT = np.int64
 
 
 @dataclass(frozen=True)
@@ -41,6 +62,54 @@ class EdgeView:
 
     source: int
     target: int
+
+
+def _grow(buffer: np.ndarray, needed: int) -> np.ndarray:
+    """Return a buffer of capacity >= ``needed`` (amortized doubling)."""
+    capacity = buffer.shape[0]
+    if needed <= capacity:
+        return buffer
+    new_capacity = max(needed, 2 * capacity, 16)
+    grown = np.empty(new_capacity, dtype=buffer.dtype)
+    grown[:capacity] = buffer
+    return grown
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def _append_node(
+    work_buf: np.ndarray, comm_buf: np.ndarray, n: int, work: float, comm: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append one weight pair at index ``n`` (shared by DAG and builder)."""
+    if work < 0 or comm < 0:
+        raise DagError("node weights must be non-negative")
+    work_buf = _grow(work_buf, n + 1)
+    comm_buf = _grow(comm_buf, n + 1)
+    work_buf[n] = float(work)
+    comm_buf[n] = float(comm)
+    return work_buf, comm_buf
+
+
+def _append_nodes(
+    work_buf: np.ndarray,
+    comm_buf: np.ndarray,
+    n: int,
+    count: int,
+    work: float,
+    comm: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append ``count`` identical weight pairs starting at index ``n``."""
+    if work < 0 or comm < 0:
+        raise DagError("node weights must be non-negative")
+    work_buf = _grow(work_buf, n + count)
+    comm_buf = _grow(comm_buf, n + count)
+    work_buf[n : n + count] = float(work)
+    comm_buf[n : n + count] = float(comm)
+    return work_buf, comm_buf
 
 
 class ComputationalDAG:
@@ -70,12 +139,37 @@ class ComputationalDAG:
         if num_nodes < 0:
             raise DagError(f"num_nodes must be non-negative, got {num_nodes}")
         self.name = name
-        self._succ: list[list[int]] = [[] for _ in range(num_nodes)]
-        self._pred: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._n = int(num_nodes)
         self._work = self._init_weights(work_weights, num_nodes, "work_weights")
         self._comm = self._init_weights(comm_weights, num_nodes, "comm_weights")
-        self._num_edges = 0
+        self._m = 0
+        self._esrc = np.empty(0, dtype=_INT)
+        self._edst = np.empty(0, dtype=_INT)
+        self._edge_set: set[tuple[int, int]] | None = set()
         self._invalidate()
+
+    @classmethod
+    def _from_buffers(
+        cls,
+        num_nodes: int,
+        work: np.ndarray,
+        comm: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        name: str,
+    ) -> "ComputationalDAG":
+        """Adopt pre-validated buffers without copying (builder fast path)."""
+        dag = cls.__new__(cls)
+        dag.name = name
+        dag._n = int(num_nodes)
+        dag._work = work
+        dag._comm = comm
+        dag._m = int(sources.shape[0])
+        dag._esrc = sources
+        dag._edst = targets
+        dag._edge_set = None  # materialised lazily, only if mutated/queried
+        dag._invalidate()
+        return dag
 
     # ------------------------------------------------------------------ #
     # construction
@@ -95,20 +189,55 @@ class ComputationalDAG:
             raise DagError(f"{label} must be non-negative")
         return arr.copy()
 
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_nodes: int,
+        sources: np.ndarray | Sequence[int],
+        targets: np.ndarray | Sequence[int],
+        work_weights: Sequence[float] | None = None,
+        comm_weights: Sequence[float] | None = None,
+        name: str = "dag",
+        *,
+        validate: bool = True,
+    ) -> "ComputationalDAG":
+        """Build a DAG from parallel edge arrays in one shot.
+
+        With ``validate`` (default) the edge arrays are checked for
+        out-of-range endpoints, self-loops and duplicates using vectorized
+        passes; acyclicity is, as everywhere, verified lazily on the first
+        topological query.
+        """
+        if num_nodes < 0:
+            raise DagError(f"num_nodes must be non-negative, got {num_nodes}")
+        src = np.ascontiguousarray(sources, dtype=_INT)
+        dst = np.ascontiguousarray(targets, dtype=_INT)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise DagError("sources and targets must be 1-D arrays of equal length")
+        if validate:
+            _validate_edge_arrays(num_nodes, src, dst)
+        work = cls._init_weights(work_weights, num_nodes, "work_weights")
+        comm = cls._init_weights(comm_weights, num_nodes, "comm_weights")
+        return cls._from_buffers(num_nodes, work, comm, src.copy(), dst.copy(), name)
+
     def add_node(self, work: float = 1.0, comm: float = 1.0) -> int:
-        """Append a node and return its index."""
-        if work < 0 or comm < 0:
-            raise DagError("node weights must be non-negative")
-        self._succ.append([])
-        self._pred.append([])
-        self._work = np.append(self._work, float(work))
-        self._comm = np.append(self._comm, float(comm))
+        """Append a node and return its index (amortized O(1))."""
+        self._work, self._comm = _append_node(self._work, self._comm, self._n, work, comm)
+        self._n += 1
         self._invalidate()
-        return len(self._succ) - 1
+        return self._n - 1
 
     def add_nodes(self, count: int, work: float = 1.0, comm: float = 1.0) -> list[int]:
         """Append ``count`` nodes with identical weights; return their indices."""
-        return [self.add_node(work, comm) for _ in range(count)]
+        if count <= 0:
+            return []
+        self._work, self._comm = _append_nodes(
+            self._work, self._comm, self._n, count, work, comm
+        )
+        first = self._n
+        self._n += count
+        self._invalidate()
+        return list(range(first, self._n))
 
     def add_edge(self, source: int, target: int, *, check_cycle: bool = False) -> None:
         """Add the directed edge ``source -> target``.
@@ -117,20 +246,31 @@ class ComputationalDAG:
         is only inserted if it does not create a directed cycle (an O(E)
         reachability check); otherwise acyclicity is verified lazily the
         first time a topological order is requested.
+
+        Note that ``check_cycle=True`` forces a CSR rebuild per insertion
+        (each mutation invalidates the arrays the reachability check reads),
+        so *bulk* validated construction should instead build unchecked and
+        rely on the lazy acyclicity check of the first topological query.
         """
         self._check_node(source)
         self._check_node(target)
+        source = int(source)
+        target = int(target)
         if source == target:
             raise CycleError(f"self-loop on node {source} is not allowed")
-        if target in self._succ[source]:
+        edge_set = self._ensure_edge_set()
+        if (source, target) in edge_set:
             raise DagError(f"duplicate edge ({source}, {target})")
         if check_cycle and self.has_path(target, source):
             raise CycleError(
                 f"edge ({source}, {target}) would create a directed cycle"
             )
-        self._succ[source].append(target)
-        self._pred[target].append(source)
-        self._num_edges += 1
+        self._esrc = _grow(self._esrc, self._m + 1)
+        self._edst = _grow(self._edst, self._m + 1)
+        self._esrc[self._m] = source
+        self._edst[self._m] = target
+        self._m += 1
+        edge_set.add((source, target))
         self._invalidate()
 
     def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
@@ -139,13 +279,39 @@ class ComputationalDAG:
             self.add_edge(u, v)
 
     def _check_node(self, v: int) -> None:
-        if not 0 <= v < len(self._succ):
-            raise DagError(f"node {v} does not exist (n={len(self._succ)})")
+        if not 0 <= v < self._n:
+            raise DagError(f"node {v} does not exist (n={self._n})")
+
+    def _ensure_edge_set(self) -> set[tuple[int, int]]:
+        if self._edge_set is None:
+            self._edge_set = set(
+                zip(self._esrc[: self._m].tolist(), self._edst[: self._m].tolist())
+            )
+        return self._edge_set
 
     def _invalidate(self) -> None:
+        """Drop the CSR arrays and every derived cache (called on mutation)."""
+        self._succ_indptr: np.ndarray | None = None
+        self._succ_indices: np.ndarray | None = None
+        self._pred_indptr: np.ndarray | None = None
+        self._pred_indices: np.ndarray | None = None
         self._topo_cache: list[int] | None = None
         self._level_cache: np.ndarray | None = None
         self._bottom_level_cache: np.ndarray | None = None
+
+    def _ensure_csr(self) -> None:
+        if self._succ_indptr is not None:
+            return
+        src = self._esrc[: self._m]
+        dst = self._edst[: self._m]
+        succ_indptr, succ_indices = build_csr(self._n, src, dst)
+        pred_indptr, pred_indices = build_csr(self._n, dst, src)
+        for array in (succ_indptr, succ_indices, pred_indptr, pred_indices):
+            array.flags.writeable = False
+        self._succ_indptr = succ_indptr
+        self._succ_indices = succ_indices
+        self._pred_indptr = pred_indptr
+        self._pred_indices = pred_indices
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -153,26 +319,22 @@ class ComputationalDAG:
     @property
     def num_nodes(self) -> int:
         """Number of nodes ``n``."""
-        return len(self._succ)
+        return self._n
 
     @property
     def num_edges(self) -> int:
         """Number of directed edges."""
-        return self._num_edges
+        return self._m
 
     @property
     def work_weights(self) -> np.ndarray:
         """Work weight vector ``w`` (read-only view)."""
-        view = self._work.view()
-        view.flags.writeable = False
-        return view
+        return _readonly(self._work[: self._n])
 
     @property
     def comm_weights(self) -> np.ndarray:
         """Communication weight vector ``c`` (read-only view)."""
-        view = self._comm.view()
-        view.flags.writeable = False
-        return view
+        return _readonly(self._comm[: self._n])
 
     def work(self, v: int) -> float:
         """Work weight ``w(v)``."""
@@ -188,6 +350,7 @@ class ComputationalDAG:
             raise DagError("work weight must be non-negative")
         self._check_node(v)
         self._work[v] = value
+        self._bottom_level_cache = None
 
     def set_comm(self, v: int, value: float) -> None:
         """Set ``c(v)``."""
@@ -196,59 +359,141 @@ class ComputationalDAG:
         self._check_node(v)
         self._comm[v] = value
 
+    def set_work_weights(self, values: Sequence[float]) -> None:
+        """Replace the whole work weight vector in one vectorized assignment."""
+        self._work[: self._n] = self._init_weights(values, self._n, "work_weights")
+        self._bottom_level_cache = None
+
+    def set_comm_weights(self, values: Sequence[float]) -> None:
+        """Replace the whole communication weight vector."""
+        self._comm[: self._n] = self._init_weights(values, self._n, "comm_weights")
+
     @property
     def total_work(self) -> float:
         """Sum of all work weights."""
-        return float(self._work.sum())
+        return float(self._work[: self._n].sum())
 
     @property
     def total_comm(self) -> float:
         """Sum of all communication weights."""
-        return float(self._comm.sum())
+        return float(self._comm[: self._n].sum())
+
+    # ------------------------------------------------------------------ #
+    # adjacency access
+    # ------------------------------------------------------------------ #
+    @property
+    def succ_indptr(self) -> np.ndarray:
+        """CSR row pointer of the successor structure (read-only)."""
+        self._ensure_csr()
+        return self._succ_indptr  # type: ignore[return-value]
+
+    @property
+    def succ_indices(self) -> np.ndarray:
+        """CSR column indices of the successor structure (read-only)."""
+        self._ensure_csr()
+        return self._succ_indices  # type: ignore[return-value]
+
+    @property
+    def pred_indptr(self) -> np.ndarray:
+        """CSR row pointer of the predecessor structure (read-only)."""
+        self._ensure_csr()
+        return self._pred_indptr  # type: ignore[return-value]
+
+    @property
+    def pred_indices(self) -> np.ndarray:
+        """CSR column indices of the predecessor structure (read-only)."""
+        self._ensure_csr()
+        return self._pred_indices  # type: ignore[return-value]
+
+    def succ(self, v: int) -> np.ndarray:
+        """Direct successors of ``v`` as a zero-copy read-only array slice."""
+        self._check_node(v)
+        self._ensure_csr()
+        return self._succ_indices[self._succ_indptr[v] : self._succ_indptr[v + 1]]
+
+    def pred(self, v: int) -> np.ndarray:
+        """Direct predecessors of ``v`` as a zero-copy read-only array slice."""
+        self._check_node(v)
+        self._ensure_csr()
+        return self._pred_indices[self._pred_indptr[v] : self._pred_indptr[v + 1]]
 
     def successors(self, v: int) -> list[int]:
-        """Direct successors (out-neighbours) of ``v``."""
-        self._check_node(v)
-        return list(self._succ[v])
+        """Direct successors (out-neighbours) of ``v`` as a fresh list.
+
+        Prefer :meth:`succ` in hot loops; this list-returning accessor is
+        kept for compatibility and convenience.
+        """
+        return self.succ(v).tolist()
 
     def predecessors(self, v: int) -> list[int]:
-        """Direct predecessors (in-neighbours) of ``v``."""
-        self._check_node(v)
-        return list(self._pred[v])
+        """Direct predecessors (in-neighbours) of ``v`` as a fresh list.
+
+        Prefer :meth:`pred` in hot loops.
+        """
+        return self.pred(v).tolist()
 
     def out_degree(self, v: int) -> int:
         """Number of direct successors of ``v``."""
         self._check_node(v)
-        return len(self._succ[v])
+        self._ensure_csr()
+        return int(self._succ_indptr[v + 1] - self._succ_indptr[v])
 
     def in_degree(self, v: int) -> int:
         """Number of direct predecessors of ``v``."""
         self._check_node(v)
-        return len(self._pred[v])
+        self._ensure_csr()
+        return int(self._pred_indptr[v + 1] - self._pred_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of all out-degrees."""
+        self._ensure_csr()
+        return np.diff(self._succ_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of all in-degrees."""
+        self._ensure_csr()
+        return np.diff(self._pred_indptr)
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether the directed edge ``u -> v`` exists."""
-        self._check_node(u)
+        """Whether the directed edge ``u -> v`` exists (O(out-degree) scan).
+
+        Reads the CSR row directly; the edge set used for incremental
+        duplicate checks is only materialised by :meth:`add_edge`.
+        """
         self._check_node(v)
-        return v in self._succ[u]
+        return bool((self.succ(u) == int(v)).any())
 
     def nodes(self) -> range:
         """Iterable of all node indices."""
-        return range(self.num_nodes)
+        return range(self._n)
 
     def edges(self) -> Iterator[EdgeView]:
         """Iterate over all edges as :class:`EdgeView` objects."""
-        for u, targets in enumerate(self._succ):
-            for v in targets:
-                yield EdgeView(u, v)
+        sources, targets = self.edge_arrays()
+        for u, v in zip(sources.tolist(), targets.tolist()):
+            yield EdgeView(u, v)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel ``(sources, targets)`` arrays of all edges (read-only).
+
+        Edges are ordered by source, with insertion order within each
+        source — the same order as :meth:`edges`.
+        """
+        self._ensure_csr()
+        sources = np.repeat(
+            np.arange(self._n, dtype=_INT), np.diff(self._succ_indptr)
+        )
+        return _readonly(sources), self._succ_indices  # type: ignore[return-value]
 
     def sources(self) -> list[int]:
         """Nodes with no predecessors."""
-        return [v for v in self.nodes() if not self._pred[v]]
+        self._ensure_csr()
+        return np.flatnonzero(np.diff(self._pred_indptr) == 0).tolist()
 
     def sinks(self) -> list[int]:
         """Nodes with no successors."""
-        return [v for v in self.nodes() if not self._succ[v]]
+        self._ensure_csr()
+        return np.flatnonzero(np.diff(self._succ_indptr) == 0).tolist()
 
     # ------------------------------------------------------------------ #
     # structural algorithms
@@ -256,23 +501,30 @@ class ComputationalDAG:
     def topological_order(self) -> list[int]:
         """A topological order of the nodes (Kahn's algorithm, cached).
 
+        The order matches the historical FIFO Kahn traversal exactly, so
+        every order-sensitive consumer (batched ILP windows, superstep
+        numbering, ...) behaves identically to the list-based container.
+
         Raises
         ------
         CycleError
             If the graph contains a directed cycle.
         """
         if self._topo_cache is None:
-            indeg = [len(p) for p in self._pred]
-            queue = deque(v for v in self.nodes() if indeg[v] == 0)
+            self._ensure_csr()
+            indptr = self._succ_indptr.tolist()  # type: ignore[union-attr]
+            succ = self._succ_indices.tolist()  # type: ignore[union-attr]
+            indegree = np.diff(self._pred_indptr).tolist()
+            queue = deque(v for v in range(self._n) if indegree[v] == 0)
             order: list[int] = []
             while queue:
                 v = queue.popleft()
                 order.append(v)
-                for w in self._succ[v]:
-                    indeg[w] -= 1
-                    if indeg[w] == 0:
+                for w in succ[indptr[v] : indptr[v + 1]]:
+                    indegree[w] -= 1
+                    if indegree[w] == 0:
                         queue.append(w)
-            if len(order) != self.num_nodes:
+            if len(order) != self._n:
                 raise CycleError("graph contains a directed cycle")
             self._topo_cache = order
         return list(self._topo_cache)
@@ -280,51 +532,59 @@ class ComputationalDAG:
     def is_acyclic(self) -> bool:
         """Whether the graph is a DAG."""
         try:
-            self.topological_order()
+            self._levels_internal()
             return True
         except CycleError:
             return False
+
+    def _levels_internal(self) -> np.ndarray:
+        if self._level_cache is None:
+            self._ensure_csr()
+            self._level_cache = topological_levels(
+                self._n,
+                self._succ_indptr,
+                self._succ_indices,
+                self._pred_indptr,
+            )
+        return self._level_cache
 
     def levels(self) -> np.ndarray:
         """Top level of every node: length of the longest edge-path from any source.
 
         Sources have level 0.  This is the wavefront index used by
-        level-based schedulers such as HDagg.
+        level-based schedulers such as HDagg.  Computed with the vectorized
+        level-synchronous sweep in :func:`repro.core.csr.topological_levels`.
         """
-        if self._level_cache is None:
-            lvl = np.zeros(self.num_nodes, dtype=np.int64)
-            for v in self.topological_order():
-                for w in self._succ[v]:
-                    if lvl[v] + 1 > lvl[w]:
-                        lvl[w] = lvl[v] + 1
-            self._level_cache = lvl
-        return self._level_cache.copy()
+        return self._levels_internal().copy()
 
     def bottom_levels(self) -> np.ndarray:
         """Bottom level of every node: maximum total work on any path starting at it.
 
         ``bl(v) = w(v) + max_{(v,u) in E} bl(u)`` (and ``bl(v) = w(v)`` for
         sinks).  Used as the priority of the BL-EST list scheduler.
+        Vectorized level group by level group via ``np.maximum.reduceat``.
         """
         if self._bottom_level_cache is None:
-            bl = self._work.copy()
-            for v in reversed(self.topological_order()):
-                if self._succ[v]:
-                    bl[v] = self._work[v] + max(bl[u] for u in self._succ[v])
-            self._bottom_level_cache = bl
+            levels = self._levels_internal()
+            self._bottom_level_cache = bottom_levels_csr(
+                levels,
+                self._succ_indptr,
+                self._succ_indices,
+                self._work[: self._n],
+            )
         return self._bottom_level_cache.copy()
 
     def critical_path_length(self) -> float:
         """Maximum total work along any directed path (the work-span)."""
-        if self.num_nodes == 0:
+        if self._n == 0:
             return 0.0
         return float(self.bottom_levels().max())
 
     def depth(self) -> int:
         """Number of levels (longest path in edges, plus one); 0 for an empty DAG."""
-        if self.num_nodes == 0:
+        if self._n == 0:
             return 0
-        return int(self.levels().max()) + 1
+        return int(self._levels_internal().max()) + 1
 
     def has_path(self, source: int, target: int) -> bool:
         """Whether a directed path from ``source`` to ``target`` exists.
@@ -335,60 +595,60 @@ class ComputationalDAG:
         self._check_node(target)
         if source == target:
             return True
-        seen = {source}
-        stack = [source]
-        while stack:
-            v = stack.pop()
-            for w in self._succ[v]:
-                if w == target:
-                    return True
-                if w not in seen:
-                    seen.add(w)
-                    stack.append(w)
-        return False
+        self._ensure_csr()
+        return has_path_csr(
+            self._succ_indptr, self._succ_indices, int(source), int(target), self._n
+        )
+
+    def descendants_mask(self, v: int) -> np.ndarray:
+        """Boolean mask of all nodes reachable from ``v`` (excluding ``v``)."""
+        self._check_node(v)
+        self._ensure_csr()
+        return reachable_mask(self._succ_indptr, self._succ_indices, int(v), self._n)
+
+    def ancestors_mask(self, v: int) -> np.ndarray:
+        """Boolean mask of all nodes that can reach ``v`` (excluding ``v``)."""
+        self._check_node(v)
+        self._ensure_csr()
+        return reachable_mask(self._pred_indptr, self._pred_indices, int(v), self._n)
 
     def descendants(self, v: int) -> set[int]:
         """All nodes reachable from ``v`` (excluding ``v``)."""
-        self._check_node(v)
-        seen: set[int] = set()
-        stack = list(self._succ[v])
-        while stack:
-            u = stack.pop()
-            if u not in seen:
-                seen.add(u)
-                stack.extend(self._succ[u])
-        return seen
+        return set(np.flatnonzero(self.descendants_mask(v)).tolist())
 
     def ancestors(self, v: int) -> set[int]:
         """All nodes that can reach ``v`` (excluding ``v``)."""
-        self._check_node(v)
-        seen: set[int] = set()
-        stack = list(self._pred[v])
-        while stack:
-            u = stack.pop()
-            if u not in seen:
-                seen.add(u)
-                stack.extend(self._pred[u])
-        return seen
+        return set(np.flatnonzero(self.ancestors_mask(v)).tolist())
 
     def weakly_connected_components(self) -> list[list[int]]:
-        """Weakly connected components, each as a sorted node list."""
-        seen = [False] * self.num_nodes
+        """Weakly connected components, each as a sorted node list.
+
+        Union-find over the flat edge buffers; components are ordered by
+        their smallest member (the historical DFS output order).
+        """
+        parent = list(range(self._n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]  # path halving
+                x = parent[x]
+            return x
+
+        for u, v in zip(self._esrc[: self._m].tolist(), self._edst[: self._m].tolist()):
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[rv] = ru
+
+        members: dict[int, list[int]] = {}
         components: list[list[int]] = []
-        for start in self.nodes():
-            if seen[start]:
-                continue
-            comp = []
-            stack = [start]
-            seen[start] = True
-            while stack:
-                v = stack.pop()
-                comp.append(v)
-                for w in self._succ[v] + self._pred[v]:
-                    if not seen[w]:
-                        seen[w] = True
-                        stack.append(w)
-            components.append(sorted(comp))
+        for v in range(self._n):
+            root = find(v)
+            group = members.get(root)
+            if group is None:
+                group = []
+                members[root] = group
+                components.append(group)
+            group.append(v)
         return components
 
     def largest_connected_component(self) -> "ComputationalDAG":
@@ -398,7 +658,7 @@ class ComputationalDAG:
         (Appendix B.1).  Node indices are relabelled contiguously preserving
         relative order.
         """
-        if self.num_nodes == 0:
+        if self._n == 0:
             return ComputationalDAG(0, name=self.name)
         components = self.weakly_connected_components()
         best = max(components, key=len)
@@ -408,19 +668,35 @@ class ComputationalDAG:
         """Induced sub-DAG on ``nodes`` with contiguous relabelling.
 
         The ``i``-th node of the result corresponds to ``nodes[i]``.
+        Fully vectorized: one ragged gather over the successor rows of
+        ``nodes`` plus a membership filter.
         """
-        index = {v: i for i, v in enumerate(nodes)}
-        sub = ComputationalDAG(
-            len(nodes),
-            work_weights=[self._work[v] for v in nodes],
-            comm_weights=[self._comm[v] for v in nodes],
+        nodes_arr = np.asarray(list(nodes), dtype=_INT)
+        if nodes_arr.size and (
+            nodes_arr.min() < 0 or nodes_arr.max() >= self._n
+        ):
+            raise DagError("induced_subgraph: node index out of range")
+        if np.unique(nodes_arr).size != nodes_arr.size:
+            raise DagError("induced_subgraph: duplicate node ids")
+        self._ensure_csr()
+        index = np.full(self._n, -1, dtype=_INT)
+        index[nodes_arr] = np.arange(nodes_arr.size, dtype=_INT)
+        targets, offsets = gather_rows(
+            self._succ_indptr, self._succ_indices, nodes_arr
+        )
+        new_sources = np.repeat(
+            np.arange(nodes_arr.size, dtype=_INT), np.diff(offsets)
+        )
+        new_targets = index[targets]
+        keep = new_targets >= 0
+        return ComputationalDAG._from_buffers(
+            nodes_arr.size,
+            self._work[nodes_arr],
+            self._comm[nodes_arr],
+            np.ascontiguousarray(new_sources[keep]),
+            np.ascontiguousarray(new_targets[keep]),
             name=f"{self.name}_sub",
         )
-        for v in nodes:
-            for w in self._succ[v]:
-                if w in index:
-                    sub.add_edge(index[v], index[w])
-        return sub
 
     # ------------------------------------------------------------------ #
     # conversions
@@ -459,22 +735,197 @@ class ComputationalDAG:
         return dag
 
     def copy(self) -> "ComputationalDAG":
-        """Deep copy of the DAG."""
-        clone = ComputationalDAG(
-            self.num_nodes,
-            work_weights=self._work,
-            comm_weights=self._comm,
+        """Deep copy of the DAG (array copies, no per-edge work)."""
+        return ComputationalDAG._from_buffers(
+            self._n,
+            self._work[: self._n].copy(),
+            self._comm[: self._n].copy(),
+            self._esrc[: self._m].copy(),
+            self._edst[: self._m].copy(),
             name=self.name,
         )
-        for u, targets in enumerate(self._succ):
-            for v in targets:
-                clone._succ[u].append(v)
-                clone._pred[v].append(u)
-                clone._num_edges += 1
-        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"ComputationalDAG(name={self.name!r}, n={self.num_nodes}, "
             f"m={self.num_edges})"
         )
+
+
+def _check_edge_endpoints(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> None:
+    """Vectorized endpoint-range and self-loop validation of edge arrays."""
+    if src.size == 0:
+        return
+    if src.min() < 0 or dst.min() < 0 or src.max() >= num_nodes or dst.max() >= num_nodes:
+        raise DagError(f"edge endpoint out of range (n={num_nodes})")
+    loops = src == dst
+    if loops.any():
+        v = int(src[np.argmax(loops)])
+        raise CycleError(f"self-loop on node {v} is not allowed")
+
+
+def _check_no_duplicate_edges(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> None:
+    """Vectorized duplicate-edge validation (endpoints must already be valid)."""
+    if src.size == 0:
+        return
+    keys = src * np.int64(num_nodes) + dst
+    if np.unique(keys).size != keys.size:
+        sorted_keys = np.sort(keys)
+        dup = sorted_keys[np.flatnonzero(sorted_keys[1:] == sorted_keys[:-1])[0]]
+        raise DagError(
+            f"duplicate edge ({int(dup // num_nodes)}, {int(dup % num_nodes)})"
+        )
+
+
+def _validate_edge_arrays(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> None:
+    """Vectorized range / self-loop / duplicate validation of edge arrays."""
+    _check_edge_endpoints(num_nodes, src, dst)
+    _check_no_duplicate_edges(num_nodes, src, dst)
+
+
+class DagBuilder:
+    """Mutable DAG construction buffers that :meth:`freeze` into a DAG.
+
+    The builder exposes the same append API as :class:`ComputationalDAG`
+    but performs no per-edge duplicate bookkeeping — everything is plain
+    amortized-O(1) appends into flat numpy buffers, plus the vectorized bulk
+    entry points :meth:`add_nodes_array` and :meth:`add_edges_array`.
+    Validation (duplicate edges) happens once, vectorized, at
+    :meth:`freeze` time; acyclicity stays lazily checked by the frozen DAG
+    like everywhere else.
+
+    The builder remains usable after ``freeze()`` (the frozen DAG owns
+    trimmed copies of the buffers), so one builder can emit a family of
+    growing DAGs.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 0,
+        work_weights: Sequence[float] | None = None,
+        comm_weights: Sequence[float] | None = None,
+        name: str = "dag",
+    ) -> None:
+        if num_nodes < 0:
+            raise DagError(f"num_nodes must be non-negative, got {num_nodes}")
+        self.name = name
+        self._n = int(num_nodes)
+        self._work = ComputationalDAG._init_weights(
+            work_weights, num_nodes, "work_weights"
+        )
+        self._comm = ComputationalDAG._init_weights(
+            comm_weights, num_nodes, "comm_weights"
+        )
+        self._m = 0
+        self._esrc = np.empty(0, dtype=_INT)
+        self._edst = np.empty(0, dtype=_INT)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes appended so far."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges appended so far."""
+        return self._m
+
+    def add_node(self, work: float = 1.0, comm: float = 1.0) -> int:
+        """Append a node and return its index."""
+        self._work, self._comm = _append_node(self._work, self._comm, self._n, work, comm)
+        self._n += 1
+        return self._n - 1
+
+    def add_nodes(self, count: int, work: float = 1.0, comm: float = 1.0) -> list[int]:
+        """Append ``count`` nodes with identical weights; return their indices."""
+        if count <= 0:
+            return []
+        self._work, self._comm = _append_nodes(
+            self._work, self._comm, self._n, count, work, comm
+        )
+        first = self._n
+        self._n += count
+        return list(range(first, self._n))
+
+    def add_nodes_array(
+        self, work_weights: Sequence[float], comm_weights: Sequence[float] | None = None
+    ) -> np.ndarray:
+        """Append one node per entry of ``work_weights``; return their indices."""
+        work = np.asarray(work_weights, dtype=np.float64)
+        comm = (
+            np.ones_like(work)
+            if comm_weights is None
+            else np.asarray(comm_weights, dtype=np.float64)
+        )
+        if work.shape != comm.shape or work.ndim != 1:
+            raise DagError("weight arrays must be 1-D and of equal length")
+        if work.size and (work.min() < 0 or comm.min() < 0):
+            raise DagError("node weights must be non-negative")
+        new_n = self._n + work.size
+        self._work = _grow(self._work, new_n)
+        self._comm = _grow(self._comm, new_n)
+        self._work[self._n : new_n] = work
+        self._comm[self._n : new_n] = comm
+        first = self._n
+        self._n = new_n
+        return np.arange(first, new_n, dtype=_INT)
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Append the edge ``source -> target`` (bounds-checked, O(1))."""
+        if not 0 <= source < self._n:
+            raise DagError(f"node {source} does not exist (n={self._n})")
+        if not 0 <= target < self._n:
+            raise DagError(f"node {target} does not exist (n={self._n})")
+        if source == target:
+            raise CycleError(f"self-loop on node {source} is not allowed")
+        self._esrc = _grow(self._esrc, self._m + 1)
+        self._edst = _grow(self._edst, self._m + 1)
+        self._esrc[self._m] = source
+        self._edst[self._m] = target
+        self._m += 1
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Append many edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_edges_array(
+        self, sources: np.ndarray | Sequence[int], targets: np.ndarray | Sequence[int]
+    ) -> None:
+        """Append parallel edge arrays in one vectorized bulk operation."""
+        src = np.asarray(sources, dtype=_INT)
+        dst = np.asarray(targets, dtype=_INT)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise DagError("sources and targets must be 1-D arrays of equal length")
+        if src.size == 0:
+            return
+        _check_edge_endpoints(self._n, src, dst)
+        new_m = self._m + src.size
+        self._esrc = _grow(self._esrc, new_m)
+        self._edst = _grow(self._edst, new_m)
+        self._esrc[self._m : new_m] = src
+        self._edst[self._m : new_m] = dst
+        self._m = new_m
+
+    def freeze(self, *, validate: bool = True, name: str | None = None) -> ComputationalDAG:
+        """Materialise an immutable-by-default :class:`ComputationalDAG`.
+
+        With ``validate`` (default) a single vectorized duplicate-edge check
+        runs over the whole edge buffer; endpoint ranges and self-loops are
+        already enforced on append.
+        """
+        src = self._esrc[: self._m].copy()
+        dst = self._edst[: self._m].copy()
+        if validate:
+            _check_no_duplicate_edges(self._n, src, dst)
+        return ComputationalDAG._from_buffers(
+            self._n,
+            self._work[: self._n].copy(),
+            self._comm[: self._n].copy(),
+            src,
+            dst,
+            name=name or self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DagBuilder(name={self.name!r}, n={self._n}, m={self._m})"

@@ -1,0 +1,120 @@
+"""Pure-Python reference implementations of the DAG kernels.
+
+These are the seed (pre-CSR) list-of-lists implementations, kept verbatim in
+spirit so that
+
+* the vectorized CSR kernels in :mod:`repro.core.csr` can be
+  differential-tested against a straightforward, obviously-correct baseline
+  (``tests/test_csr_kernels.py``), and
+* ``benchmarks/bench_dag_kernels.py`` can measure the speedup of the CSR
+  backend against the historical implementation on identical inputs.
+
+All functions operate on plain successor/predecessor adjacency lists
+(``list[list[int]]``) plus optional weight sequences; nothing here imports
+the CSR container, so the two sides of every differential test share no
+code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .exceptions import CycleError
+
+__all__ = [
+    "adjacency_from_edges",
+    "topological_order_ref",
+    "levels_ref",
+    "bottom_levels_ref",
+    "descendants_ref",
+    "ancestors_ref",
+    "induced_edges_ref",
+]
+
+
+def adjacency_from_edges(
+    num_nodes: int, edges: Sequence[tuple[int, int]]
+) -> tuple[list[list[int]], list[list[int]]]:
+    """Successor and predecessor lists (edge insertion order) from an edge list."""
+    succ: list[list[int]] = [[] for _ in range(num_nodes)]
+    pred: list[list[int]] = [[] for _ in range(num_nodes)]
+    for u, v in edges:
+        succ[u].append(v)
+        pred[v].append(u)
+    return succ, pred
+
+
+def topological_order_ref(
+    succ: list[list[int]], pred: list[list[int]]
+) -> list[int]:
+    """Kahn's algorithm with a FIFO queue (the seed implementation)."""
+    num_nodes = len(succ)
+    indegree = [len(p) for p in pred]
+    queue = deque(v for v in range(num_nodes) if indegree[v] == 0)
+    order: list[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in succ[v]:
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                queue.append(w)
+    if len(order) != num_nodes:
+        raise CycleError("graph contains a directed cycle")
+    return order
+
+
+def levels_ref(succ: list[list[int]], pred: list[list[int]]) -> list[int]:
+    """Top level per node by relaxation over a topological order."""
+    levels = [0] * len(succ)
+    for v in topological_order_ref(succ, pred):
+        for w in succ[v]:
+            if levels[v] + 1 > levels[w]:
+                levels[w] = levels[v] + 1
+    return levels
+
+
+def bottom_levels_ref(
+    succ: list[list[int]], pred: list[list[int]], work: Sequence[float]
+) -> list[float]:
+    """Bottom level per node by relaxation over a reversed topological order."""
+    bl = [float(w) for w in work]
+    for v in reversed(topological_order_ref(succ, pred)):
+        if succ[v]:
+            bl[v] = float(work[v]) + max(bl[u] for u in succ[v])
+    return bl
+
+
+def _reach(adjacency: list[list[int]], start: int) -> set[int]:
+    seen: set[int] = set()
+    stack = list(adjacency[start])
+    while stack:
+        u = stack.pop()
+        if u not in seen:
+            seen.add(u)
+            stack.extend(adjacency[u])
+    return seen
+
+
+def descendants_ref(succ: list[list[int]], v: int) -> set[int]:
+    """All nodes reachable from ``v`` (excluding ``v``), DFS over lists."""
+    return _reach(succ, v)
+
+
+def ancestors_ref(pred: list[list[int]], v: int) -> set[int]:
+    """All nodes that can reach ``v`` (excluding ``v``), DFS over lists."""
+    return _reach(pred, v)
+
+
+def induced_edges_ref(
+    succ: list[list[int]], nodes: Sequence[int]
+) -> list[tuple[int, int]]:
+    """Relabelled edges of the induced subgraph, in seed iteration order."""
+    index = {v: i for i, v in enumerate(nodes)}
+    edges: list[tuple[int, int]] = []
+    for v in nodes:
+        for w in succ[v]:
+            if w in index:
+                edges.append((index[v], index[w]))
+    return edges

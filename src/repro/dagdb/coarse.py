@@ -14,7 +14,7 @@ weight 1, ``c = 1``).
 
 from __future__ import annotations
 
-from ..core.dag import ComputationalDAG
+from ..core.dag import ComputationalDAG, DagBuilder
 from ..core.exceptions import DagError
 from .weights import apply_paper_weight_rule
 
@@ -31,24 +31,28 @@ __all__ = [
 
 
 class _CoarseBuilder:
-    """Tiny helper: add operation nodes with named predecessors."""
+    """Tiny helper: add operation nodes with named predecessors.
+
+    Emits nodes/edges straight into a :class:`~repro.core.dag.DagBuilder`
+    and freezes the CSR-backed DAG once the algorithm skeleton is complete.
+    """
 
     def __init__(self, name: str) -> None:
-        self.dag = ComputationalDAG(0, name=name)
+        self._builder = DagBuilder(name=name)
 
     def source(self) -> int:
-        return self.dag.add_node()
+        return self._builder.add_node()
 
     def op(self, *preds: int) -> int:
-        v = self.dag.add_node()
+        v = self._builder.add_node()
         # deduplicate while preserving order: the same container may feed an
         # operation twice (e.g. the dot product <r, r>)
         for u in dict.fromkeys(preds):
-            self.dag.add_edge(u, v)
+            self._builder.add_edge(u, v)
         return v
 
     def finish(self) -> ComputationalDAG:
-        return apply_paper_weight_rule(self.dag)
+        return apply_paper_weight_rule(self._builder.freeze())
 
 
 def _check_iterations(iterations: int) -> None:

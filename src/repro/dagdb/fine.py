@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.dag import ComputationalDAG
+from ..core.dag import ComputationalDAG, DagBuilder
 from ..core.exceptions import DagError
 from .sparsegen import SparseMatrixPattern
 from .weights import apply_paper_weight_rule
@@ -53,19 +53,25 @@ class FineGrainedResult:
 
 
 class _FineDagBuilder:
-    """Incrementally builds a fine-grained DAG, tracking node roles."""
+    """Incrementally builds a fine-grained DAG, tracking node roles.
+
+    Nodes and edges are appended straight into a
+    :class:`~repro.core.dag.DagBuilder` (amortized O(1) buffer appends, no
+    per-edge duplicate bookkeeping) and frozen into the CSR-backed
+    :class:`ComputationalDAG` once the generator is done.
+    """
 
     def __init__(self, name: str) -> None:
-        self.dag = ComputationalDAG(0, name=name)
+        self._builder = DagBuilder(name=name)
         self.roles: dict[int, str] = {}
 
     def node(self, role: str, preds: list[int] | None = None) -> int:
-        v = self.dag.add_node()
+        v = self._builder.add_node()
         self.roles[v] = role
         # deduplicate while preserving order: the same value may feed an
         # operation twice (e.g. the dot product r·r squares every entry)
         for u in dict.fromkeys(preds or []):
-            self.dag.add_edge(u, v)
+            self._builder.add_edge(u, v)
         return v
 
     def matrix_sources(self, pattern: SparseMatrixPattern, label: str = "A") -> dict[tuple[int, int], int]:
@@ -139,8 +145,9 @@ class _FineDagBuilder:
         return result
 
     def finish(self) -> FineGrainedResult:
-        apply_paper_weight_rule(self.dag)
-        return FineGrainedResult(dag=self.dag, roles=self.roles)
+        dag = self._builder.freeze()
+        apply_paper_weight_rule(dag)
+        return FineGrainedResult(dag=dag, roles=self.roles)
 
 
 # ---------------------------------------------------------------------- #

@@ -5,7 +5,9 @@ attempt to escape local minima" as a natural extension of the hill-climbing
 ``HC`` method.  :class:`SimulatedAnnealingImprover` implements exactly that:
 it explores the same single-node move neighbourhood as ``HC`` (any processor,
 previous/same/next superstep) through the same incremental
-:class:`~repro.schedulers.hill_climbing.LazyCostTracker`, but accepts
+:class:`~repro.schedulers.hill_climbing.LazyCostTracker` (which reads
+neighbourhoods as zero-copy CSR slices, so every proposal evaluation is a
+handful of vectorized numpy expressions), but accepts
 cost-increasing moves with probability ``exp(-Δ / T)`` under a geometrically
 cooling temperature ``T``.  The best assignment seen during the walk is
 returned (never worse than the input, like every improver in the framework).

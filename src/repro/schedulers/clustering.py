@@ -51,24 +51,25 @@ class LinearClusteringScheduler(Scheduler):
         cluster_of = self._linear_clusters(dag)
         cluster_of = self._merge_small_clusters(dag, cluster_of, machine.num_procs)
 
-        # map clusters to processors: decreasing total work, round-robin
-        cluster_ids = sorted(set(cluster_of))
-        cluster_work = {
-            c: sum(dag.work(v) for v in dag.nodes() if cluster_of[v] == c)
-            for c in cluster_ids
-        }
+        # map clusters to processors: decreasing total work, round-robin.
+        # per-cluster work is one weighted bincount over the CSR weight vector
+        cluster_arr = np.asarray(cluster_of, dtype=np.int64)
+        counts = np.bincount(cluster_arr)
+        totals = np.bincount(cluster_arr, weights=dag.work_weights)
+        cluster_ids = np.flatnonzero(counts).tolist()
         proc_of_cluster: dict[int, int] = {}
         for index, cluster in enumerate(
-            sorted(cluster_ids, key=lambda c: (-cluster_work[c], c))
+            sorted(cluster_ids, key=lambda c: (-totals[c], c))
         ):
             proc_of_cluster[cluster] = index % machine.num_procs
 
         # supersteps: wavefronts of the original DAG -- every edge crosses to a
         # strictly later superstep, so the schedule is valid for any clustering
-        levels = dag.levels()
-        for v in dag.nodes():
-            procs[v] = proc_of_cluster[cluster_of[v]]
-            supersteps[v] = int(levels[v])
+        proc_map = np.zeros(int(cluster_arr.max()) + 1, dtype=np.int64)
+        for cluster, proc in proc_of_cluster.items():
+            proc_map[cluster] = proc
+        procs = proc_map[cluster_arr]
+        supersteps = dag.levels().astype(np.int64)
         return BspSchedule(dag, machine, procs, supersteps)
 
     # ------------------------------------------------------------------ #
@@ -85,7 +86,7 @@ class LinearClusteringScheduler(Scheduler):
         next_cluster = 0
         for v in order:
             candidates = []
-            for u in dag.predecessors(v):
+            for u in dag.pred(v).tolist():
                 cluster = cluster_of[u]
                 if deepest_level.get(cluster, -1) < levels[v]:
                     candidates.append((dag.comm(u), u, cluster))
@@ -102,15 +103,20 @@ class LinearClusteringScheduler(Scheduler):
     def _merge_small_clusters(
         dag: ComputationalDAG, cluster_of: list[int], num_procs: int
     ) -> list[int]:
-        """Merge the smallest clusters until at most ``4 * num_procs`` remain."""
+        """Merge the smallest clusters until at most ``4 * num_procs`` remain.
+
+        Cluster totals are maintained incrementally, so each merge is O(n)
+        for the relabel plus O(k log k) for the smallest-pair selection
+        instead of a full recount per round.
+        """
         target = max(num_procs * 4, 1)
-        while True:
-            work = {}
-            for v in dag.nodes():
-                work[cluster_of[v]] = work.get(cluster_of[v], 0.0) + dag.work(v)
-            if len(work) <= target:
-                break
+        cluster_arr = np.asarray(cluster_of, dtype=np.int64)
+        counts = np.bincount(cluster_arr)
+        totals = np.bincount(cluster_arr, weights=dag.work_weights)
+        work = {int(c): float(totals[c]) for c in np.flatnonzero(counts)}
+        while len(work) > target:
             smallest = sorted(work, key=lambda c: (work[c], c))[:2]
             keep, drop = smallest[0], smallest[1]
-            cluster_of = [keep if c == drop else c for c in cluster_of]
-        return cluster_of
+            cluster_arr[cluster_arr == drop] = keep
+            work[keep] += work.pop(drop)
+        return cluster_arr.tolist()

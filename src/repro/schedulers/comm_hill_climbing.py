@@ -46,39 +46,38 @@ class CommScheduleHillClimbing(ScheduleImprover):
             return schedule
         num_supersteps = schedule.num_supersteps
 
+        # columnar view of the windows: one array per field
+        nodes = np.array([w.node for w in windows], dtype=np.int64)
+        srcs = np.array([w.source for w in windows], dtype=np.int64)
+        tgts = np.array([w.target for w in windows], dtype=np.int64)
+        earliest = np.array([w.earliest for w in windows], dtype=np.int64)
+        latest = np.array([w.latest for w in windows], dtype=np.int64)
+
         # start from the incumbent's own placement when it is explicit,
         # otherwise from the lazy placement (the window's latest phase)
-        explicit = {}
-        if not schedule.uses_lazy_comm:
-            for step in schedule.comm_schedule:
-                explicit[(step.node, step.source, step.target)] = step.superstep
-        choices = np.array(
-            [
-                explicit.get((w.node, w.source, w.target), w.latest)
-                for w in windows
-            ],
-            dtype=np.int64,
-        )
-        # clamp any out-of-window explicit choice back into the window
-        for index, window in enumerate(windows):
-            choices[index] = min(max(choices[index], window.earliest), window.latest)
+        if schedule.uses_lazy_comm:
+            choices = latest.copy()
+        else:
+            explicit = {
+                (step.node, step.source, step.target): step.superstep
+                for step in schedule.comm_schedule
+            }
+            choices = np.array(
+                [
+                    explicit.get((w.node, w.source, w.target), w.latest)
+                    for w in windows
+                ],
+                dtype=np.int64,
+            )
+            # clamp any out-of-window explicit choice back into the window
+            np.clip(choices, earliest, latest, out=choices)
 
         send = np.zeros((num_supersteps, machine.num_procs), dtype=np.float64)
         recv = np.zeros((num_supersteps, machine.num_procs), dtype=np.float64)
-        volumes = np.array(
-            [
-                dag.comm(w.node) * machine.numa[w.source, w.target]
-                for w in windows
-            ],
-            dtype=np.float64,
-        )
-        for index, window in enumerate(windows):
-            send[choices[index], window.source] += volumes[index]
-            recv[choices[index], window.target] += volumes[index]
+        volumes = dag.comm_weights[nodes] * machine.numa[srcs, tgts]
+        np.add.at(send, (choices, srcs), volumes)
+        np.add.at(recv, (choices, tgts), volumes)
         comm_max = np.maximum(send, recv).max(axis=1)
-
-        def phase_cost(s: int) -> float:
-            return float(np.maximum(send[s], recv[s]).max())
 
         improved_any = True
         passes = 0

@@ -27,10 +27,9 @@ is always a valid BSP schedule.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
+from ..core.csr import gather_rows
 from ..core.dag import ComputationalDAG
 from ..core.machine import BspMachine
 from ..core.schedule import BspSchedule
@@ -68,9 +67,15 @@ class HDaggScheduler(Scheduler):
         if dag.num_nodes == 0:
             return []
         num_levels = int(levels.max()) + 1
-        by_level: list[list[int]] = [[] for _ in range(num_levels)]
-        for v in dag.nodes():
-            by_level[int(levels[v])].append(v)
+        # array-based wavefront construction: one stable argsort groups the
+        # nodes by level with ascending index inside every level
+        order = np.argsort(levels, kind="stable")
+        boundaries = np.zeros(num_levels + 1, dtype=np.int64)
+        np.cumsum(np.bincount(levels, minlength=num_levels), out=boundaries[1:])
+        by_level: list[list[int]] = [
+            order[boundaries[k] : boundaries[k + 1]].tolist()
+            for k in range(num_levels)
+        ]
 
         groups: list[list[int]] = []
         current: list[int] = []
@@ -114,7 +119,7 @@ class HDaggScheduler(Scheduler):
             while stack:
                 v = stack.pop()
                 component.append(v)
-                for w in dag.successors(v) + dag.predecessors(v):
+                for w in dag.succ(v).tolist() + dag.pred(v).tolist():
                     if w in member and w not in seen:
                         seen.add(w)
                         stack.append(w)
@@ -136,34 +141,35 @@ class HDaggScheduler(Scheduler):
 
         levels = dag.levels()
         groups = self._group_levels(dag, machine.num_procs, levels)
+        work_weights = dag.work_weights
+        comm_weights = dag.comm_weights
 
         for superstep, group in enumerate(groups):
             units = self._units(dag, group)
-            units.sort(key=lambda unit: (-sum(dag.work(v) for v in unit), unit[0]))
-            group_work = sum(dag.work(v) for v in group)
+            units.sort(key=lambda unit: (-float(work_weights[unit].sum()), unit[0]))
+            group_work = float(work_weights[group].sum())
             load_bound = self.balance_factor * group_work / machine.num_procs
             loads = np.zeros(machine.num_procs, dtype=np.float64)
             for unit in units:
-                unit_work = sum(dag.work(v) for v in unit)
-                affinity: dict[int, float] = defaultdict(float)
-                for v in unit:
-                    for u in dag.predecessors(v):
-                        if supersteps[u] < superstep or u in unit:
-                            # predecessors already placed (earlier group) pull
-                            # the unit towards their processor
-                            if supersteps[u] < superstep:
-                                affinity[int(procs[u])] += dag.comm(u)
+                unit_arr = np.asarray(unit, dtype=np.int64)
+                unit_work = float(work_weights[unit_arr].sum())
+                # predecessors already placed (earlier group) pull the unit
+                # towards their processor; one ragged gather per unit
+                preds, _ = gather_rows(dag.pred_indptr, dag.pred_indices, unit_arr)
+                affinity = np.zeros(machine.num_procs, dtype=np.float64)
+                if preds.size:
+                    placed = preds[supersteps[preds] < superstep]
+                    np.add.at(affinity, procs[placed], comm_weights[placed])
                 preferred = max(
                     range(machine.num_procs),
-                    key=lambda p: (affinity.get(p, 0.0), -loads[p], -p),
+                    key=lambda p: (affinity[p], -loads[p], -p),
                 )
-                if loads[preferred] + unit_work > load_bound and affinity.get(preferred, 0.0) >= 0:
+                if loads[preferred] + unit_work > load_bound and affinity[preferred] >= 0:
                     fallback = int(np.argmin(loads))
                     if loads[fallback] + unit_work <= load_bound or loads[fallback] < loads[preferred]:
                         preferred = fallback
-                for v in unit:
-                    procs[v] = preferred
-                    supersteps[v] = superstep
+                procs[unit_arr] = preferred
+                supersteps[unit_arr] = superstep
                 loads[preferred] += unit_work
 
         return BspSchedule(dag, machine, procs, supersteps)

@@ -15,12 +15,20 @@ and its direct predecessors, so a candidate evaluation costs
 ``O(P + deg(v) + Σ_{u∈pred(v)} outdeg(u))`` instead of a full re-evaluation.
 Rejected moves are rolled back by applying the inverse move (the tracker is
 an exact function of the assignment, so this restores the state bit-for-bit).
+
+The tracker reads neighbourhoods as zero-copy CSR slices
+(:meth:`~repro.core.dag.ComputationalDAG.succ` /
+:meth:`~repro.core.dag.ComputationalDAG.pred`) and evaluates validity and
+transfer enumeration with vectorized numpy expressions; the initial
+send/receive matrices are built with one grouped pass over the whole edge
+array instead of a per-node Python loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.csr import group_min_by_pair
 from ..core.dag import ComputationalDAG
 from ..core.machine import BspMachine
 from ..core.schedule import BspSchedule
@@ -64,36 +72,51 @@ class LazyCostTracker:
         self.recv = np.zeros((S, P), dtype=np.float64)
         self._work_max = np.zeros(S, dtype=np.float64)
         self._comm_max = np.zeros(S, dtype=np.float64)
+        self._need = np.empty(P, dtype=np.int64)  # scratch for _transfers_of
         self._build()
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
+    _NO_NEED = np.iinfo(np.int64).max
+
     def _transfers_of(self, v: int) -> list[tuple[int, int, int, float]]:
         """Lazy transfers of node ``v``: list of ``(phase, source, target, volume)``."""
         dag = self.dag
+        succ = dag.succ(v)
+        if succ.size == 0:
+            return []
         pv = int(self.procs[v])
-        first_need: dict[int, int] = {}
-        for w in dag.successors(v):
-            q = int(self.procs[w])
-            if q == pv:
-                continue
-            sw = int(self.supersteps[w])
-            if q not in first_need or sw < first_need[q]:
-                first_need[q] = sw
+        qs = self.procs[succ]
+        foreign = qs != pv
+        if not foreign.any():
+            return []
+        need = self._need
+        need.fill(self._NO_NEED)
+        np.minimum.at(need, qs[foreign], self.supersteps[succ[foreign]])
         comm_v = dag.comm(v)
-        numa = self.machine.numa
+        numa_row = self.machine.numa[pv]
         return [
-            (sw - 1, pv, q, comm_v * numa[pv, q]) for q, sw in first_need.items()
+            (int(need[q]) - 1, pv, q, comm_v * float(numa_row[q]))
+            for q in np.flatnonzero(need != self._NO_NEED).tolist()
         ]
 
     def _build(self) -> None:
+        """One grouped pass over the edge arrays fills work/send/recv."""
         dag = self.dag
         np.add.at(self.work, (self.supersteps, self.procs), dag.work_weights)
-        for v in dag.nodes():
-            for phase, source, target, volume in self._transfers_of(v):
-                self.send[phase, source] += volume
-                self.recv[phase, target] += volume
+        src, dst = dag.edge_arrays()
+        if src.size:
+            cross = self.procs[src] != self.procs[dst]
+            if cross.any():
+                cross_dst = dst[cross]
+                u, q, sw = group_min_by_pair(
+                    src[cross], self.procs[cross_dst], self.supersteps[cross_dst]
+                )
+                pv = self.procs[u]
+                volumes = dag.comm_weights[u] * self.machine.numa[pv, q]
+                np.add.at(self.send, (sw - 1, pv), volumes)
+                np.add.at(self.recv, (sw - 1, q), volumes)
         np.max(self.work, axis=1, out=self._work_max)
         np.maximum(self.send, self.recv).max(axis=1, out=self._comm_max)
 
@@ -122,19 +145,17 @@ class LazyCostTracker:
         if not 0 <= new_proc < self.machine.num_procs:
             return False
         dag = self.dag
-        for u in dag.predecessors(v):
-            su = int(self.supersteps[u])
-            if int(self.procs[u]) == new_proc:
-                if su > new_step:
-                    return False
-            elif su >= new_step:
+        preds = dag.pred(v)
+        if preds.size:
+            su = self.supersteps[preds]
+            same = self.procs[preds] == new_proc
+            if np.any(same & (su > new_step)) or np.any(~same & (su >= new_step)):
                 return False
-        for w in dag.successors(v):
-            sw = int(self.supersteps[w])
-            if int(self.procs[w]) == new_proc:
-                if new_step > sw:
-                    return False
-            elif new_step >= sw:
+        succs = dag.succ(v)
+        if succs.size:
+            sw = self.supersteps[succs]
+            same = self.procs[succs] == new_proc
+            if np.any(same & (sw < new_step)) or np.any(~same & (sw <= new_step)):
                 return False
         return True
 
@@ -148,7 +169,7 @@ class LazyCostTracker:
 
         touched: set[int] = {old_step, new_step}
 
-        affected = [v] + dag.predecessors(v)
+        affected = [v, *dag.pred(v).tolist()]
         old_transfers = {u: self._transfers_of(u) for u in affected}
 
         before = (

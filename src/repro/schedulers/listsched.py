@@ -32,27 +32,34 @@ __all__ = ["BlEstScheduler", "EtfScheduler"]
 
 
 class _ListSchedulerBase(Scheduler):
-    """Shared machinery of the BL-EST and ETF baselines."""
+    """Shared machinery of the BL-EST and ETF baselines.
 
-    def _communication_delay(self, dag: ComputationalDAG, machine: BspMachine, u: int) -> float:
-        return machine.g * dag.comm(u) * machine.average_numa_multiplier
+    The inner loops read neighbourhoods as zero-copy CSR slices and compute
+    the data-ready time of a candidate ``(node, proc)`` pair with one
+    vectorized expression over the predecessor slice; the per-predecessor
+    communication delays ``g * c(u) * λ̄`` are precomputed once per run.
+    """
+
+    def _communication_delays(
+        self, dag: ComputationalDAG, machine: BspMachine
+    ) -> np.ndarray:
+        return machine.g * dag.comm_weights * machine.average_numa_multiplier
 
     def _earliest_start(
         self,
         dag: ComputationalDAG,
-        machine: BspMachine,
         node: int,
         proc: int,
         procs: np.ndarray,
         finish_times: np.ndarray,
         proc_ready: np.ndarray,
+        delays: np.ndarray,
     ) -> float:
+        preds = dag.pred(node)
         data_ready = 0.0
-        for u in dag.predecessors(node):
-            arrival = finish_times[u]
-            if procs[u] != proc:
-                arrival += self._communication_delay(dag, machine, u)
-            data_ready = max(data_ready, arrival)
+        if preds.size:
+            arrivals = finish_times[preds] + delays[preds] * (procs[preds] != proc)
+            data_ready = float(arrivals.max())
         return max(data_ready, float(proc_ready[proc]))
 
     def classical_schedule(
@@ -66,14 +73,15 @@ class _ListSchedulerBase(Scheduler):
         finish_times = np.zeros(n, dtype=np.float64)
         proc_ready = np.zeros(num_procs, dtype=np.float64)
         bottom_levels = dag.bottom_levels()
+        delays = self._communication_delays(dag, machine)
 
-        remaining_preds = [dag.in_degree(v) for v in dag.nodes()]
+        remaining_preds = dag.in_degrees().copy()
         ready = set(dag.sources())
         scheduled: list[int] = []
 
         while ready:
             node, proc, est = self._pick(
-                dag, machine, ready, bottom_levels, procs, finish_times, proc_ready
+                dag, ready, bottom_levels, procs, finish_times, proc_ready, delays
             )
             ready.discard(node)
             procs[node] = proc
@@ -81,7 +89,7 @@ class _ListSchedulerBase(Scheduler):
             finish_times[node] = est + dag.work(node)
             proc_ready[proc] = finish_times[node]
             scheduled.append(node)
-            for succ in dag.successors(node):
+            for succ in dag.succ(node).tolist():
                 remaining_preds[succ] -= 1
                 if remaining_preds[succ] == 0:
                     ready.add(succ)
@@ -99,12 +107,12 @@ class _ListSchedulerBase(Scheduler):
     def _pick(
         self,
         dag: ComputationalDAG,
-        machine: BspMachine,
         ready: set[int],
         bottom_levels: np.ndarray,
         procs: np.ndarray,
         finish_times: np.ndarray,
         proc_ready: np.ndarray,
+        delays: np.ndarray,
     ) -> tuple[int, int, float]:
         raise NotImplementedError
 
@@ -123,14 +131,14 @@ class BlEstScheduler(_ListSchedulerBase):
 
     name = "bl_est"
 
-    def _pick(self, dag, machine, ready, bottom_levels, procs, finish_times, proc_ready):
+    def _pick(self, dag, ready, bottom_levels, procs, finish_times, proc_ready, delays):
         # highest bottom level first; ties broken by node index for determinism
         node = max(ready, key=lambda v: (bottom_levels[v], -v))
         best_proc = 0
         best_est = float("inf")
-        for proc in range(machine.num_procs):
+        for proc in range(proc_ready.shape[0]):
             est = self._earliest_start(
-                dag, machine, node, proc, procs, finish_times, proc_ready
+                dag, node, proc, procs, finish_times, proc_ready, delays
             )
             if est < best_est - 1e-12:
                 best_est = est
@@ -143,12 +151,12 @@ class EtfScheduler(_ListSchedulerBase):
 
     name = "etf"
 
-    def _pick(self, dag, machine, ready, bottom_levels, procs, finish_times, proc_ready):
+    def _pick(self, dag, ready, bottom_levels, procs, finish_times, proc_ready, delays):
         best: tuple[float, float, int, int] | None = None
         for node in sorted(ready):
-            for proc in range(machine.num_procs):
+            for proc in range(proc_ready.shape[0]):
                 est = self._earliest_start(
-                    dag, machine, node, proc, procs, finish_times, proc_ready
+                    dag, node, proc, procs, finish_times, proc_ready, delays
                 )
                 key = (est, -float(bottom_levels[node]), node, proc)
                 if best is None or key < best:

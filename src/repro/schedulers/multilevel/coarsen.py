@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...core.csr import dedupe_edges
 from ...core.dag import ComputationalDAG
 from ...core.exceptions import DagError
 
@@ -86,38 +87,59 @@ class CoarseningSequence:
         return parent
 
     def quotient(self, num_contractions: int | None = None) -> QuotientDag:
-        """Build the quotient DAG after the first ``num_contractions`` contractions."""
-        rep = self.representative_map(num_contractions)
-        reps = sorted(set(int(r) for r in rep))
-        coarse_index = {r: i for i, r in enumerate(reps)}
-        orig_to_coarse = np.array([coarse_index[int(rep[v])] for v in self.original.nodes()])
+        """Build the quotient DAG after the first ``num_contractions`` contractions.
 
-        work = np.zeros(len(reps), dtype=np.float64)
-        comm = np.zeros(len(reps), dtype=np.float64)
+        Fully vectorized: the original edge arrays are mapped through the
+        cluster relabelling, intra-cluster edges are masked out, and the
+        remaining multi-edges are deduplicated keeping the first occurrence
+        (the historical edge order), then handed to the CSR container in
+        one shot.
+        """
+        rep = self.representative_map(num_contractions)
+        reps = np.unique(rep)
+        num_coarse = int(reps.size)
+        coarse_index = np.full(self.original.num_nodes, -1, dtype=np.int64)
+        coarse_index[reps] = np.arange(num_coarse, dtype=np.int64)
+        orig_to_coarse = coarse_index[rep]
+
+        work = np.zeros(num_coarse, dtype=np.float64)
+        comm = np.zeros(num_coarse, dtype=np.float64)
         np.add.at(work, orig_to_coarse, self.original.work_weights)
         np.add.at(comm, orig_to_coarse, self.original.comm_weights)
 
-        quotient = ComputationalDAG(
-            len(reps), work, comm, name=f"{self.original.name}_coarse{len(reps)}"
+        src, dst = self.original.edge_arrays()
+        cu = orig_to_coarse[src]
+        cv = orig_to_coarse[dst]
+        cross = cu != cv
+        cu, cv = dedupe_edges(num_coarse, cu[cross], cv[cross])
+        quotient = ComputationalDAG.from_edge_arrays(
+            num_coarse,
+            cu,
+            cv,
+            work,
+            comm,
+            name=f"{self.original.name}_coarse{num_coarse}",
+            validate=False,
         )
-        seen_edges: set[tuple[int, int]] = set()
-        for edge in self.original.edges():
-            cu = int(orig_to_coarse[edge.source])
-            cv = int(orig_to_coarse[edge.target])
-            if cu != cv and (cu, cv) not in seen_edges:
-                seen_edges.add((cu, cv))
-                quotient.add_edge(cu, cv)
-        return QuotientDag(dag=quotient, orig_to_coarse=orig_to_coarse, coarse_to_rep=reps)
+        return QuotientDag(
+            dag=quotient,
+            orig_to_coarse=orig_to_coarse,
+            coarse_to_rep=reps.tolist(),
+        )
 
 
 class _MutableGraph:
     """Working representation used while contracting edges."""
 
     def __init__(self, dag: ComputationalDAG) -> None:
-        self.succ: dict[int, set[int]] = {v: set(dag.successors(v)) for v in dag.nodes()}
-        self.pred: dict[int, set[int]] = {v: set(dag.predecessors(v)) for v in dag.nodes()}
-        self.work: dict[int, float] = {v: dag.work(v) for v in dag.nodes()}
-        self.comm: dict[int, float] = {v: dag.comm(v) for v in dag.nodes()}
+        self.succ: dict[int, set[int]] = {
+            v: set(dag.succ(v).tolist()) for v in dag.nodes()
+        }
+        self.pred: dict[int, set[int]] = {
+            v: set(dag.pred(v).tolist()) for v in dag.nodes()
+        }
+        self.work: dict[int, float] = dict(enumerate(dag.work_weights.tolist()))
+        self.comm: dict[int, float] = dict(enumerate(dag.comm_weights.tolist()))
 
     @property
     def num_nodes(self) -> int:

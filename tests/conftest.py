@@ -64,6 +64,17 @@ def assert_valid_schedule(schedule: BspSchedule) -> None:
 
 
 @pytest.fixture
+def random_dag_factory():
+    """The :func:`random_dag` helper as a fixture.
+
+    Lets test modules use the helper without a ``from conftest import ...``
+    statement, which is fragile when several conftest modules are on
+    ``sys.path`` (the benchmarks directory has its own conftest).
+    """
+    return random_dag
+
+
+@pytest.fixture
 def diamond_dag() -> ComputationalDAG:
     return build_diamond_dag()
 

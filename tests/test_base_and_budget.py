@@ -10,8 +10,6 @@ from repro.core import BspMachine
 from repro.schedulers import Scheduler, ScheduleImprover, TimeBudget, best_schedule
 from repro.schedulers.trivial import TrivialScheduler
 
-from conftest import random_dag
-
 
 class TestTimeBudget:
     def test_unlimited_never_expires(self):
@@ -56,8 +54,8 @@ class TestBaseClasses:
     def test_repr_contains_name(self):
         assert "trivial" in repr(TrivialScheduler())
 
-    def test_best_schedule_ignores_none(self):
-        dag = random_dag(10, 0.2, seed=0)
+    def test_best_schedule_ignores_none(self, random_dag_factory):
+        dag = random_dag_factory(10, 0.2, seed=0)
         machine = BspMachine.uniform(2, latency=1)
         schedule = TrivialScheduler().schedule(dag, machine)
         assert best_schedule(None, schedule, None) is schedule

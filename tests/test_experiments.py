@@ -126,3 +126,58 @@ class TestDrivers:
         assert len(wins) == 10  # 10 training instances x 1 machine point
         assert all(w.winner in w.costs for w in wins)
         assert all(w.costs[w.winner] == min(w.costs.values()) for w in wins)
+
+
+#: budget-free configuration: without wall-clock limits every scheduler is
+#: fully deterministic, so parallel grids must equal serial ones exactly
+BUDGET_FREE = PipelineConfig(use_ilp=False, use_comm_ilp=False, local_search_seconds=None)
+
+
+class TestParallelGrid:
+    """The process-parallel grid must reproduce the serial path bit-for-bit."""
+
+    def _grid(self, workers):
+        from repro.analysis import run_grid
+
+        runner = ExperimentRunner(config=BUDGET_FREE, include_trivial=True)
+        instances = build_dataset("tiny", scale="bench", include_coarse=False)[:2]
+        specs = [MachineSpec(4, 1, 5), MachineSpec(4, 5, 5)]
+        return run_grid(runner, instances, specs, workers=workers)
+
+    def test_parallel_records_identical_to_serial(self):
+        serial = self._grid(workers=1)
+        parallel = self._grid(workers=4)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a.instance == b.instance
+            assert a.spec == b.spec
+            assert a.costs == b.costs  # exact float equality, not approx
+
+    def test_parallel_table_rows_byte_identical(self):
+        from repro.analysis.tables import table1_no_numa_improvements
+
+        serial_rows, serial_text = table1_no_numa_improvements(self._grid(workers=1))
+        parallel_rows, parallel_text = table1_no_numa_improvements(self._grid(workers=4))
+        assert serial_rows == parallel_rows
+        assert serial_text.encode() == parallel_text.encode()
+
+    def test_workers_env_default(self, monkeypatch):
+        from repro.analysis.experiments import _default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert _default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert _default_workers() == 6
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        with pytest.warns(UserWarning):
+            assert _default_workers() == 1
+
+    def test_specs_iterator_not_drained(self):
+        """A one-shot iterator of specs must still yield the full grid."""
+        from repro.analysis import run_grid
+
+        runner = ExperimentRunner(config=FAST_HEURISTIC)
+        instances = build_dataset("tiny", scale="bench", include_coarse=False)[:2]
+        specs = iter([MachineSpec(2, 1, 5), MachineSpec(4, 1, 5)])
+        records = run_grid(runner, instances, specs, workers=1)
+        assert len(records) == 4  # 2 instances x 2 specs, not 2
