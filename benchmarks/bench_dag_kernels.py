@@ -1,13 +1,24 @@
 """Micro-benchmarks: CSR DAG kernels vs. the seed list-of-lists implementations.
 
-Measures ``levels``, ``bottom_levels`` and full-neighbourhood iteration on
-layered random DAGs of 10k and 100k nodes:
+Measures ``levels``, ``bottom_levels``, full-neighbourhood iteration, BSP
+schedule validation (``schedule_violations``) and classical-to-BSP superstep
+numbering on layered random DAGs of 10k and 100k nodes, plus the scaling of
+multilevel coarsening on growing chain bundles:
 
-* **seed** — the pure-Python reference kernels in
-  :mod:`repro.core.reference`, which mirror the pre-CSR container
-  (list-of-lists adjacency, per-node Python loops, copying accessors);
-* **csr** — the vectorized kernels behind the CSR-backed
-  :class:`~repro.core.dag.ComputationalDAG`.
+* **seed** — the pure-Python reference implementations in
+  :mod:`repro.core.reference` (and the retained rescan-and-sort coarsener
+  :func:`~repro.schedulers.multilevel.coarsen_dag_reference`), which mirror
+  the pre-CSR container (list-of-lists adjacency, per-node Python loops,
+  per-step full edge rescans);
+* **csr** — the vectorized passes behind the CSR-backed
+  :class:`~repro.core.dag.ComputationalDAG` and the bucketed lazy priority
+  structure of :func:`~repro.schedulers.multilevel.coarsen_dag`.
+
+The kernel, validation and conversion comparisons are differential: the two
+sides must produce identical results before their timings are recorded.
+The coarsening comparison checks progress and acyclicity only — the bucket
+queue deliberately refines the seed's tie-breaking and fallback order, so
+record-level equality is not expected there.
 
 Results (timings plus speedups) are printed and persisted as JSON under
 ``benchmarks/results/bench_dag_kernels.json`` via
@@ -15,7 +26,8 @@ Results (timings plus speedups) are printed and persisted as JSON under
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_dag_kernels.py``)
 or through pytest (``pytest benchmarks/bench_dag_kernels.py``); the pytest
-entry point also asserts the >= 5x acceptance threshold on the 100k DAG.
+entry points also assert the >= 5x acceptance threshold on the 100k DAG and
+the near-linear coarsening scaling.
 """
 
 from __future__ import annotations
@@ -30,15 +42,23 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))  # for direct execution
 from _bench_utils import save_json
 
-from repro.core import ComputationalDAG, DagBuilder
+from repro.core import BspMachine, ComputationalDAG, DagBuilder, lazy_comm_schedule
 from repro.core import csr
 from repro.core import reference as ref
+from repro.core.classical import conversion_supersteps
+from repro.core.validation import schedule_violations
+from repro.schedulers.multilevel import coarsen_dag, coarsen_dag_reference
 
 SIZES = (10_000, 100_000)
 ACCEPTANCE_SIZE = 100_000
 # >= 5x is the acceptance target on a quiet machine; shared CI runners can
 # override the floor (REPRO_BENCH_MIN_SPEEDUP) so load spikes don't gate PRs
 ACCEPTANCE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+BENCH_PROCS = 8
+COARSEN_SIZES = (500, 1_000, 2_000, 4_000)
+# the seed coarsener re-sorts all edges per contraction (quadratic-ish in n);
+# the bucket queue must grow at least this factor slower across COARSEN_SIZES
+COARSEN_SCALING_FACTOR = float(os.environ.get("REPRO_BENCH_COARSEN_FACTOR", "2.0"))
 
 
 # ---------------------------------------------------------------------- #
@@ -134,6 +154,49 @@ def bench_one_size(num_nodes: int) -> dict:
         "speedup": seed_time / csr_time,
     }
 
+    # --- schedule validation -------------------------------------------- #
+    # a valid level-synchronous schedule: supersteps = levels, round-robin
+    # processors, lazy communication schedule
+    machine = BspMachine.uniform(BENCH_PROCS, g=1, latency=1)
+    procs = np.arange(num_nodes, dtype=np.int64) % BENCH_PROCS
+    supersteps = levels.astype(np.int64)
+    comm_steps = sorted(lazy_comm_schedule(dag, procs, supersteps))
+    edges_list = list(zip(*[a.tolist() for a in dag.edge_arrays()]))
+    seed_time, seed_violations = _best_of(
+        lambda: ref.schedule_violations_ref(
+            num_nodes, BENCH_PROCS, edges_list, procs, supersteps, comm_steps
+        ),
+        repeats=2,
+    )
+    csr_time, csr_violations = _best_of(
+        lambda: schedule_violations(dag, machine, procs, supersteps, comm_steps),
+        repeats=2,
+    )
+    assert seed_violations == csr_violations == [], "validation paths disagree"
+    timings["schedule_violations"] = {
+        "seed_s": seed_time,
+        "csr_s": csr_time,
+        "speedup": seed_time / csr_time,
+        "num_comm_steps": len(comm_steps),
+    }
+
+    # --- classical -> BSP superstep numbering --------------------------- #
+    start_times = levels.astype(np.float64)
+    procs_list = procs.tolist()
+    start_list = start_times.tolist()
+    seed_time, seed_steps = _best_of(
+        lambda: ref.classical_to_bsp_ref(pred, procs_list, start_list), repeats=2
+    )
+    csr_time, csr_steps = _best_of(
+        lambda: conversion_supersteps(dag, procs, start_times), repeats=2
+    )
+    assert csr_steps.tolist() == seed_steps, "conversion paths disagree"
+    timings["classical_to_bsp"] = {
+        "seed_s": seed_time,
+        "csr_s": csr_time,
+        "speedup": seed_time / csr_time,
+    }
+
     return {
         "num_nodes": dag.num_nodes,
         "num_edges": dag.num_edges,
@@ -143,8 +206,63 @@ def bench_one_size(num_nodes: int) -> dict:
     }
 
 
+def build_chain_bundle(num_nodes: int, num_chains: int = 64, seed: int = 0) -> ComputationalDAG:
+    """A bundle of parallel chains with random integer weights (strided layout).
+
+    Every node has at most one predecessor and one successor, so every edge
+    is trivially contractable and the coarsening timings isolate the cost of
+    the *selection* structure (the seed's per-step full rescan-and-sort vs
+    the bucketed lazy priority queue).
+    """
+    rng = np.random.default_rng(seed)
+    builder = DagBuilder(name=f"chains_{num_nodes}")
+    builder.add_nodes_array(
+        rng.integers(1, 6, size=num_nodes).astype(np.float64),
+        rng.integers(1, 4, size=num_nodes).astype(np.float64),
+    )
+    sources = np.arange(num_nodes - num_chains, dtype=np.int64)
+    builder.add_edges_array(sources, sources + num_chains)
+    return builder.freeze()
+
+
+def bench_coarsening() -> dict:
+    """Coarsening wall time of seed vs bucket queue over growing instances."""
+    entries = []
+    for num_nodes in COARSEN_SIZES:
+        dag = build_chain_bundle(num_nodes)
+        target = num_nodes // 2
+        seed_time, seed_seq = _best_of(
+            lambda: coarsen_dag_reference(dag, target_nodes=target), repeats=1
+        )
+        csr_time, csr_seq = _best_of(
+            lambda: coarsen_dag(dag, target_nodes=target), repeats=1
+        )
+        assert seed_seq.num_contractions == csr_seq.num_contractions
+        assert csr_seq.quotient().dag.is_acyclic()
+        entries.append(
+            {
+                "num_nodes": num_nodes,
+                "num_contractions": csr_seq.num_contractions,
+                "seed_s": seed_time,
+                "bucket_s": csr_time,
+                "speedup": seed_time / csr_time,
+            }
+        )
+    smallest, largest = entries[0], entries[-1]
+    return {
+        "sizes": entries,
+        # how much each implementation slowed down from the smallest to the
+        # largest instance; near-linear code grows ~ with the size factor
+        "seed_growth": largest["seed_s"] / smallest["seed_s"],
+        "bucket_growth": largest["bucket_s"] / smallest["bucket_s"],
+    }
+
+
 def run_benchmarks() -> dict:
-    report = {"sizes": [bench_one_size(n) for n in SIZES]}
+    report = {
+        "sizes": [bench_one_size(n) for n in SIZES],
+        "coarsening": bench_coarsening(),
+    }
     save_json("bench_dag_kernels", report)
     for entry in report["sizes"]:
         print(f"\nn={entry['num_nodes']} m={entry['num_edges']} depth={entry['depth']}")
@@ -153,6 +271,17 @@ def run_benchmarks() -> dict:
                 f"  {kernel:20s} seed {t['seed_s'] * 1e3:9.2f} ms   "
                 f"csr {t['csr_s'] * 1e3:8.2f} ms   speedup {t['speedup']:7.1f}x"
             )
+    coarsening = report["coarsening"]
+    print("\ncoarsening (chain bundles, target = n/2):")
+    for entry in coarsening["sizes"]:
+        print(
+            f"  n={entry['num_nodes']:6d} seed {entry['seed_s'] * 1e3:9.2f} ms   "
+            f"bucket {entry['bucket_s'] * 1e3:8.2f} ms   speedup {entry['speedup']:7.1f}x"
+        )
+    print(
+        f"  growth smallest->largest: seed {coarsening['seed_growth']:.1f}x, "
+        f"bucket {coarsening['bucket_growth']:.1f}x"
+    )
     return report
 
 
@@ -160,14 +289,26 @@ def run_benchmarks() -> dict:
 # pytest entry point
 # ---------------------------------------------------------------------- #
 def test_csr_kernels_meet_acceptance_speedup():
-    """levels/bottom_levels must be >= 5x faster than the seed path at 100k nodes."""
+    """The vectorized passes must beat the seed paths >= 5x at 100k nodes."""
     report = run_benchmarks()
     big = next(e for e in report["sizes"] if e["num_nodes"] == ACCEPTANCE_SIZE)
-    for kernel in ("levels", "bottom_levels"):
+    for kernel in ("levels", "bottom_levels", "schedule_violations"):
         speedup = big["kernels"][kernel]["speedup"]
         assert speedup >= ACCEPTANCE_SPEEDUP, (
             f"{kernel} speedup {speedup:.1f}x below the {ACCEPTANCE_SPEEDUP}x target"
         )
+    coarsening = report["coarsening"]
+    # the seed coarsener grows super-linearly (per-step O(m log m) rescans),
+    # the bucket queue near-linearly: its slowdown across an 8x size sweep
+    # must stay well below the seed's
+    assert (
+        coarsening["seed_growth"]
+        >= COARSEN_SCALING_FACTOR * coarsening["bucket_growth"]
+    ), (
+        f"coarsening scaling: seed grew {coarsening['seed_growth']:.1f}x but the "
+        f"bucket queue grew {coarsening['bucket_growth']:.1f}x across "
+        f"{COARSEN_SIZES[0]}->{COARSEN_SIZES[-1]} nodes"
+    )
 
 
 if __name__ == "__main__":

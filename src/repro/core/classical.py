@@ -6,11 +6,24 @@ classical schedule is converted into a BSP schedule: process nodes in order
 of start time and close the current computation phase (start a new
 superstep) whenever the next node to execute has a direct predecessor on a
 *different* processor that is not yet assigned to an earlier superstep.
+
+Implementation notes
+--------------------
+The conversion is driven from the DAG's CSR edge arrays.  The superstep
+counter of the appendix only ever advances by one, and it advances at node
+``v`` exactly when ``v`` has a cross-processor predecessor inside the
+current superstep — i.e. a predecessor whose position in the start-time
+order is at or after the position where the current superstep began.  So
+one vectorized pass computes, for every node, the latest position of any
+earlier-starting cross-processor predecessor, and a single linear sweep
+over the order replays the counter.  The seed per-predecessor walk is kept
+in :func:`repro.core.reference.classical_to_bsp_ref` for differential
+testing and benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,7 +32,7 @@ from .exceptions import ScheduleError
 from .machine import BspMachine
 from .schedule import BspSchedule
 
-__all__ = ["ClassicalSchedule", "classical_to_bsp"]
+__all__ = ["ClassicalSchedule", "classical_to_bsp", "conversion_supersteps"]
 
 
 @dataclass
@@ -33,7 +46,7 @@ class ClassicalSchedule:
     num_procs: int
     procs: np.ndarray
     start_times: np.ndarray
-    finish_times: np.ndarray = field(default=None)  # type: ignore[assignment]
+    finish_times: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.procs = np.asarray(self.procs, dtype=np.int64)
@@ -56,22 +69,36 @@ class ClassicalSchedule:
         return float(self.finish_times.max())
 
     def validate(self) -> None:
-        """Check precedence (by start/finish time) and non-overlap per processor."""
+        """Check precedence (by start/finish time) and non-overlap per processor.
+
+        Both checks are single vectorized passes: precedence as one mask over
+        the edge arrays, per-processor overlap by comparing adjacent entries
+        of the nodes sorted by ``(processor, start time, node)``.
+        """
         dag = self.dag
-        for edge in dag.edges():
-            if self.finish_times[edge.source] > self.start_times[edge.target] + 1e-9:
+        src, dst = dag.edge_arrays()
+        if src.size:
+            bad = self.finish_times[src] > self.start_times[dst] + 1e-9
+            if bad.any():
+                i = int(np.argmax(bad))
                 raise ScheduleError(
-                    f"edge ({edge.source},{edge.target}): successor starts before "
+                    f"edge ({int(src[i])},{int(dst[i])}): successor starts before "
                     f"predecessor finishes"
                 )
-        for p in range(self.num_procs):
-            nodes = [v for v in dag.nodes() if self.procs[v] == p]
-            nodes.sort(key=lambda v: self.start_times[v])
-            for a, b in zip(nodes, nodes[1:]):
-                if self.finish_times[a] > self.start_times[b] + 1e-9:
-                    raise ScheduleError(
-                        f"nodes {a} and {b} overlap in time on processor {p}"
-                    )
+        n = dag.num_nodes
+        if n < 2:
+            return
+        order = np.lexsort((np.arange(n), self.start_times, self.procs))
+        same_proc = self.procs[order][1:] == self.procs[order][:-1]
+        overlap = same_proc & (
+            self.finish_times[order][:-1] > self.start_times[order][1:] + 1e-9
+        )
+        if overlap.any():
+            i = int(np.argmax(overlap))
+            raise ScheduleError(
+                f"nodes {int(order[i])} and {int(order[i + 1])} overlap in time "
+                f"on processor {int(self.procs[order[i]])}"
+            )
 
 
 def classical_to_bsp(
@@ -91,23 +118,46 @@ def classical_to_bsp(
         raise ScheduleError(
             "machine has fewer processors than the classical schedule uses"
         )
+    supersteps = conversion_supersteps(dag, classical.procs, classical.start_times)
+    return BspSchedule(dag, machine, classical.procs, supersteps)
+
+
+def conversion_supersteps(
+    dag: ComputationalDAG, procs: np.ndarray, start_times: np.ndarray
+) -> np.ndarray:
+    """The Appendix A.1 superstep numbering of a classical assignment.
+
+    One vectorized pass over the edge arrays plus a linear counter sweep;
+    differential-tested against the seed per-predecessor walk
+    (:func:`repro.core.reference.classical_to_bsp_ref`).
+    """
     n = dag.num_nodes
-    procs = classical.procs
-    supersteps = np.full(n, -1, dtype=np.int64)
-    order = sorted(dag.nodes(), key=lambda v: (classical.start_times[v], v))
+    supersteps = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return supersteps
+
+    order = np.argsort(start_times, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+
+    # For every node, the latest start-order position of a cross-processor
+    # predecessor that starts earlier.  The superstep counter advances at a
+    # node exactly when that position falls inside the run of nodes already
+    # assigned to the current superstep.
+    latest_cross_pred = np.full(n, -1, dtype=np.int64)
+    src, dst = dag.edge_arrays()
+    if src.size:
+        earlier_cross = (procs[src] != procs[dst]) & (rank[src] < rank[dst])
+        np.maximum.at(latest_cross_pred, dst[earlier_cross], rank[src][earlier_cross])
+
+    bump_bound = latest_cross_pred[order].tolist()
+    steps_by_position = [0] * n
     current = 0
-    for v in order:
-        needed = current
-        for u in dag.predecessors(v):
-            if procs[u] != procs[v]:
-                # cross-processor dependency: u must be in a *strictly* earlier
-                # superstep for the lazy communication to arrive in time.
-                if supersteps[u] >= needed:
-                    needed = int(supersteps[u]) + 1
-            else:
-                if supersteps[u] > needed:
-                    needed = int(supersteps[u])
-        if needed > current:
-            current = needed
-        supersteps[v] = current
-    return BspSchedule(dag, machine, procs, supersteps)
+    run_start = 0  # position where the run of nodes with τ == current began
+    for position, bound in enumerate(bump_bound):
+        if bound >= run_start:
+            current += 1
+            run_start = position
+        steps_by_position[position] = current
+    supersteps[order] = steps_by_position
+    return supersteps

@@ -8,23 +8,100 @@ A BSP schedule ``(π, τ, Γ)`` is valid when
   otherwise there is an entry ``(u, p1, π(v), s) ∈ Γ`` with ``s < τ(v)``;
 * for every ``(v, p1, p2, s) ∈ Γ``: either ``π(v) == p1`` and
   ``τ(v) <= s``, or there is another entry ``(v, p', p1, s') ∈ Γ`` with
-  ``s' < s`` (the value reached ``p1`` earlier via forwarding).
+  ``s' < s`` (the value reached ``p1`` earlier via forwarding);
+* no entry of ``Γ`` re-delivers a value that is already present on its
+  target processor no later than the delivery would arrive (a redundant
+  transfer, e.g. a duplicate send or a forwarding loop back to the
+  computing processor).
+
+Implementation notes
+--------------------
+All checks run as vectorized passes over the DAG's CSR edge arrays and the
+comm-step columns: assignment ranges, per-step sanity and redundant
+deliveries, same-processor precedence and cross-processor availability are
+each one numpy mask; only the (bounded, ``max_violations``-capped) message
+rendering walks the flagged indices one by one.  Value availability under
+forwarding keeps the seed's fixpoint semantics but relaxes whole step
+columns per round against a dense ``(node, processor)`` availability table.
+
+Degenerate inputs whose processor or node ids fall outside the machine and
+DAG (which the dense table cannot index) fall back to the pure-Python
+reference walker in :mod:`repro.core.reference`, which produces bit-identical
+messages; the same walker backs the differential tests and benchmarks.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from .comm import CommStep
 from .exceptions import ScheduleError
+from .reference import schedule_violations_ref
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .dag import ComputationalDAG
     from .machine import BspMachine
 
 __all__ = ["validate_schedule", "schedule_violations"]
+
+_INF = np.iinfo(np.int64).max
+# above this many (node, processor) cells the dense availability table is
+# not worth its memory; such instances take the reference walker instead
+_MAX_DENSE_CELLS = 64_000_000
+
+
+def _step_columns(steps: list[CommStep]) -> tuple[np.ndarray, ...]:
+    """The four step fields as parallel int64 columns.
+
+    ``np.fromiter`` over the flattened field stream is ~7x faster than
+    ``np.asarray`` on the list of named tuples (no per-row shape discovery).
+    """
+    table = np.fromiter(
+        chain.from_iterable(steps), dtype=np.int64, count=4 * len(steps)
+    ).reshape(len(steps), 4)
+    return table[:, 0], table[:, 1], table[:, 2], table[:, 3]
+
+
+def _redundant_mask(
+    node: np.ndarray,
+    target: np.ndarray,
+    superstep: np.ndarray,
+    base_avail: np.ndarray,
+) -> np.ndarray:
+    """Vectorized twin of :func:`repro.core.reference._redundant_deliveries`.
+
+    ``base_avail[i]`` is the superstep from which step ``i``'s value is
+    present on its target *without* any comm step (``τ(node)`` when the
+    target computes the node, a large sentinel otherwise).  Step ``i`` is
+    redundant when the earliest other presence of its ``(node, target)``
+    pair — computed per group with one lexsort — is no later than its own
+    arrival.
+    """
+    arrival = superstep + 1
+    key = node * (target.max() + 1) + target
+    order = np.lexsort((arrival, key))
+    k_sorted = key[order]
+    a_sorted = arrival[order]
+    boundary = np.concatenate(([True], k_sorted[1:] != k_sorted[:-1]))
+    starts = np.flatnonzero(boundary)
+    group_of = np.cumsum(boundary) - 1
+    first = a_sorted[starts]  # minimal arrival per group
+    is_first = a_sorted == first[group_of]
+    first_count = np.add.reduceat(is_first.astype(np.int64), starts)
+    second = np.minimum.reduceat(np.where(is_first, _INF, a_sorted), starts)
+    # earliest arrival of a *different* step with the same key
+    other = np.where(
+        (a_sorted > first[group_of]) | (first_count[group_of] >= 2),
+        first[group_of],
+        second[group_of],
+    )
+    redundant_sorted = np.minimum(other, base_avail[order]) <= a_sorted
+    redundant = np.empty(arrival.size, dtype=bool)
+    redundant[order] = redundant_sorted
+    return redundant
 
 
 def schedule_violations(
@@ -43,93 +120,129 @@ def schedule_violations(
     procs = np.asarray(procs)
     supersteps = np.asarray(supersteps)
     steps = list(comm_schedule)
-    violations: list[str] = []
-
-    def add(message: str) -> bool:
-        violations.append(message)
-        return len(violations) >= max_violations
-
     n = dag.num_nodes
     if procs.shape != (n,) or supersteps.shape != (n,):
         return [
             f"assignment arrays must have shape ({n},); got procs {procs.shape}, "
             f"supersteps {supersteps.shape}"
         ]
+    num_procs = machine.num_procs
+    procs_i = procs.astype(np.int64, copy=False)
+    steps_i = supersteps.astype(np.int64, copy=False)
 
-    # assignment range checks
-    for v in dag.nodes():
-        if not 0 <= int(procs[v]) < machine.num_procs:
-            if add(f"node {v} assigned to invalid processor {int(procs[v])}"):
-                return violations
-        if int(supersteps[v]) < 0:
+    bad_proc = (procs_i < 0) | (procs_i >= num_procs)
+    if steps:
+        s_node, s_src, s_tgt, s_sup = _step_columns(steps)
+        bad_step = (
+            (s_src < 0)
+            | (s_src >= num_procs)
+            | (s_tgt < 0)
+            | (s_tgt >= num_procs)
+            | (s_node < 0)
+            | (s_node >= n)
+        )
+    if (
+        bad_proc.any()
+        or (steps and bad_step.any())
+        or n * num_procs > _MAX_DENSE_CELLS
+    ):
+        src, dst = dag.edge_arrays()
+        return schedule_violations_ref(
+            n,
+            num_procs,
+            list(zip(src.tolist(), dst.tolist())),
+            procs,
+            supersteps,
+            steps,
+            max_violations,
+        )
+
+    violations: list[str] = []
+
+    def add(message: str) -> bool:
+        violations.append(message)
+        return len(violations) >= max_violations
+
+    # assignment range checks (all processors are in range on this path)
+    neg_step = steps_i < 0
+    if neg_step.any():
+        for v in np.flatnonzero(neg_step).tolist():
             if add(f"node {v} assigned to negative superstep {int(supersteps[v])}"):
                 return violations
 
-    # communication schedule sanity
-    arrivals: dict[tuple[int, int], int] = {}  # (node, proc) -> earliest superstep value is present
-    for v in dag.nodes():
-        arrivals[(v, int(procs[v]))] = int(supersteps[v])
-    for step in steps:
-        if not 0 <= step.source < machine.num_procs or not 0 <= step.target < machine.num_procs:
-            if add(f"comm step {step} references an invalid processor"):
-                return violations
-        if step.superstep < 0:
-            if add(f"comm step {step} has a negative superstep"):
-                return violations
-        if step.source == step.target:
-            if add(f"comm step {step} sends a value to its own processor"):
-                return violations
-        key = (step.node, step.target)
-        arrival = step.superstep + 1  # available from the following superstep on
-        if key not in arrivals or arrival < arrivals[key]:
-            # provisional; justification of the *source* is checked below
-            pass
+    # dense availability table: avail[v * P + p] = first superstep in which
+    # the value of v is present on processor p (sentinel = never)
+    avail = np.full(n * num_procs, _INF, dtype=np.int64)
+    avail[np.arange(n, dtype=np.int64) * num_procs + procs_i] = steps_i
 
-    # Resolve availability with forwarding: iterate until fixpoint (the number
-    # of steps is small; each pass relaxes at least one arrival or stops).
-    available: dict[tuple[int, int], int] = {}
-    for v in dag.nodes():
-        available[(v, int(procs[v]))] = int(supersteps[v])
-    changed = True
-    while changed:
-        changed = False
-        for step in steps:
-            src_key = (step.node, step.source)
-            if src_key in available and available[src_key] <= step.superstep:
-                tgt_key = (step.node, step.target)
-                arrival = step.superstep + 1
-                if tgt_key not in available or arrival < available[tgt_key]:
-                    available[tgt_key] = arrival
-                    changed = True
-
-    # every comm step must itself be justified
-    for step in steps:
-        src_key = (step.node, step.source)
-        if src_key not in available or available[src_key] > step.superstep:
-            if add(
-                f"comm step {step}: value of node {step.node} is not available on "
-                f"processor {step.source} by superstep {step.superstep}"
-            ):
-                return violations
-
-    # precedence constraints
-    for edge in dag.edges():
-        u, v = edge.source, edge.target
-        pu, pv = int(procs[u]), int(procs[v])
-        su, sv = int(supersteps[u]), int(supersteps[v])
-        if pu == pv:
-            if su > sv:
-                if add(
-                    f"edge ({u},{v}): predecessor on same processor {pu} but "
-                    f"scheduled later (superstep {su} > {sv})"
+    if steps:
+        # communication schedule sanity
+        neg_sup = s_sup < 0
+        self_send = s_src == s_tgt
+        redundant = _redundant_mask(
+            s_node, s_tgt, s_sup, avail[s_node * num_procs + s_tgt]
+        )
+        flagged = neg_sup | self_send | redundant
+        if flagged.any():
+            for i in np.flatnonzero(flagged).tolist():
+                step = steps[i]
+                if neg_sup[i] and add(f"comm step {step} has a negative superstep"):
+                    return violations
+                if self_send[i] and add(
+                    f"comm step {step} sends a value to its own processor"
                 ):
                     return violations
-        else:
-            key = (u, pv)
-            if key not in available or available[key] > sv:
+                if redundant[i] and add(
+                    f"comm step {step} re-delivers the value of node {step.node} to "
+                    f"processor {step.target}, which already has it"
+                ):
+                    return violations
+
+        # Resolve availability with forwarding: relax all steps per round
+        # until fixpoint (rounds are bounded by the longest forwarding chain).
+        src_key = s_node * num_procs + s_src
+        tgt_key = s_node * num_procs + s_tgt
+        arrival = s_sup + 1
+        while True:
+            can_send = avail[src_key] <= s_sup
+            before = avail[tgt_key[can_send]]
+            np.minimum.at(avail, tgt_key[can_send], arrival[can_send])
+            if not (avail[tgt_key[can_send]] < before).any():
+                break
+
+        # every comm step must itself be justified
+        unjustified = avail[src_key] > s_sup
+        if unjustified.any():
+            for i in np.flatnonzero(unjustified).tolist():
+                step = steps[i]
                 if add(
-                    f"edge ({u},{v}): value of {u} never reaches processor {pv} "
-                    f"before superstep {sv}"
+                    f"comm step {step}: value of node {step.node} is not available on "
+                    f"processor {step.source} by superstep {step.superstep}"
+                ):
+                    return violations
+
+    # precedence constraints
+    src, dst = dag.edge_arrays()
+    if src.size:
+        pu = procs_i[src]
+        pv = procs_i[dst]
+        su = steps_i[src]
+        sv = steps_i[dst]
+        same = pu == pv
+        bad_same = same & (su > sv)
+        bad_cross = ~same & (avail[src * np.int64(num_procs) + pv] > sv)
+        flagged_edges = bad_same | bad_cross
+        if flagged_edges.any():
+            for i in np.flatnonzero(flagged_edges).tolist():
+                u, v = int(src[i]), int(dst[i])
+                if bad_same[i] and add(
+                    f"edge ({u},{v}): predecessor on same processor {int(pu[i])} but "
+                    f"scheduled later (superstep {int(su[i])} > {int(sv[i])})"
+                ):
+                    return violations
+                if bad_cross[i] and add(
+                    f"edge ({u},{v}): value of {u} never reaches processor {int(pv[i])} "
+                    f"before superstep {int(sv[i])}"
                 ):
                     return violations
     return violations

@@ -68,8 +68,8 @@ class BspGreedyScheduler(Scheduler):
 
         assigned = np.zeros(n, dtype=bool)
         finished = np.zeros(n, dtype=bool)
-        remaining_preds = np.array([dag.in_degree(v) for v in dag.nodes()])
-        outdeg = np.array([max(dag.out_degree(v), 1) for v in dag.nodes()])
+        remaining_preds = dag.in_degrees()
+        outdeg = np.maximum(dag.out_degrees(), 1)
 
         ready: set[int] = set(dag.sources())
         ready_all: set[int] = set(ready)
@@ -93,11 +93,12 @@ class BspGreedyScheduler(Scheduler):
             best_score = -1.0
             for v in pool:
                 score = 0.0
-                for u in dag.predecessors(v):
+                for u in dag.pred(v).tolist():
                     on_proc = assigned[u] and procs[u] == proc
                     if not on_proc:
                         on_proc = any(
-                            assigned[w] and procs[w] == proc for w in dag.successors(u)
+                            assigned[w] and procs[w] == proc
+                            for w in dag.succ(u).tolist()
                         )
                     if on_proc:
                         score += dag.comm(u) / outdeg[u]
@@ -135,7 +136,7 @@ class BspGreedyScheduler(Scheduler):
                     continue
                 finished[node] = True
                 free[int(procs[node])] = True
-                for succ in dag.successors(node):
+                for succ in dag.succ(node).tolist():
                     remaining_preds[succ] -= 1
                     if remaining_preds[succ] == 0:
                         ready.add(succ)
@@ -144,7 +145,7 @@ class BspGreedyScheduler(Scheduler):
                         proc = int(procs[node])
                         if all(
                             (assigned[u] and (procs[u] == proc or supersteps[u] < superstep))
-                            for u in dag.predecessors(succ)
+                            for u in dag.pred(succ).tolist()
                         ):
                             ready_proc[proc].add(succ)
 

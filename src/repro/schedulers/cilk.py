@@ -50,7 +50,7 @@ class CilkScheduler(Scheduler):
         start_times = np.zeros(n, dtype=np.float64)
         finish_times = np.zeros(n, dtype=np.float64)
 
-        remaining_preds = [dag.in_degree(v) for v in dag.nodes()]
+        remaining_preds = dag.in_degrees().tolist()
         stacks: list[list[int]] = [[] for _ in range(num_procs)]
         # Seed all sources on processor 0 (reverse order so that the
         # lowest-index source ends up on top of the stack).
@@ -90,7 +90,7 @@ class CilkScheduler(Scheduler):
             current_time, node, proc = heapq.heappop(events)
             # Release successors whose last predecessor just finished; they
             # are pushed on top of the finishing processor's stack.
-            for succ in dag.successors(node):
+            for succ in dag.succ(node).tolist():
                 remaining_preds[succ] -= 1
                 if remaining_preds[succ] == 0:
                     stacks[proc].append(succ)
@@ -99,7 +99,7 @@ class CilkScheduler(Scheduler):
             # ties are handled consistently.
             while events and events[0][0] == current_time:
                 _, other_node, other_proc = heapq.heappop(events)
-                for succ in dag.successors(other_node):
+                for succ in dag.succ(other_node).tolist():
                     remaining_preds[succ] -= 1
                     if remaining_preds[succ] == 0:
                         stacks[other_proc].append(succ)

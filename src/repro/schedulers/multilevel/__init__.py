@@ -1,6 +1,12 @@
 """Multilevel (coarsen-solve-refine) scheduling (paper §4.5)."""
 
-from .coarsen import CoarseningSequence, ContractionRecord, QuotientDag, coarsen_dag
+from .coarsen import (
+    CoarseningSequence,
+    ContractionRecord,
+    QuotientDag,
+    coarsen_dag,
+    coarsen_dag_reference,
+)
 from .refine import project_to_original, restrict_to_quotient
 from .scheduler import MultilevelScheduler
 
@@ -10,6 +16,7 @@ __all__ = [
     "MultilevelScheduler",
     "QuotientDag",
     "coarsen_dag",
+    "coarsen_dag_reference",
     "project_to_original",
     "restrict_to_quotient",
 ]

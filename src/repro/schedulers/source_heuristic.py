@@ -65,7 +65,7 @@ class SourceScheduler(Scheduler):
             return BspSchedule(dag, machine, procs, supersteps)
 
         assigned = np.zeros(n, dtype=bool)
-        remaining_preds = np.array([dag.in_degree(v) for v in dag.nodes()])
+        remaining_preds = dag.in_degrees()
         frontier = sorted(dag.sources())
         superstep = 0
 
@@ -75,7 +75,7 @@ class SourceScheduler(Scheduler):
             supersteps[node] = superstep
             assigned[node] = True
             newly_ready = []
-            for succ in dag.successors(node):
+            for succ in dag.succ(node).tolist():
                 remaining_preds[succ] -= 1
                 if remaining_preds[succ] == 0:
                     newly_ready.append(succ)
@@ -101,11 +101,12 @@ class SourceScheduler(Scheduler):
             # the paper's Algorithm 2 this is a single pass over the direct
             # successors of the layer just assigned, not a fixpoint iteration.
             for node in list(next_frontier):
-                preds = dag.predecessors(node)
-                owner_procs = {int(procs[u]) for u in preds if assigned[u]}
-                if preds and all(assigned[u] for u in preds) and len(owner_procs) == 1:
-                    next_frontier.remove(node)
-                    next_frontier.extend(mark_assigned(node, owner_procs.pop()))
+                preds = dag.pred(node)
+                if preds.size and assigned[preds].all():
+                    owner_procs = np.unique(procs[preds])
+                    if owner_procs.size == 1:
+                        next_frontier.remove(node)
+                        next_frontier.extend(mark_assigned(node, int(owner_procs[0])))
 
             frontier = sorted(set(next_frontier))
             superstep += 1
@@ -121,7 +122,7 @@ class SourceScheduler(Scheduler):
         source_set = set(sources)
         seen_parent_of: dict[int, int] = {}
         for source in sources:
-            for succ in dag.successors(source):
+            for succ in dag.succ(source).tolist():
                 if succ in seen_parent_of:
                     other = seen_parent_of[succ]
                     if other in source_set:

@@ -119,6 +119,7 @@ class TestDrivers:
         )
         assert aggregate_improvement(records, "final", "cilk") > 0
 
+    @pytest.mark.slow
     def test_initializer_comparison_counts(self):
         wins = run_initializer_comparison(
             procs=(4,), g_values=(1,), ilp_init_time=0.5, scale="bench"

@@ -91,6 +91,7 @@ class TestIlpFull:
         assert IlpFullImprover(max_variables=10**6).applicable(start)
         assert not IlpFullImprover(max_variables=10).applicable(start)
 
+    @pytest.mark.slow
     def test_improves_or_keeps_cost(self, small_instance):
         dag, machine = small_instance
         start = RoundRobinScheduler().schedule(dag, machine)
@@ -114,6 +115,7 @@ class TestIlpFull:
 
 
 class TestIlpPartial:
+    @pytest.mark.slow
     def test_never_worse_and_valid(self, small_instance):
         dag, machine = small_instance
         start = RoundRobinScheduler().schedule(dag, machine)
@@ -169,6 +171,7 @@ class TestIlpCommSchedule:
 
 
 class TestIlpInit:
+    @pytest.mark.slow
     def test_produces_valid_schedule(self, small_instance):
         dag, machine = small_instance
         schedule = IlpInitScheduler(time_limit_per_batch=TIME_LIMIT).schedule(dag, machine)
@@ -209,6 +212,7 @@ class TestIlpInit:
         schedule = IlpInitScheduler().schedule(ComputationalDAG(0), machine)
         assert schedule.cost() == 0.0
 
+    @pytest.mark.slow
     def test_better_than_random_on_small_instance(self, small_instance):
         dag, machine = small_instance
         ilp_init = IlpInitScheduler(time_limit_per_batch=TIME_LIMIT).schedule(dag, machine)

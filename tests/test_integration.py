@@ -55,6 +55,7 @@ class TestSection71NoNuma:
             low_g, "final", "cilk"
         ) - 0.05
 
+    @pytest.mark.slow
     def test_stagewise_improvements(self, exp_dag):
         """Figure 5 shape: Init <= HDagg-ish region, HCcs and ILP improve further."""
         machine = BspMachine.uniform(4, g=5, latency=5)
@@ -106,6 +107,7 @@ class TestSection72Numa:
 class TestSection73Multilevel:
     """Qualitative reproduction of §7.3: multilevel wins when communication dominates."""
 
+    @pytest.mark.slow
     def test_multilevel_beats_base_under_extreme_numa(self):
         dag = build_cg_dag(
             SparseMatrixPattern.random(6, 0.3, seed=3, ensure_diagonal=True), 3
@@ -126,6 +128,7 @@ class TestSection73Multilevel:
         ml = MultilevelPipeline(FAST_HEURISTIC).schedule(dag, machine)
         assert base.cost() <= ml.cost() * 1.3
 
+    @pytest.mark.slow
     def test_multilevel_close_to_trivial_in_pathological_regime(self):
         dag = build_cg_dag(
             SparseMatrixPattern.random(5, 0.3, seed=9, ensure_diagonal=True), 2

@@ -9,7 +9,9 @@ from repro.core import BspMachine, BspSchedule, ComputationalDAG, DagError
 from repro.schedulers import BspGreedyScheduler, MultilevelScheduler
 from repro.schedulers.multilevel import (
     CoarseningSequence,
+    ContractionRecord,
     coarsen_dag,
+    coarsen_dag_reference,
     project_to_original,
     restrict_to_quotient,
 )
@@ -89,6 +91,73 @@ class TestCoarsening:
         assert sequence.quotient().dag.num_nodes == 4
 
 
+class TestBucketQueueCoarsening:
+    """The bucketed lazy priority structure vs the retained seed coarsener."""
+
+    def test_identical_records_on_distinct_buckets(self):
+        """With almost-surely distinct merged work weights every bucket is a
+        singleton, so the whole-bucket tie rule coincides with the seed's
+        cutoff, and on an out-tree every edge is contractable, so the (by
+        design different) fallback order never engages: both implementations
+        must produce identical histories."""
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            n = 40
+            dag = ComputationalDAG(
+                n,
+                work_weights=rng.random(n) + 0.5,
+                comm_weights=rng.random(n) + 0.5,
+            )
+            for child in range(1, n):
+                dag.add_edge(int(rng.integers(0, child)), child)
+            fast = coarsen_dag(dag, target_nodes=5)
+            slow = coarsen_dag_reference(dag, target_nodes=5)
+            assert fast.records == slow.records
+
+    def test_same_progress_as_reference_on_integer_weights(self):
+        for seed in range(4):
+            dag = random_dag(30, 0.12, seed=80 + seed)
+            fast = coarsen_dag(dag, target_nodes=8)
+            slow = coarsen_dag_reference(dag, target_nodes=8)
+            assert fast.num_contractions == slow.num_contractions
+            assert fast.quotient().dag.is_acyclic()
+            assert fast.quotient().dag.total_work == pytest.approx(dag.total_work)
+
+    def test_fallback_uses_comm_weight_order(self):
+        """Satellite bugfix: when the light third has no contractable edge the
+        fallback follows the paper's largest-c(u) rule, not ascending work.
+
+        Edge (0, 1) is the lightest but transitive (0 -> 2 -> 1 exists), so
+        selection falls through to the two heavier edges; the source with the
+        larger communication weight (node 2) must win even though the seed's
+        work-then-edge-id order would have picked (0, 2) first.
+        """
+        dag = ComputationalDAG(3, work_weights=[1, 1, 10], comm_weights=[1, 1, 5])
+        dag.add_edge(0, 2)
+        dag.add_edge(2, 1)
+        dag.add_edge(0, 1)  # transitive, merged work 2: the whole light third
+        sequence = coarsen_dag(dag, target_nodes=2)
+        assert sequence.records[0] == ContractionRecord(kept=2, removed=1)
+        # the seed picked the first heavier edge in work order instead
+        seed_sequence = coarsen_dag_reference(dag, target_nodes=2)
+        assert seed_sequence.records[0] == ContractionRecord(kept=0, removed=2)
+
+    def test_search_budget_is_conservative_but_safe(self):
+        dag = random_dag(40, 0.15, seed=13)
+        exact = coarsen_dag(dag, target_nodes=10)
+        budgeted = coarsen_dag(dag, target_nodes=10, search_budget=2)
+        assert budgeted.num_contractions <= exact.num_contractions
+        assert budgeted.quotient().dag.is_acyclic()
+        for level in range(0, budgeted.num_contractions + 1, 7):
+            assert budgeted.quotient(level).dag.is_acyclic()
+
+    def test_zero_budget_still_contracts_via_fast_paths(self):
+        # a chain needs no DFS at all: u is always v's only predecessor
+        dag = build_chain_dag(12)
+        sequence = coarsen_dag(dag, target_nodes=1, search_budget=0)
+        assert sequence.quotient().dag.num_nodes == 1
+
+
 class TestProjection:
     def test_project_and_restrict_roundtrip(self):
         dag = random_dag(30, 0.15, seed=5)
@@ -119,6 +188,7 @@ class TestProjection:
 
 
 class TestMultilevelScheduler:
+    @pytest.mark.slow
     def test_valid_schedule_on_original_dag(self):
         dag = build_cg_dag(
             SparseMatrixPattern.random(5, 0.35, seed=4, ensure_diagonal=True), 2
@@ -137,6 +207,7 @@ class TestMultilevelScheduler:
         schedule = scheduler.schedule(dag, machine)
         assert schedule.cost() == pytest.approx(base.cost())
 
+    @pytest.mark.slow
     def test_competitive_with_trivial_when_communication_dominates(self):
         """§7.3: with huge NUMA costs ML stays close to the trivial schedule's cost
         (the paper reports it beats it in all but a handful of cases) while the

@@ -50,6 +50,7 @@ class TestPipelineConfig:
 
 
 class TestBasePipeline:
+    @pytest.mark.slow
     def test_stage_costs_monotonically_improve(self, spmv_instance):
         machine = BspMachine.uniform(4, g=3, latency=5)
         result = SchedulingPipeline(FAST).schedule_with_stages(spmv_instance, machine)
@@ -60,6 +61,7 @@ class TestBasePipeline:
         assert result.schedule.cost() == pytest.approx(stages.final)
         assert_valid_schedule(result.schedule)
 
+    @pytest.mark.slow
     def test_records_every_initializer(self, spmv_instance):
         machine = BspMachine.uniform(4, g=1, latency=5)
         result = SchedulingPipeline(FAST).schedule_with_stages(spmv_instance, machine)
@@ -68,6 +70,7 @@ class TestBasePipeline:
         assert "ilp_init" in result.stages.initial  # P = 4 -> ILPinit runs
         assert result.stages.best_init == pytest.approx(min(result.stages.initial.values()))
 
+    @pytest.mark.slow
     def test_beats_cilk_and_hdagg_on_comm_heavy_instance(self, spmv_instance):
         """The paper's core claim (§7.1): the framework beats both baselines."""
         machine = BspMachine.uniform(4, g=5, latency=5)
@@ -95,6 +98,7 @@ class TestBasePipeline:
 
 
 class TestMultilevelPipeline:
+    @pytest.mark.slow
     def test_valid_and_reasonable_under_numa(self):
         dag = build_cg_dag(
             SparseMatrixPattern.random(5, 0.35, seed=2, ensure_diagonal=True), 2
@@ -106,6 +110,7 @@ class TestMultilevelPipeline:
         cilk = CilkScheduler(seed=0).schedule(dag, machine)
         assert ml.cost() <= cilk.cost()
 
+    @pytest.mark.slow
     def test_custom_coarsening_ratio(self):
         dag = random_dag(40, 0.1, seed=3)
         machine = BspMachine.numa_hierarchy(8, delta=3, g=1, latency=5)

@@ -1,0 +1,312 @@
+"""Differential tests: vectorized validation/conversion vs the reference walkers.
+
+The vectorized :func:`repro.core.validation.schedule_violations` and
+:func:`repro.core.classical.classical_to_bsp` must be *bit-identical* to the
+pure-Python reference implementations in :mod:`repro.core.reference` — same
+messages, same order, same truncation — on valid schedules, on invalid
+schedules from every violation category, and on randomized dagdb instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BspMachine,
+    ClassicalSchedule,
+    CommStep,
+    classical_to_bsp,
+    lazy_comm_schedule,
+    schedule_violations,
+)
+from repro.core.reference import (
+    adjacency_from_edges,
+    classical_to_bsp_ref,
+    schedule_violations_ref,
+)
+from repro.dagdb import SparseMatrixPattern, build_cg_dag, build_spmv_dag
+from repro.schedulers import BspGreedyScheduler, CilkScheduler, SourceScheduler
+
+from conftest import build_chain_dag, build_diamond_dag, build_paper_example_dag, random_dag
+
+
+def ref_violations(dag, machine, procs, supersteps, steps, max_violations=20):
+    """Run the reference walker on the plain-data image of the same instance."""
+    src, dst = dag.edge_arrays()
+    return schedule_violations_ref(
+        dag.num_nodes,
+        machine.num_procs,
+        list(zip(src.tolist(), dst.tolist())),
+        np.asarray(procs),
+        np.asarray(supersteps),
+        list(steps),
+        max_violations,
+    )
+
+
+def assert_same_violations(dag, machine, procs, supersteps, steps, max_violations=20):
+    procs = np.asarray(procs)
+    supersteps = np.asarray(supersteps)
+    steps = list(steps)
+    fast = schedule_violations(dag, machine, procs, supersteps, steps, max_violations)
+    slow = ref_violations(dag, machine, procs, supersteps, steps, max_violations)
+    assert fast == slow
+    return fast
+
+
+def dagdb_instances():
+    yield build_spmv_dag(
+        SparseMatrixPattern.random(6, 0.4, seed=3, ensure_diagonal=True)
+    ).dag
+    yield build_cg_dag(
+        SparseMatrixPattern.random(4, 0.5, seed=7, ensure_diagonal=True), 2
+    ).dag
+    yield build_paper_example_dag()
+    for seed in (0, 1, 2):
+        yield random_dag(25, 0.15, seed=seed)
+
+
+class TestDifferentialOnSchedulerOutput:
+    """Valid schedules from the real schedulers agree (and are violation free)."""
+
+    @pytest.mark.parametrize("procs_count", [1, 2, 4])
+    def test_scheduler_outputs(self, procs_count):
+        machine = BspMachine.uniform(procs_count, g=2, latency=3)
+        for dag in dagdb_instances():
+            for scheduler in (BspGreedyScheduler(), SourceScheduler(), CilkScheduler(0)):
+                schedule = scheduler.schedule(dag, machine)
+                steps = sorted(schedule.comm_schedule)
+                violations = assert_same_violations(
+                    dag, machine, schedule.procs, schedule.supersteps, steps
+                )
+                assert violations == []
+
+    def test_forwarding_chain(self):
+        machine = BspMachine.uniform(4, g=1, latency=1)
+        dag = build_chain_dag(2)
+        procs = np.array([0, 3])
+        supersteps = np.array([0, 4])
+        chain = [CommStep(0, 0, 1, 0), CommStep(0, 1, 2, 1), CommStep(0, 2, 3, 2)]
+        assert assert_same_violations(dag, machine, procs, supersteps, chain) == []
+        # breaking any link of the chain must produce the same messages too
+        for drop in range(3):
+            broken = [s for i, s in enumerate(chain) if i != drop]
+            violations = assert_same_violations(dag, machine, procs, supersteps, broken)
+            assert violations
+
+
+class TestDifferentialOnInvalidSchedules:
+    """Every violation category produces identical messages through both paths."""
+
+    def cases(self):
+        machine = BspMachine.uniform(2, g=1, latency=1)
+        chain = build_chain_dag(2)
+        diamond = build_diamond_dag()
+        yield machine, chain, [0, 5], [0, 1], []  # invalid processor
+        yield machine, chain, [0, 0], [0, -1], []  # negative superstep
+        yield machine, chain, [0, 0], [1, 0], []  # same-proc precedence
+        yield machine, chain, [0, 1], [0, 1], []  # cross-proc, no comm
+        yield machine, chain, [0, 1], [0, 1], [CommStep(0, 0, 1, 1)]  # comm too late
+        yield machine, chain, [0, 0], [0, 1], [CommStep(0, 0, 0, 0)]  # self send
+        yield machine, chain, [0, 0], [0, 1], [CommStep(0, 0, 9, 0)]  # invalid comm proc
+        yield machine, chain, [0, 0], [0, 1], [CommStep(0, 0, 1, -2)]  # negative comm phase
+        yield machine, chain, [0, 0], [0, 1], [CommStep(9, 0, 1, 0)]  # unknown node id
+        yield machine, chain, [0, 1], [1, 3], [CommStep(0, 0, 1, 0)]  # sent before computed
+        yield machine, chain, [0, 0], [0, 1], [CommStep(0, 1, 0, 0)]  # wrong source proc
+        # redundant deliveries: duplicate send and loop back to the computing proc
+        yield machine, chain, [0, 1], [0, 2], [CommStep(0, 0, 1, 0), CommStep(0, 0, 1, 1)]
+        yield (
+            BspMachine.uniform(3),
+            chain,
+            [0, 2],
+            [0, 3],
+            [CommStep(0, 0, 1, 0), CommStep(0, 1, 2, 1), CommStep(0, 1, 0, 1)],
+        )
+        yield machine, diamond, [0, 1, 1, 0], [0, 0, 0, 0], []  # several categories at once
+
+    def test_categories(self):
+        for machine, dag, procs, supersteps, steps in self.cases():
+            violations = assert_same_violations(dag, machine, procs, supersteps, steps)
+            assert violations
+
+    def test_max_violations_truncation(self):
+        machine = BspMachine.uniform(2)
+        dag = build_chain_dag(40)
+        procs = np.zeros(40, dtype=np.int64)
+        supersteps = -np.ones(40, dtype=np.int64)
+        for cap in (1, 3, 20):
+            violations = assert_same_violations(
+                dag, machine, procs, supersteps, [], max_violations=cap
+            )
+            assert len(violations) == cap
+
+
+class TestDifferentialRandomized:
+    """Fuzz both paths with random (mostly broken) schedules and comm steps."""
+
+    def test_random_assignments_and_steps(self):
+        rng = np.random.default_rng(42)
+        machine = BspMachine.uniform(3, g=1, latency=1)
+        for trial in range(40):
+            dag = random_dag(12, 0.2, seed=trial)
+            n = dag.num_nodes
+            # mostly valid ranges so the vectorized path is exercised; a few
+            # trials use out-of-range ids to cover the reference fallback
+            degenerate = trial % 8 == 0
+            hi_proc = 5 if degenerate else 3
+            procs = rng.integers(0, hi_proc, size=n)
+            supersteps = rng.integers(-1, 4, size=n)
+            steps = [
+                CommStep(
+                    int(rng.integers(0, n + (2 if degenerate else 0))),
+                    int(rng.integers(0, hi_proc)),
+                    int(rng.integers(0, hi_proc)),
+                    int(rng.integers(-1, 4)),
+                )
+                for _ in range(int(rng.integers(0, 10)))
+            ]
+            assert_same_violations(dag, machine, procs, supersteps, steps)
+
+    def test_perturbed_valid_schedules(self):
+        rng = np.random.default_rng(7)
+        machine = BspMachine.uniform(4, g=1, latency=2)
+        for seed in range(8):
+            dag = random_dag(20, 0.15, seed=100 + seed)
+            schedule = BspGreedyScheduler().schedule(dag, machine)
+            procs = schedule.procs.copy()
+            supersteps = schedule.supersteps.copy()
+            steps = sorted(schedule.comm_schedule)
+            # flip one node's placement and one step's phase
+            victim = int(rng.integers(0, dag.num_nodes))
+            procs[victim] = (procs[victim] + 1) % machine.num_procs
+            if steps:
+                i = int(rng.integers(0, len(steps)))
+                steps[i] = steps[i]._replace(superstep=steps[i].superstep + 3)
+            assert_same_violations(dag, machine, procs, supersteps, steps)
+
+
+class TestRedundantDeliveryRegression:
+    """Satellite bugfix: the seed's dead 'communication schedule sanity' block.
+
+    The seed built the arrivals dict, computed ``key``/``arrival`` and then
+    did nothing — duplicate and too-early deliveries slipped through
+    validation silently.  They must be reported now.
+    """
+
+    def test_duplicate_delivery_is_reported(self):
+        machine = BspMachine.uniform(2, g=1, latency=1)
+        dag = build_chain_dag(2)
+        steps = [CommStep(0, 0, 1, 0), CommStep(0, 0, 1, 1)]
+        violations = schedule_violations(
+            dag, machine, np.array([0, 1]), np.array([0, 3]), steps
+        )
+        assert any("re-delivers" in v for v in violations)
+
+    def test_identical_arrival_duplicates_flag_each_other(self):
+        machine = BspMachine.uniform(3, g=1, latency=1)
+        dag = build_chain_dag(2)
+        # the same value reaches processor 2 twice in the same phase
+        steps = [
+            CommStep(0, 0, 1, 0),
+            CommStep(0, 0, 2, 1),
+            CommStep(0, 1, 2, 1),
+        ]
+        violations = schedule_violations(
+            dag, machine, np.array([0, 2]), np.array([0, 3]), steps, max_violations=50
+        )
+        assert sum("re-delivers" in v for v in violations) == 2
+
+    def test_loop_back_to_computing_processor_is_reported(self):
+        machine = BspMachine.uniform(2, g=1, latency=1)
+        dag = build_chain_dag(2)
+        steps = [CommStep(0, 0, 1, 0), CommStep(0, 1, 0, 1)]
+        violations = schedule_violations(
+            dag, machine, np.array([0, 1]), np.array([0, 2]), steps
+        )
+        assert any("re-delivers" in v for v in violations)
+
+    def test_distinct_targets_are_not_redundant(self):
+        machine = BspMachine.uniform(3, g=1, latency=1)
+        dag = build_chain_dag(2)
+        steps = [CommStep(0, 0, 1, 0), CommStep(0, 1, 2, 1)]
+        violations = schedule_violations(
+            dag, machine, np.array([0, 2]), np.array([0, 3]), steps
+        )
+        assert violations == []
+
+
+class TestClassicalConversionDifferential:
+    def convert_both(self, dag, num_procs, procs, start_times):
+        classical = ClassicalSchedule(
+            dag, num_procs=num_procs, procs=procs, start_times=start_times
+        )
+        machine = BspMachine.uniform(num_procs, g=1, latency=1)
+        schedule = classical_to_bsp(classical, machine)
+        src, dst = dag.edge_arrays()
+        _, pred = adjacency_from_edges(
+            dag.num_nodes, list(zip(src.tolist(), dst.tolist()))
+        )
+        expected = classical_to_bsp_ref(pred, procs.tolist(), start_times.tolist())
+        assert schedule.supersteps.tolist() == expected
+        return schedule
+
+    def test_baseline_classical_schedules(self):
+        for dag in dagdb_instances():
+            for num_procs in (1, 2, 4):
+                classical = CilkScheduler(seed=1).classical_schedule(dag, num_procs)
+                self.convert_both(
+                    dag, num_procs, classical.procs, classical.start_times
+                )
+
+    def test_start_time_ties_break_by_node_id(self):
+        dag = build_paper_example_dag()
+        procs = np.arange(dag.num_nodes, dtype=np.int64) % 3
+        start_times = dag.levels().astype(np.float64)  # heavy ties inside layers
+        self.convert_both(dag, 3, procs, start_times)
+
+    def test_single_processor_stays_one_superstep(self):
+        dag = random_dag(30, 0.1, seed=5)
+        classical = CilkScheduler(seed=0).classical_schedule(dag, 1)
+        schedule = self.convert_both(dag, 1, classical.procs, classical.start_times)
+        assert schedule.num_supersteps == 1
+
+
+class TestClassicalScheduleSatellite:
+    """Satellite bugfix: finish_times typing and the vectorized validate."""
+
+    def test_finish_times_annotation_allows_none(self):
+        import typing
+
+        hints = typing.get_type_hints(ClassicalSchedule)
+        assert hints["finish_times"] == (np.ndarray | None)
+
+    def test_validate_vectorized_matches_loop_semantics(self):
+        rng = np.random.default_rng(11)
+        dag = random_dag(18, 0.2, seed=9)
+        classical = CilkScheduler(seed=2).classical_schedule(dag, 3)
+        classical.validate()  # a real schedule passes
+        # shifting one node's start earlier must trip exactly one of the checks
+        bad_start = classical.start_times.copy()
+        victim = int(rng.integers(0, dag.num_nodes))
+        bad_start[victim] -= dag.work_weights.max() + 1.0
+        broken = ClassicalSchedule(
+            dag, num_procs=3, procs=classical.procs, start_times=bad_start
+        )
+        from repro.core import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            broken.validate()
+
+    def test_validate_overlap_message_names_processor(self):
+        from repro.core import ScheduleError
+
+        dag = build_diamond_dag()
+        classical = ClassicalSchedule(
+            dag,
+            num_procs=1,
+            procs=np.zeros(4, dtype=np.int64),
+            start_times=np.array([0.0, 1.0, 1.5, 3.0]),  # 1 and 2 are independent
+        )
+        with pytest.raises(ScheduleError, match="overlap in time on processor 0"):
+            classical.validate()
