@@ -2,8 +2,11 @@
 
 Measures ``levels``, ``bottom_levels``, full-neighbourhood iteration, BSP
 schedule validation (``schedule_violations``) and classical-to-BSP superstep
-numbering on layered random DAGs of 10k and 100k nodes, plus the scaling of
-multilevel coarsening on growing chain bundles:
+numbering on layered random DAGs of 10k and 100k nodes, dataset *generation*
+(the block-emitting fine-grained builders vs the retained per-nonzero seed
+generator, at 10k / 100k / 1M-nonzero iterated-SpMV instances, with
+differential asserts on the produced DAGs), plus the scaling of multilevel
+coarsening on growing chain bundles:
 
 * **seed** — the pure-Python reference implementations in
   :mod:`repro.core.reference` (and the retained rescan-and-sort coarsener
@@ -22,7 +25,9 @@ record-level equality is not expected there.
 
 Results (timings plus speedups) are printed and persisted as JSON under
 ``benchmarks/results/bench_dag_kernels.json`` via
-:func:`_bench_utils.save_json`, so future PRs can track the trajectory.
+:func:`_bench_utils.save_json`, and mirrored into the stable per-PR record
+``BENCH_<n>.json`` at the repo root via :func:`_bench_utils.save_bench_root`,
+so future PRs can track the trajectory mechanically.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_dag_kernels.py``)
 or through pytest (``pytest benchmarks/bench_dag_kernels.py``); the pytest
@@ -40,13 +45,15 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))  # for direct execution
-from _bench_utils import save_json
+from _bench_utils import save_bench_root, save_json
 
 from repro.core import BspMachine, ComputationalDAG, DagBuilder, lazy_comm_schedule
 from repro.core import csr
 from repro.core import reference as ref
 from repro.core.classical import conversion_supersteps
 from repro.core.validation import schedule_violations
+from repro.dagdb import SparseMatrixPattern, build_iterated_spmv_dag
+from repro.dagdb.reference import build_iterated_spmv_dag_reference
 from repro.schedulers.multilevel import coarsen_dag, coarsen_dag_reference
 
 SIZES = (10_000, 100_000)
@@ -59,6 +66,17 @@ COARSEN_SIZES = (500, 1_000, 2_000, 4_000)
 # the seed coarsener re-sorts all edges per contraction (quadratic-ish in n);
 # the bucket queue must grow at least this factor slower across COARSEN_SIZES
 COARSEN_SCALING_FACTOR = float(os.environ.get("REPRO_BENCH_COARSEN_FACTOR", "2.0"))
+#: generation cases: (matrix size, density, iterations) for iterated SpMV at
+#: roughly 10k / 100k / 1M pattern nonzeros
+GENERATION_CASES = ((200, 0.25, 2), (632, 0.25, 2), (2000, 0.25, 2))
+GENERATION_ACCEPTANCE_NNZ = 900_000
+# the block-emitting builders must beat the seed per-nonzero generator by
+# >= 10x on the ~1M-nonzero instance (CI floor overridable like the others)
+GENERATION_ACCEPTANCE_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_GEN_SPEEDUP", "10.0")
+)
+#: stacked-PR sequence number of the stable BENCH_<n>.json record
+BENCH_PR_NUMBER = int(os.environ.get("REPRO_BENCH_PR", "3"))
 
 
 # ---------------------------------------------------------------------- #
@@ -206,6 +224,57 @@ def bench_one_size(num_nodes: int) -> dict:
     }
 
 
+def bench_generation() -> dict:
+    """Seed per-nonzero generator vs CSR block emission, with differential asserts.
+
+    The timed CSR side is the dataset-generation path (``track_roles=False``
+    — :mod:`repro.dagdb.datasets` never uses role labels); a separate
+    untimed build with roles is compared against the seed result node by
+    node, edge row by edge row, so the speedup is only recorded for DAGs
+    proven identical.
+    """
+    entries = []
+    for size, density, iterations in GENERATION_CASES:
+        pattern = SparseMatrixPattern.random(size, density, seed=0, ensure_diagonal=True)
+        seed_repeats = 1 if pattern.nnz > 200_000 else 2
+        seed_time, seed_result = _best_of(
+            lambda: build_iterated_spmv_dag_reference(pattern, iterations),
+            repeats=seed_repeats,
+        )
+        csr_time, csr_dag = _best_of(
+            lambda: build_iterated_spmv_dag(
+                pattern, iterations, track_roles=False
+            ).dag,
+            repeats=3,
+        )
+        # differential: the with-roles build must match the seed exactly
+        checked = build_iterated_spmv_dag(pattern, iterations)
+        assert checked.roles == seed_result.roles, "generation roles disagree"
+        for mine, theirs in (
+            (checked.dag, seed_result.dag),
+            (csr_dag, seed_result.dag),
+        ):
+            assert mine.num_nodes == theirs.num_nodes
+            assert np.array_equal(mine.succ_indptr, theirs.succ_indptr)
+            assert np.array_equal(mine.succ_indices, theirs.succ_indices)
+            assert np.array_equal(mine.work_weights, theirs.work_weights)
+            assert np.array_equal(mine.comm_weights, theirs.comm_weights)
+        entries.append(
+            {
+                "matrix_size": size,
+                "density": density,
+                "iterations": iterations,
+                "nnz": pattern.nnz,
+                "num_nodes": csr_dag.num_nodes,
+                "num_edges": csr_dag.num_edges,
+                "seed_s": seed_time,
+                "csr_s": csr_time,
+                "speedup": seed_time / csr_time,
+            }
+        )
+    return {"cases": entries}
+
+
 def build_chain_bundle(num_nodes: int, num_chains: int = 64, seed: int = 0) -> ComputationalDAG:
     """A bundle of parallel chains with random integer weights (strided layout).
 
@@ -258,12 +327,17 @@ def bench_coarsening() -> dict:
     }
 
 
+_report_cache: dict | None = None
+
+
 def run_benchmarks() -> dict:
     report = {
         "sizes": [bench_one_size(n) for n in SIZES],
+        "generation": bench_generation(),
         "coarsening": bench_coarsening(),
     }
     save_json("bench_dag_kernels", report)
+    save_bench_root(BENCH_PR_NUMBER, {"dag_kernels": report})
     for entry in report["sizes"]:
         print(f"\nn={entry['num_nodes']} m={entry['num_edges']} depth={entry['depth']}")
         for kernel, t in entry["kernels"].items():
@@ -271,6 +345,13 @@ def run_benchmarks() -> dict:
                 f"  {kernel:20s} seed {t['seed_s'] * 1e3:9.2f} ms   "
                 f"csr {t['csr_s'] * 1e3:8.2f} ms   speedup {t['speedup']:7.1f}x"
             )
+    print("\ngeneration (iterated SpMV, seed per-nonzero vs CSR block emission):")
+    for case in report["generation"]["cases"]:
+        print(
+            f"  nnz={case['nnz']:8d} nodes={case['num_nodes']:8d} "
+            f"seed {case['seed_s'] * 1e3:9.2f} ms   "
+            f"csr {case['csr_s'] * 1e3:8.2f} ms   speedup {case['speedup']:7.1f}x"
+        )
     coarsening = report["coarsening"]
     print("\ncoarsening (chain bundles, target = n/2):")
     for entry in coarsening["sizes"]:
@@ -286,11 +367,19 @@ def run_benchmarks() -> dict:
 
 
 # ---------------------------------------------------------------------- #
-# pytest entry point
+# pytest entry points
 # ---------------------------------------------------------------------- #
+def _cached_report() -> dict:
+    """Run the benchmark suite once per pytest session (two asserting tests)."""
+    global _report_cache
+    if _report_cache is None:
+        _report_cache = run_benchmarks()
+    return _report_cache
+
+
 def test_csr_kernels_meet_acceptance_speedup():
     """The vectorized passes must beat the seed paths >= 5x at 100k nodes."""
-    report = run_benchmarks()
+    report = _cached_report()
     big = next(e for e in report["sizes"] if e["num_nodes"] == ACCEPTANCE_SIZE)
     for kernel in ("levels", "bottom_levels", "schedule_violations"):
         speedup = big["kernels"][kernel]["speedup"]
@@ -308,6 +397,20 @@ def test_csr_kernels_meet_acceptance_speedup():
         f"coarsening scaling: seed grew {coarsening['seed_growth']:.1f}x but the "
         f"bucket queue grew {coarsening['bucket_growth']:.1f}x across "
         f"{COARSEN_SIZES[0]}->{COARSEN_SIZES[-1]} nodes"
+    )
+
+
+def test_generation_block_emission_speedup():
+    """Block emission must beat the seed generator >= 10x at ~1M nonzeros."""
+    report = _cached_report()
+    big = next(
+        c
+        for c in report["generation"]["cases"]
+        if c["nnz"] >= GENERATION_ACCEPTANCE_NNZ
+    )
+    assert big["speedup"] >= GENERATION_ACCEPTANCE_SPEEDUP, (
+        f"generation speedup {big['speedup']:.1f}x below the "
+        f"{GENERATION_ACCEPTANCE_SPEEDUP}x target at {big['nnz']} nonzeros"
     )
 
 

@@ -35,7 +35,12 @@ from .core.serialization import save_schedule
 from .dagdb import (
     COARSE_GENERATORS,
     FINE_GENERATORS,
+    STRUCTURED_GENERATORS,
     SparseMatrixPattern,
+    build_elimination_dag,
+    build_fft_dag,
+    build_stencil2d_dag,
+    build_stencil3d_dag,
 )
 from .io import read_hyperdag, render_cost_table, render_schedule_text, write_hyperdag
 from .schedulers import available_schedulers, create_scheduler
@@ -58,8 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--generator",
         required=True,
-        choices=sorted(FINE_GENERATORS) + sorted(COARSE_GENERATORS),
-        help="fine-grained (spmv/exp/cg/knn) or coarse-grained generator name",
+        choices=sorted(FINE_GENERATORS)
+        + sorted(COARSE_GENERATORS)
+        + sorted(STRUCTURED_GENERATORS),
+        help=(
+            "fine-grained (spmv/exp/cg/knn), coarse-grained or structured "
+            "(cholesky/fft/stencil2d/stencil3d) generator name"
+        ),
     )
     generate.add_argument("--size", type=int, default=8, help="matrix size for fine-grained generators")
     generate.add_argument("--density", type=float, default=0.3, help="nonzero density for fine-grained generators")
@@ -123,6 +133,18 @@ def _generate_dag(args: argparse.Namespace) -> ComputationalDAG:
             args.size, args.density, seed=args.seed, ensure_diagonal=True
         )
         return FINE_GENERATORS[args.generator](pattern, args.iterations).dag
+    if args.generator in STRUCTURED_GENERATORS:
+        if args.generator == "cholesky":
+            pattern = SparseMatrixPattern.random(
+                args.size, args.density, seed=args.seed, ensure_diagonal=True
+            )
+            return build_elimination_dag(pattern).dag
+        if args.generator == "fft":
+            points = 1 << max(1, args.size - 1).bit_length()  # round up to 2^k
+            return build_fft_dag(points).dag
+        if args.generator == "stencil2d":
+            return build_stencil2d_dag(args.size, args.iterations).dag
+        return build_stencil3d_dag(args.size, args.iterations).dag
     return COARSE_GENERATORS[args.generator](args.iterations)
 
 

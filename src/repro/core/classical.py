@@ -83,7 +83,7 @@ class ClassicalSchedule:
                 i = int(np.argmax(bad))
                 raise ScheduleError(
                     f"edge ({int(src[i])},{int(dst[i])}): successor starts before "
-                    f"predecessor finishes"
+                    "predecessor finishes"
                 )
         n = dag.num_nodes
         if n < 2:
@@ -127,8 +127,16 @@ def conversion_supersteps(
 ) -> np.ndarray:
     """The Appendix A.1 superstep numbering of a classical assignment.
 
-    One vectorized pass over the edge arrays plus a linear counter sweep;
-    differential-tested against the seed per-predecessor walk
+    One vectorized pass over the edge arrays computes, for every node, the
+    latest start-order position of an earlier-starting cross-processor
+    predecessor (the *bump bound*); the superstep counter then advances at
+    exactly the positions where the bound reaches into the current run.
+    Those bump positions are found with repeated ``argmax`` probes over the
+    bound array (one numpy scan per superstep instead of one Python step
+    per node); schedules that fragment into very many supersteps fall back
+    to the linear counter sweep (:func:`_superstep_bumps_sweep`) once the
+    probe count stops paying for itself.  Differential-tested against the
+    seed per-predecessor walk
     (:func:`repro.core.reference.classical_to_bsp_ref`).
     """
     n = dag.num_nodes
@@ -150,14 +158,51 @@ def conversion_supersteps(
         earlier_cross = (procs[src] != procs[dst]) & (rank[src] < rank[dst])
         np.maximum.at(latest_cross_pred, dst[earlier_cross], rank[src][earlier_cross])
 
-    bump_bound = latest_cross_pred[order].tolist()
-    steps_by_position = [0] * n
-    current = 0
-    run_start = 0  # position where the run of nodes with τ == current began
-    for position, bound in enumerate(bump_bound):
-        if bound >= run_start:
-            current += 1
-            run_start = position
-        steps_by_position[position] = current
-    supersteps[order] = steps_by_position
+    bound = latest_cross_pred[order]
+    bumps = _superstep_bumps_argmax(bound)
+    # superstep of a position = number of bump positions at or before it
+    supersteps[order] = np.searchsorted(
+        bumps, np.arange(n, dtype=np.int64), side="right"
+    )
     return supersteps
+
+
+def _superstep_bumps_argmax(bound: np.ndarray) -> np.ndarray:
+    """Positions where the superstep counter advances, by repeated ``argmax``.
+
+    The next bump after a bump at ``q`` is the first position ``p > q``
+    with ``bound[p] >= q``; each probe is one vectorized comparison plus an
+    ``argmax`` over the remaining suffix.  The probes are budgeted by the
+    *total number of elements scanned* (a few multiples of ``n``), not by
+    probe count — a schedule that fragments early would otherwise pay a
+    full-suffix scan per superstep — and the remainder is finished with the
+    linear sweep once the budget is spent.
+    """
+    n = bound.size
+    bumps: list[int] = []
+    position, run_start = 0, 0
+    scan_budget = 4 * n + 64
+    while position < n and scan_budget > 0:
+        suffix = bound[position:] >= run_start
+        scan_budget -= suffix.size
+        offset = int(np.argmax(suffix))
+        if not suffix[offset]:
+            return np.array(bumps, dtype=np.int64)
+        run_start = position + offset
+        bumps.append(run_start)
+        position = run_start + 1
+    if position < n:
+        bumps.extend(_superstep_bumps_sweep(bound, position, run_start))
+    return np.array(bumps, dtype=np.int64)
+
+
+def _superstep_bumps_sweep(
+    bound: np.ndarray, position: int = 0, run_start: int = 0
+) -> list[int]:
+    """The seed linear counter sweep (also the fallback tail of the argmax path)."""
+    bumps: list[int] = []
+    for p, b in enumerate(bound[position:].tolist(), start=position):
+        if b >= run_start:
+            bumps.append(p)
+            run_start = p
+    return bumps

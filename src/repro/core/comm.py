@@ -96,7 +96,7 @@ def required_transfers(
         raise ScheduleError(
             f"node {int(u[i])} (proc {int(procs[u[i]])}, superstep {int(sv[i])}) "
             f"is needed on proc {int(q[i])} already in superstep {int(sw[i])}; "
-            f"no valid communication phase exists"
+            "no valid communication phase exists"
         )
     pv = procs[u]
     return [

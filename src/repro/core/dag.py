@@ -765,13 +765,19 @@ def _check_edge_endpoints(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> N
 
 
 def _check_no_duplicate_edges(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> None:
-    """Vectorized duplicate-edge validation (endpoints must already be valid)."""
+    """Vectorized duplicate-edge validation (endpoints must already be valid).
+
+    One explicit sort over the packed edge keys; ``np.unique`` would do the
+    same job but goes through a hash table on current numpy, which is several
+    times slower on multi-million-edge buffers.
+    """
     if src.size == 0:
         return
     keys = src * np.int64(num_nodes) + dst
-    if np.unique(keys).size != keys.size:
-        sorted_keys = np.sort(keys)
-        dup = sorted_keys[np.flatnonzero(sorted_keys[1:] == sorted_keys[:-1])[0]]
+    sorted_keys = np.sort(keys)
+    duplicates = sorted_keys[1:] == sorted_keys[:-1]
+    if duplicates.any():
+        dup = sorted_keys[int(np.argmax(duplicates))]
         raise DagError(
             f"duplicate edge ({int(dup // num_nodes)}, {int(dup % num_nodes)})"
         )
@@ -838,14 +844,24 @@ class DagBuilder:
 
     def add_nodes(self, count: int, work: float = 1.0, comm: float = 1.0) -> list[int]:
         """Append ``count`` nodes with identical weights; return their indices."""
+        first = self.add_node_block(count, work, comm)
+        return list(range(first, self._n)) if count > 0 else []
+
+    def add_node_block(self, count: int, work: float = 1.0, comm: float = 1.0) -> int:
+        """Append ``count`` nodes; return the first index (no index list built).
+
+        The block-emitting generators allocate millions of nodes at once and
+        derive ids arithmetically, so materialising the python list that
+        :meth:`add_nodes` returns would be pure overhead.
+        """
         if count <= 0:
-            return []
+            return self._n
         self._work, self._comm = _append_nodes(
             self._work, self._comm, self._n, count, work, comm
         )
         first = self._n
         self._n += count
-        return list(range(first, self._n))
+        return first
 
     def add_nodes_array(
         self, work_weights: Sequence[float], comm_weights: Sequence[float] | None = None

@@ -22,11 +22,19 @@ deliveries, same-processor precedence and cross-processor availability are
 each one numpy mask; only the (bounded, ``max_violations``-capped) message
 rendering walks the flagged indices one by one.  Value availability under
 forwarding keeps the seed's fixpoint semantics but relaxes whole step
-columns per round against a dense ``(node, processor)`` availability table.
+columns per round against a ``(node, processor)`` availability table.
+
+The table is dense (one cell per ``(node, processor)`` pair) up to
+``_MAX_DENSE_CELLS`` cells.  Above that, the same passes run against a
+*sparse unique-key* table: only the ``(node, processor)`` pairs that can
+ever carry a value — computing processors, comm-step endpoints, and edge
+targets' processors — are materialised, compacted with one ``np.unique``
+and addressed by ``np.searchsorted``.  Very large machines therefore stay
+on the vectorized path instead of the reference walker.
 
 Degenerate inputs whose processor or node ids fall outside the machine and
-DAG (which the dense table cannot index) fall back to the pure-Python
-reference walker in :mod:`repro.core.reference`, which produces bit-identical
+DAG (which neither table can index) fall back to the pure-Python reference
+walker in :mod:`repro.core.reference`, which produces bit-identical
 messages; the same walker backs the differential tests and benchmarks.
 """
 
@@ -49,7 +57,7 @@ __all__ = ["validate_schedule", "schedule_violations"]
 
 _INF = np.iinfo(np.int64).max
 # above this many (node, processor) cells the dense availability table is
-# not worth its memory; such instances take the reference walker instead
+# not worth its memory; such instances use the sparse unique-key table
 _MAX_DENSE_CELLS = 64_000_000
 
 
@@ -141,12 +149,8 @@ def schedule_violations(
             | (s_node < 0)
             | (s_node >= n)
         )
-    if (
-        bad_proc.any()
-        or (steps and bad_step.any())
-        or n * num_procs > _MAX_DENSE_CELLS
-    ):
-        src, dst = dag.edge_arrays()
+    src, dst = dag.edge_arrays()
+    if bad_proc.any() or (steps and bad_step.any()):
         return schedule_violations_ref(
             n,
             num_procs,
@@ -170,17 +174,38 @@ def schedule_violations(
             if add(f"node {v} assigned to negative superstep {int(supersteps[v])}"):
                 return violations
 
-    # dense availability table: avail[v * P + p] = first superstep in which
-    # the value of v is present on processor p (sentinel = never)
-    avail = np.full(n * num_procs, _INF, dtype=np.int64)
-    avail[np.arange(n, dtype=np.int64) * num_procs + procs_i] = steps_i
+    # availability table: avail[key(v, p)] = first superstep in which the
+    # value of v is present on processor p (sentinel = never).  Dense keys
+    # up to the cell ceiling; above it, only the (node, processor) pairs
+    # any check can touch are materialised and addressed via searchsorted.
+    compute_key = np.arange(n, dtype=np.int64) * num_procs + procs_i
+    if n * num_procs <= _MAX_DENSE_CELLS:
+        table_size = n * num_procs
+
+        def key_index(keys: np.ndarray) -> np.ndarray:
+            return keys
+    else:
+        candidates = [compute_key]
+        if steps:
+            candidates.append(s_node * num_procs + s_src)
+            candidates.append(s_node * num_procs + s_tgt)
+        if src.size:
+            candidates.append(src * np.int64(num_procs) + procs_i[dst])
+        unique_keys = np.unique(np.concatenate(candidates))
+        table_size = unique_keys.size
+
+        def key_index(keys: np.ndarray) -> np.ndarray:
+            return np.searchsorted(unique_keys, keys)
+
+    avail = np.full(table_size, _INF, dtype=np.int64)
+    avail[key_index(compute_key)] = steps_i
 
     if steps:
         # communication schedule sanity
         neg_sup = s_sup < 0
         self_send = s_src == s_tgt
         redundant = _redundant_mask(
-            s_node, s_tgt, s_sup, avail[s_node * num_procs + s_tgt]
+            s_node, s_tgt, s_sup, avail[key_index(s_node * num_procs + s_tgt)]
         )
         flagged = neg_sup | self_send | redundant
         if flagged.any():
@@ -200,8 +225,8 @@ def schedule_violations(
 
         # Resolve availability with forwarding: relax all steps per round
         # until fixpoint (rounds are bounded by the longest forwarding chain).
-        src_key = s_node * num_procs + s_src
-        tgt_key = s_node * num_procs + s_tgt
+        src_key = key_index(s_node * num_procs + s_src)
+        tgt_key = key_index(s_node * num_procs + s_tgt)
         arrival = s_sup + 1
         while True:
             can_send = avail[src_key] <= s_sup
@@ -222,7 +247,6 @@ def schedule_violations(
                     return violations
 
     # precedence constraints
-    src, dst = dag.edge_arrays()
     if src.size:
         pu = procs_i[src]
         pv = procs_i[dst]
@@ -230,7 +254,7 @@ def schedule_violations(
         sv = steps_i[dst]
         same = pu == pv
         bad_same = same & (su > sv)
-        bad_cross = ~same & (avail[src * np.int64(num_procs) + pv] > sv)
+        bad_cross = ~same & (avail[key_index(src * np.int64(num_procs) + pv)] > sv)
         flagged_edges = bad_same | bad_cross
         if flagged_edges.any():
             for i in np.flatnonzero(flagged_edges).tolist():

@@ -13,6 +13,7 @@ from .coarse import (
 from .datasets import (
     DATASET_INTERVALS,
     DATASET_NAMES,
+    GENERATOR_FAMILIES,
     DatasetInstance,
     build_dataset,
     build_training_set,
@@ -27,7 +28,15 @@ from .fine import (
     build_spmv_dag,
 )
 from .sparsegen import SparseMatrixPattern
-from .weights import apply_paper_weight_rule
+from .structured import (
+    STRUCTURED_GENERATORS,
+    build_elimination_dag,
+    build_fft_dag,
+    build_stencil2d_dag,
+    build_stencil3d_dag,
+    build_stencil_dag,
+)
+from .weights import WEIGHT_MODELS, apply_paper_weight_rule, apply_weight_model
 
 __all__ = [
     "COARSE_GENERATORS",
@@ -36,8 +45,17 @@ __all__ = [
     "DatasetInstance",
     "FINE_GENERATORS",
     "FineGrainedResult",
+    "GENERATOR_FAMILIES",
+    "STRUCTURED_GENERATORS",
     "SparseMatrixPattern",
+    "WEIGHT_MODELS",
     "apply_paper_weight_rule",
+    "apply_weight_model",
+    "build_elimination_dag",
+    "build_fft_dag",
+    "build_stencil2d_dag",
+    "build_stencil3d_dag",
+    "build_stencil_dag",
     "build_bicgstab_coarse",
     "build_cg_coarse",
     "build_cg_dag",

@@ -6,52 +6,149 @@ entries matters for the DAG structure.  The paper generates such patterns by
 making every entry nonzero independently with probability ``q``, and also
 supports loading a pattern from file.  :class:`SparseMatrixPattern` captures
 exactly this.
+
+Implementation notes
+--------------------
+The pattern is stored in CSR shape: a flat ``indptr`` row-pointer array of
+length ``size + 1`` and a flat ``indices`` column-index array of length
+``nnz``, with every row sorted and duplicate-free.  This is what lets the
+fine-grained generators emit whole edge blocks with numpy instead of
+per-nonzero Python loops (see :mod:`repro.dagdb.fine`).  The historical
+tuple-of-tuples view is retained as the lazily materialised compatibility
+property :attr:`SparseMatrixPattern.rows`.
+
+All random constructors consume the underlying bit stream in exactly the
+same order as the seed per-row implementation, so a fixed seed yields the
+same pattern as before the CSR refactor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..core.csr import build_csr
 from ..core.exceptions import DagError
 
 __all__ = ["SparseMatrixPattern"]
 
+_INT = np.int64
 
-@dataclass(frozen=True)
+
+def _csr_from_rows(size: int, rows) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a tuple-of-rows description and pack it into CSR arrays."""
+    if len(rows) != size:
+        raise DagError(f"rows must have length {size}, got {len(rows)}")
+    counts = np.fromiter((len(row) for row in rows), dtype=_INT, count=size)
+    indptr = np.zeros(size + 1, dtype=_INT)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.fromiter(
+        (j for row in rows for j in row), dtype=_INT, count=total
+    )
+    _validate_csr(size, indptr, indices)
+    return indptr, indices
+
+
+def _validate_csr(size: int, indptr: np.ndarray, indices: np.ndarray) -> None:
+    """Vectorized validation: shapes, column ranges, sorted-unique rows."""
+    if indptr.shape != (size + 1,) or indptr[0] != 0:
+        raise DagError(f"indptr must have shape ({size + 1},) and start at 0")
+    if np.any(np.diff(indptr) < 0):
+        raise DagError("indptr must be non-decreasing")
+    if int(indptr[-1]) != indices.shape[0]:
+        raise DagError(
+            f"indices must have length {int(indptr[-1])}, got {indices.shape[0]}"
+        )
+    if indices.size == 0:
+        return
+    if indices.min() < 0 or indices.max() >= size:
+        bad_row = int(
+            np.searchsorted(
+                indptr, int(np.argmax((indices < 0) | (indices >= size))), side="right"
+            )
+            - 1
+        )
+        raise DagError(f"column index out of range in row {bad_row}")
+    # strictly increasing inside every row <=> sorted and duplicate-free
+    interior = np.ones(indices.size - 1, dtype=bool)
+    boundaries = indptr[1:-1]
+    boundaries = boundaries[(boundaries > 0) & (boundaries < indices.size)]
+    interior[boundaries - 1] = False  # positions crossing a row boundary
+    if np.any(interior & (np.diff(indices) <= 0)):
+        bad = int(np.flatnonzero(interior & (np.diff(indices) <= 0))[0])
+        bad_row = int(np.searchsorted(indptr, bad, side="right") - 1)
+        raise DagError(f"row {bad_row} must contain sorted unique column indices")
+
+
 class SparseMatrixPattern:
-    """The nonzero pattern of an ``n × n`` sparse matrix.
+    """The nonzero pattern of an ``n × n`` sparse matrix, stored in CSR shape.
 
     Attributes
     ----------
     size:
         Number of rows/columns ``n``.
+    indptr / indices:
+        Flat CSR arrays (read-only views): row ``i`` occupies
+        ``indices[indptr[i]:indptr[i + 1]]``, sorted and duplicate-free.
     rows:
-        Tuple of per-row tuples of (sorted, unique) column indices.
+        Compatibility view: tuple of per-row tuples of column indices,
+        materialised lazily on first access.
     """
 
-    size: int
-    rows: tuple[tuple[int, ...], ...] = field(default_factory=tuple)
+    __slots__ = ("size", "_indptr", "_indices", "_rows_cache")
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
+    def __init__(self, size: int, rows: Sequence[Sequence[int]] = ()) -> None:
+        if size < 0:
             raise DagError("matrix size must be non-negative")
-        if len(self.rows) != self.size:
-            raise DagError(
-                f"rows must have length {self.size}, got {len(self.rows)}"
-            )
-        for i, row in enumerate(self.rows):
-            for j in row:
-                if not 0 <= j < self.size:
-                    raise DagError(f"column index {j} out of range in row {i}")
-            if list(row) != sorted(set(row)):
-                raise DagError(f"row {i} must contain sorted unique column indices")
+        self.size = int(size)
+        self._indptr, self._indices = _csr_from_rows(self.size, rows)
+        self._seal()
+
+    def _seal(self) -> None:
+        self._indptr.flags.writeable = False
+        self._indices.flags.writeable = False
+        self._rows_cache: tuple[tuple[int, ...], ...] | None = None
 
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_csr(
+        cls,
+        size: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> "SparseMatrixPattern":
+        """Adopt CSR arrays directly (the generator/ingestion fast path)."""
+        if size < 0:
+            raise DagError("matrix size must be non-negative")
+        pattern = cls.__new__(cls)
+        pattern.size = int(size)
+        pattern._indptr = np.ascontiguousarray(indptr, dtype=_INT)
+        pattern._indices = np.ascontiguousarray(indices, dtype=_INT)
+        if pattern._indptr is indptr:
+            pattern._indptr = pattern._indptr.copy()
+        if pattern._indices is indices:
+            pattern._indices = pattern._indices.copy()
+        if validate:
+            _validate_csr(pattern.size, pattern._indptr, pattern._indices)
+        pattern._seal()
+        return pattern
+
+    @classmethod
+    def _from_sorted_coordinates(
+        cls, size: int, row_ids: np.ndarray, col_ids: np.ndarray
+    ) -> "SparseMatrixPattern":
+        """CSR from coordinate arrays already sorted row-major with unique pairs."""
+        counts = np.bincount(row_ids, minlength=size)
+        indptr = np.zeros(size + 1, dtype=_INT)
+        np.cumsum(counts, out=indptr[1:])
+        return cls.from_csr(size, indptr, col_ids.astype(_INT), validate=False)
+
     @classmethod
     def random(
         cls,
@@ -72,38 +169,55 @@ class SparseMatrixPattern:
         mask = rng.random((size, size)) < density
         if ensure_diagonal:
             np.fill_diagonal(mask, True)
-        rows = tuple(
-            tuple(int(j) for j in np.nonzero(mask[i])[0]) for i in range(size)
-        )
-        return cls(size=size, rows=rows)
+        row_ids, col_ids = np.nonzero(mask)  # C order: row-major, sorted per row
+        return cls._from_sorted_coordinates(size, row_ids, col_ids)
 
     @classmethod
     def from_coordinates(
         cls, size: int, coordinates: Iterable[tuple[int, int]]
     ) -> "SparseMatrixPattern":
         """Build a pattern from an iterable of ``(row, column)`` coordinates."""
-        row_sets: list[set[int]] = [set() for _ in range(size)]
-        for i, j in coordinates:
-            if not (0 <= i < size and 0 <= j < size):
+        coords = np.array(list(coordinates), dtype=_INT).reshape(-1, 2)
+        if coords.size:
+            bad = (
+                (coords[:, 0] < 0)
+                | (coords[:, 0] >= size)
+                | (coords[:, 1] < 0)
+                | (coords[:, 1] >= size)
+            )
+            if bad.any():
+                i, j = (int(x) for x in coords[int(np.argmax(bad))])
                 raise DagError(f"coordinate ({i}, {j}) out of range for size {size}")
-            row_sets[i].add(j)
-        rows = tuple(tuple(sorted(s)) for s in row_sets)
-        return cls(size=size, rows=rows)
+        keys = np.unique(coords[:, 0] * _INT(max(size, 1)) + coords[:, 1])
+        return cls._from_sorted_coordinates(
+            size, keys // max(size, 1), keys % max(size, 1)
+        )
 
     @classmethod
     def dense(cls, size: int) -> "SparseMatrixPattern":
         """Fully dense pattern."""
-        row = tuple(range(size))
-        return cls(size=size, rows=tuple(row for _ in range(size)))
+        indptr = np.arange(size + 1, dtype=_INT) * size
+        indices = np.tile(np.arange(size, dtype=_INT), size)
+        return cls.from_csr(size, indptr, indices, validate=False)
 
     @classmethod
     def tridiagonal(cls, size: int) -> "SparseMatrixPattern":
         """Tridiagonal pattern (a classic structured test matrix)."""
-        rows = []
-        for i in range(size):
-            cols = [j for j in (i - 1, i, i + 1) if 0 <= j < size]
-            rows.append(tuple(cols))
-        return cls(size=size, rows=tuple(rows))
+        i = np.repeat(np.arange(size, dtype=_INT), 3)
+        j = i + np.tile(np.array([-1, 0, 1], dtype=_INT), size)
+        keep = (j >= 0) & (j < size)
+        return cls._from_sorted_coordinates(size, i[keep], j[keep])
+
+    @classmethod
+    def banded(cls, size: int, bandwidth: int) -> "SparseMatrixPattern":
+        """All entries within ``bandwidth`` of the diagonal (tridiagonal = 1)."""
+        if bandwidth < 0:
+            raise DagError("bandwidth must be non-negative")
+        width = 2 * bandwidth + 1
+        i = np.repeat(np.arange(size, dtype=_INT), width)
+        j = i + np.tile(np.arange(-bandwidth, bandwidth + 1, dtype=_INT), size)
+        keep = (j >= 0) & (j < size)
+        return cls._from_sorted_coordinates(size, i[keep], j[keep])
 
     @classmethod
     def lower_triangular_random(
@@ -112,34 +226,81 @@ class SparseMatrixPattern:
         """Random strictly-lower-triangular pattern plus unit diagonal.
 
         These are the SpTRSV-style inputs that HDagg was designed for.
+        The draws consume the generator stream in the seed implementation's
+        row-major order, so patterns are unchanged for a fixed seed.
         """
         rng = np.random.default_rng(seed)
-        rows = []
-        for i in range(size):
-            cols = [j for j in range(i) if rng.random() < density]
-            cols.append(i)
-            rows.append(tuple(sorted(set(cols))))
-        return cls(size=size, rows=tuple(rows))
+        total = size * (size - 1) // 2
+        keep = rng.random(total) < density
+        # coordinates of the strictly lower triangle in row-major order
+        i = np.repeat(np.arange(size, dtype=_INT), np.arange(size, dtype=_INT))
+        row_starts = np.zeros(size, dtype=_INT)
+        np.cumsum(np.arange(size - 1, dtype=_INT), out=row_starts[1:])
+        j = np.arange(total, dtype=_INT) - np.repeat(
+            row_starts, np.arange(size, dtype=_INT)
+        )
+        diag = np.arange(size, dtype=_INT)
+        rows = np.concatenate((i[keep], diag))
+        cols = np.concatenate((j[keep], diag))
+        order = np.lexsort((cols, rows))
+        return cls._from_sorted_coordinates(size, rows[order], cols[order])
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer (read-only, length ``size + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices (read-only, length ``nnz``)."""
+        return self._indices
+
+    @property
+    def rows(self) -> tuple[tuple[int, ...], ...]:
+        """Compatibility view: tuple of per-row tuples (materialised lazily)."""
+        if self._rows_cache is None:
+            flat = self._indices.tolist()
+            bounds = self._indptr.tolist()
+            self._rows_cache = tuple(
+                tuple(flat[bounds[i] : bounds[i + 1]]) for i in range(self.size)
+            )
+        return self._rows_cache
+
+    @property
     def nnz(self) -> int:
         """Total number of nonzero entries."""
-        return sum(len(row) for row in self.rows)
+        return int(self._indptr[-1])
 
     def row(self, i: int) -> tuple[int, ...]:
-        """Column indices of the nonzeros in row ``i``."""
-        return self.rows[i]
+        """Column indices of the nonzeros in row ``i`` (compatibility tuple)."""
+        if not 0 <= i < self.size:
+            raise IndexError(f"row {i} out of range for size {self.size}")
+        return tuple(self._indices[self._indptr[i] : self._indptr[i + 1]].tolist())
+
+    def row_array(self, i: int) -> np.ndarray:
+        """Column indices of row ``i`` as a zero-copy read-only slice."""
+        return self._indices[self._indptr[i] : self._indptr[i + 1]]
+
+    def row_lengths(self) -> np.ndarray:
+        """Vector of per-row nonzero counts."""
+        return np.diff(self._indptr)
+
+    def row_ids(self) -> np.ndarray:
+        """Row index of every nonzero, parallel to :attr:`indices`."""
+        return np.repeat(np.arange(self.size, dtype=_INT), np.diff(self._indptr))
 
     def column(self, j: int) -> tuple[int, ...]:
         """Row indices of the nonzeros in column ``j``."""
-        return tuple(i for i in range(self.size) if j in set(self.rows[i]))
+        positions = np.flatnonzero(self._indices == j)
+        rows = np.searchsorted(self._indptr, positions, side="right") - 1
+        return tuple(rows.tolist())
 
     def coordinates(self) -> list[tuple[int, int]]:
         """All nonzero coordinates as ``(row, column)`` pairs."""
-        return [(i, j) for i in range(self.size) for j in self.rows[i]]
+        return list(zip(self.row_ids().tolist(), self._indices.tolist()))
 
     def density(self) -> float:
         """Fraction of nonzero entries."""
@@ -150,15 +311,39 @@ class SparseMatrixPattern:
     def to_dense(self) -> np.ndarray:
         """Dense 0/1 numpy array of the pattern."""
         dense = np.zeros((self.size, self.size), dtype=np.int8)
-        for i, row in enumerate(self.rows):
-            dense[i, list(row)] = 1
+        dense[self.row_ids(), self._indices] = 1
         return dense
 
     def transpose(self) -> "SparseMatrixPattern":
         """Pattern of the transposed matrix."""
-        return SparseMatrixPattern.from_coordinates(
-            self.size, ((j, i) for i, j in self.coordinates())
+        # build_csr is stable, and the row-major traversal visits old rows in
+        # ascending order, so every transposed row comes out sorted
+        indptr, indices = build_csr(self.size, self._indices, self.row_ids())
+        return SparseMatrixPattern.from_csr(self.size, indptr, indices, validate=False)
+
+    def symmetrized(self) -> "SparseMatrixPattern":
+        """Pattern of ``A ∪ Aᵀ`` (used by the elimination-DAG generator)."""
+        rows = np.concatenate((self.row_ids(), self._indices))
+        cols = np.concatenate((self._indices, self.row_ids()))
+        keys = np.unique(rows * _INT(max(self.size, 1)) + cols)
+        return SparseMatrixPattern._from_sorted_coordinates(
+            self.size, keys // max(self.size, 1), keys % max(self.size, 1)
         )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMatrixPattern):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._indptr.tobytes(), self._indices.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SparseMatrixPattern(size={self.size}, nnz={self.nnz})"
 
 
 def pattern_from_sequence_of_rows(rows: Sequence[Sequence[int]]) -> SparseMatrixPattern:

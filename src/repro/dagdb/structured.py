@@ -1,0 +1,249 @@
+"""Structured workload families beyond the paper's generator set.
+
+Three additional families of computational DAGs, all emitted as whole
+node/edge blocks through :class:`~repro.core.dag.DagBuilder` like the
+fine-grained generators:
+
+* **Elimination DAGs** (:func:`build_elimination_dag`) — the column-task
+  DAG of sparse Cholesky/LU factorisation, derived from the *fill graph*
+  of a :class:`~repro.dagdb.sparsegen.SparseMatrixPattern`: a symbolic
+  elimination pass computes every column's below-diagonal structure in the
+  filled matrix ``L`` and column ``j`` precedes every column ``i`` with
+  ``L[i, j] != 0``.
+* **FFT / butterfly DAGs** (:func:`build_fft_dag`) — ``log2(n)`` butterfly
+  stages over ``n`` points; node ``(t, i)`` depends on ``(t-1, i)`` and
+  ``(t-1, i XOR 2^(t-1))``.
+* **Stencil sweeps** (:func:`build_stencil_dag`) — ``T`` Jacobi-style time
+  steps over a 2D/3D grid; every cell depends on itself and its face
+  neighbours in the previous step (5-point / 7-point star).
+
+Every family takes a ``weight_model`` resolved through
+:data:`repro.dagdb.weights.WEIGHT_MODELS` and returns a
+:class:`~repro.dagdb.fine.FineGrainedResult` (DAG + per-node role labels),
+so they plug into the same dataset / scheduling / validation plumbing as
+the paper's families.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import repeat
+
+import numpy as np
+
+from ..core.dag import DagBuilder
+from ..core.exceptions import DagError
+from .fine import FineGrainedResult
+from .sparsegen import SparseMatrixPattern
+from .weights import apply_weight_model
+
+__all__ = [
+    "build_elimination_dag",
+    "build_fft_dag",
+    "build_stencil_dag",
+    "build_stencil2d_dag",
+    "build_stencil3d_dag",
+    "symbolic_fill_structure",
+    "STRUCTURED_GENERATORS",
+]
+
+_INT = np.int64
+
+
+def _finish(
+    builder: DagBuilder,
+    role_chunks: list[tuple[np.ndarray, str]],
+    weight_model: str,
+    track_roles: bool,
+) -> FineGrainedResult:
+    dag = apply_weight_model(builder.freeze(), weight_model)
+    roles: dict[int, str] = {}
+    if track_roles:
+        for ids, role in role_chunks:
+            roles.update(zip(ids.tolist(), repeat(role)))
+    return FineGrainedResult(dag=dag, roles=roles)
+
+
+# ---------------------------------------------------------------------- #
+# sparse elimination DAGs
+# ---------------------------------------------------------------------- #
+def symbolic_fill_structure(
+    pattern: SparseMatrixPattern,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Below-diagonal column structures of ``L`` for ``A ∪ Aᵀ``, plus the etree.
+
+    Standard up-looking symbolic factorisation: the structure of column
+    ``j`` is the below-diagonal pattern of ``A``'s column ``j`` united with
+    the structures of ``j``'s elimination-tree children (minus their pivot
+    rows).  Returns ``(structures, parents)`` where ``parents[j]`` is the
+    etree parent of column ``j`` (``-1`` for roots).
+    """
+    sym = pattern.symmetrized()
+    n = sym.size
+    parents = np.full(n, -1, dtype=_INT)
+    children: list[list[int]] = [[] for _ in range(n)]
+    structures: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    for j in range(n):
+        row = sym.row_array(j)
+        pieces = [row[row > j]]
+        # a child's structure starts at its pivot row == j; drop that entry
+        pieces.extend(structures[c][1:] for c in children[j])
+        struct = (
+            np.unique(np.concatenate(pieces))
+            if len(pieces) > 1
+            else pieces[0].astype(_INT)
+        )
+        structures[j] = struct
+        if struct.size:
+            parent = int(struct[0])
+            parents[j] = parent
+            children[parent].append(j)
+    return structures, parents
+
+
+def build_elimination_dag(
+    pattern: SparseMatrixPattern,
+    kind: str = "cholesky",
+    name: str | None = None,
+    weight_model: str = "paper",
+    track_roles: bool = True,
+) -> FineGrainedResult:
+    """Column-task DAG of sparse Cholesky (or LU) elimination.
+
+    One node per column of the matrix; column ``j`` has an edge to every
+    column ``i > j`` whose factor entry ``L[i, j]`` is (structurally)
+    nonzero — i.e. the edges of the pattern's fill graph, oriented by
+    elimination order, so the DAG is acyclic by construction.  ``kind``
+    selects the label only: both variants eliminate on the symmetrised
+    pattern ``A ∪ Aᵀ`` (for unsymmetric LU this is the usual structural
+    upper bound on the fill).
+    """
+    if kind not in ("cholesky", "lu"):
+        raise DagError(f"unknown elimination kind {kind!r} (use 'cholesky' or 'lu')")
+    n = pattern.size
+    structures, _ = symbolic_fill_structure(pattern)
+    builder = DagBuilder(name=name or f"{kind}_n{n}")
+    builder.add_node_block(n)
+    counts = np.fromiter((s.size for s in structures), dtype=_INT, count=n)
+    if n and counts.sum():
+        sources = np.repeat(np.arange(n, dtype=_INT), counts)
+        targets = np.concatenate([s for s in structures if s.size])
+        builder.add_edges_array(sources, targets)
+    chunks = [(np.arange(n, dtype=_INT), f"eliminate:{kind}")]
+    return _finish(builder, chunks, weight_model, track_roles)
+
+
+# ---------------------------------------------------------------------- #
+# FFT / butterfly DAGs
+# ---------------------------------------------------------------------- #
+def build_fft_dag(
+    points: int,
+    name: str | None = None,
+    weight_model: str = "paper",
+    track_roles: bool = True,
+) -> FineGrainedResult:
+    """Butterfly DAG of an in-place radix-2 FFT over ``points`` inputs.
+
+    ``log2(points)`` stages of ``points`` butterfly nodes each; the node for
+    index ``i`` of stage ``t`` reads index ``i`` and its butterfly partner
+    ``i XOR 2^(t-1)`` of the previous stage.
+    """
+    if points < 2 or points & (points - 1):
+        raise DagError(f"points must be a power of two >= 2, got {points}")
+    stages = points.bit_length() - 1
+    builder = DagBuilder(name=name or f"fft_n{points}")
+    builder.add_node_block(points * (stages + 1))
+    lanes = np.arange(points, dtype=_INT)
+    for t in range(1, stages + 1):
+        current = t * points + lanes
+        previous = (t - 1) * points + lanes
+        partner = (t - 1) * points + (lanes ^ (1 << (t - 1)))
+        builder.add_edges_array(previous, current)
+        builder.add_edges_array(partner, current)
+    chunks = [
+        (lanes, "input:x"),
+        (points + np.arange(points * stages, dtype=_INT), "butterfly"),
+    ]
+    return _finish(builder, chunks, weight_model, track_roles)
+
+
+# ---------------------------------------------------------------------- #
+# stencil sweeps
+# ---------------------------------------------------------------------- #
+def build_stencil_dag(
+    shape: tuple[int, ...],
+    steps: int,
+    name: str | None = None,
+    weight_model: str = "paper",
+    track_roles: bool = True,
+) -> FineGrainedResult:
+    """Space-time DAG of ``steps`` star-stencil sweeps over a 2D/3D grid.
+
+    Cell ``x`` of time layer ``t`` depends on itself and its face
+    neighbours in layer ``t - 1`` (5-point stencil in 2D, 7-point in 3D).
+    Layer 0 holds the grid's initial values as source nodes.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) not in (2, 3):
+        raise DagError(f"stencil grids must be 2D or 3D, got shape {shape}")
+    if any(s < 1 for s in shape):
+        raise DagError(f"grid extents must be positive, got {shape}")
+    if steps < 1:
+        raise DagError("steps must be >= 1")
+    cells = math.prod(shape)
+    coords = np.indices(shape).reshape(len(shape), cells)
+    flat = np.arange(cells, dtype=_INT)
+
+    # one template of (relative source cell, destination cell) per layer:
+    # the self edge first, then -1/+1 along each axis
+    template_src = [flat]
+    template_dst = [flat]
+    for axis in range(len(shape)):
+        for delta in (-1, +1):
+            moved = coords[axis] + delta
+            valid = (moved >= 0) & (moved < shape[axis])
+            neighbour = coords.copy()
+            neighbour[axis] = moved
+            template_src.append(
+                np.ravel_multi_index(
+                    tuple(neighbour[:, valid]), shape
+                ).astype(_INT)
+            )
+            template_dst.append(flat[valid])
+    src0 = np.concatenate(template_src)
+    dst0 = np.concatenate(template_dst)
+
+    builder = DagBuilder(name=name or f"stencil{len(shape)}d_{'x'.join(map(str, shape))}_t{steps}")
+    builder.add_node_block(cells * (steps + 1))
+    t = np.arange(steps, dtype=_INT)[:, None]
+    sources = (t * cells + src0[None, :]).ravel()
+    targets = ((t + 1) * cells + dst0[None, :]).ravel()
+    builder.add_edges_array(sources, targets)
+    chunks = [
+        (flat, "input:grid"),
+        (cells + np.arange(cells * steps, dtype=_INT), "stencil"),
+    ]
+    return _finish(builder, chunks, weight_model, track_roles)
+
+
+def build_stencil2d_dag(
+    side: int, steps: int, name: str | None = None, **kwargs
+) -> FineGrainedResult:
+    """Square 2D stencil sweep (5-point star) of ``side x side`` cells."""
+    return build_stencil_dag((side, side), steps, name=name, **kwargs)
+
+
+def build_stencil3d_dag(
+    side: int, steps: int, name: str | None = None, **kwargs
+) -> FineGrainedResult:
+    """Cubic 3D stencil sweep (7-point star) of ``side^3`` cells."""
+    return build_stencil_dag((side, side, side), steps, name=name, **kwargs)
+
+
+#: Registry of the structured generator families (scheduler-facing names).
+STRUCTURED_GENERATORS = {
+    "cholesky": build_elimination_dag,
+    "fft": build_fft_dag,
+    "stencil2d": build_stencil2d_dag,
+    "stencil3d": build_stencil3d_dag,
+}

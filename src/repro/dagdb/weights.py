@@ -1,21 +1,37 @@
-"""The paper's node-weight convention for generated DAGs (Appendix B).
+"""Node-weight models for generated DAGs.
 
-Both the coarse-grained and the fine-grained DAGs in the database use
+The paper's convention (Appendix B), used by the fine- and coarse-grained
+database generators, is
 
 * ``w(v) = indeg(v) - 1`` for non-source nodes (combining ``k`` inputs costs
   ``k - 1`` elementary operations), with a floor of 1 so that pass-through
   nodes still carry a unit of work,
 * ``w(v) = 1`` for source nodes (loading/initialising an input), and
 * ``c(v) = 1`` for every node.
+
+The structured workload families (:mod:`repro.dagdb.structured`) can use
+alternative models from the :data:`WEIGHT_MODELS` registry — e.g. task DAGs
+whose per-node work is the task's flop count rather than its fan-in.  All
+models are vectorized over the CSR degree vectors and set the weights in
+place, returning the DAG for chaining.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..core.dag import ComputationalDAG
+from ..core.exceptions import ConfigurationError
 
-__all__ = ["apply_paper_weight_rule"]
+__all__ = [
+    "apply_paper_weight_rule",
+    "apply_unit_weights",
+    "apply_indegree_weights",
+    "apply_weight_model",
+    "WEIGHT_MODELS",
+]
 
 
 def apply_paper_weight_rule(dag: ComputationalDAG) -> ComputationalDAG:
@@ -30,3 +46,37 @@ def apply_paper_weight_rule(dag: ComputationalDAG) -> ComputationalDAG:
     dag.set_work_weights(work)
     dag.set_comm_weights(np.ones(dag.num_nodes, dtype=np.float64))
     return dag
+
+
+def apply_unit_weights(dag: ComputationalDAG) -> ComputationalDAG:
+    """Unit work and communication everywhere (pure-structure scheduling)."""
+    dag.set_work_weights(np.ones(dag.num_nodes, dtype=np.float64))
+    dag.set_comm_weights(np.ones(dag.num_nodes, dtype=np.float64))
+    return dag
+
+
+def apply_indegree_weights(dag: ComputationalDAG) -> ComputationalDAG:
+    """``w = max(indeg, 1)`` (a gather/reduce cost model), ``c = 1``."""
+    indeg = dag.in_degrees()
+    dag.set_work_weights(np.maximum(indeg, 1).astype(np.float64))
+    dag.set_comm_weights(np.ones(dag.num_nodes, dtype=np.float64))
+    return dag
+
+
+#: Registry of weight models usable by the structured generators.
+WEIGHT_MODELS: dict[str, Callable[[ComputationalDAG], ComputationalDAG]] = {
+    "paper": apply_paper_weight_rule,
+    "unit": apply_unit_weights,
+    "indegree": apply_indegree_weights,
+}
+
+
+def apply_weight_model(dag: ComputationalDAG, model: str = "paper") -> ComputationalDAG:
+    """Apply a registered weight model by name (in place; returns the DAG)."""
+    try:
+        rule = WEIGHT_MODELS[model]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown weight model {model!r}; available: {', '.join(sorted(WEIGHT_MODELS))}"
+        ) from exc
+    return rule(dag)

@@ -2,12 +2,18 @@
 
 from .dot import dag_to_dot, schedule_to_dot, write_dot
 from .hyperdag import dumps_hyperdag, loads_hyperdag, read_hyperdag, write_hyperdag
-from .mtx import loads_matrix_market_pattern, read_matrix_market_pattern
+from .mtx import (
+    dumps_matrix_market_pattern,
+    loads_matrix_market_pattern,
+    read_matrix_market_pattern,
+    write_matrix_market_pattern,
+)
 from .render import render_cost_table, render_schedule_text
 
 __all__ = [
     "dag_to_dot",
     "dumps_hyperdag",
+    "dumps_matrix_market_pattern",
     "loads_hyperdag",
     "loads_matrix_market_pattern",
     "read_hyperdag",
@@ -17,4 +23,5 @@ __all__ = [
     "schedule_to_dot",
     "write_dot",
     "write_hyperdag",
+    "write_matrix_market_pattern",
 ]

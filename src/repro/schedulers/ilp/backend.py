@@ -13,7 +13,7 @@ sparse constraint matrix and calls HiGHS with a time limit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse

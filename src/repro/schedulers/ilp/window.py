@@ -132,7 +132,7 @@ class WindowIlp:
                 if 0 <= step <= s_hi:
                     raise SolverError(
                         f"fixed successor {w} of reassigned node {v} must be "
-                        f"assigned after the window or left unassigned"
+                        "assigned after the window or left unassigned"
                     )
 
     # ------------------------------------------------------------------ #

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    BspMachine,
     BspSchedule,
     CommStep,
     ScheduleError,

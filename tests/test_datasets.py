@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import ConfigurationError
 from repro.dagdb import (
-    DATASET_INTERVALS,
     DATASET_NAMES,
     build_dataset,
     build_training_set,
@@ -78,9 +77,24 @@ class TestBenchDatasets:
 
     def test_coarse_instances_can_be_disabled(self):
         with_coarse = build_dataset("tiny", scale="bench", include_coarse=True)
-        without = build_dataset("tiny", scale="bench", include_coarse=False)
+        without = build_dataset(
+            "tiny", scale="bench", include_coarse=False, include_structured=False
+        )
         assert len(without) <= len(with_coarse)
         assert all(inst.kind == "fine" for inst in without)
+
+    def test_structured_families_present(self):
+        instances = build_dataset("small", scale="bench")
+        structured = {i.generator for i in instances if i.kind == "structured"}
+        assert structured == {"cholesky", "fft", "stencil2d"}
+        low, high = dataset_interval("small", "bench")
+        for inst in instances:
+            if inst.kind == "structured":
+                assert 0.4 * low <= inst.num_nodes <= 2.0 * high, inst.name
+
+    def test_structured_instances_can_be_disabled(self):
+        without = build_dataset("tiny", scale="bench", include_structured=False)
+        assert not any(inst.kind == "structured" for inst in without)
 
     def test_all_dags_are_acyclic_with_positive_weights(self):
         for inst in build_dataset("tiny", scale="bench"):

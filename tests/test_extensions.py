@@ -8,7 +8,6 @@ import pytest
 
 from repro.core import (
     BspMachine,
-    BspSchedule,
     ComputationalDAG,
     ReproError,
     dag_from_dict,

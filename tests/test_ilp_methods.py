@@ -17,7 +17,7 @@ from repro.schedulers import (
 )
 from repro.schedulers.trivial import RoundRobinScheduler
 
-from conftest import assert_valid_schedule, build_chain_dag, build_diamond_dag, random_dag
+from conftest import assert_valid_schedule, build_chain_dag, build_diamond_dag
 from repro.dagdb import SparseMatrixPattern, build_spmv_dag
 
 TIME_LIMIT = 10.0

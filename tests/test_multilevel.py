@@ -8,7 +8,6 @@ import pytest
 from repro.core import BspMachine, BspSchedule, ComputationalDAG, DagError
 from repro.schedulers import BspGreedyScheduler, MultilevelScheduler
 from repro.schedulers.multilevel import (
-    CoarseningSequence,
     ContractionRecord,
     coarsen_dag,
     coarsen_dag_reference,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import BspMachine, ComputationalDAG
+from repro.core import BspMachine
 from repro.schedulers import (
     CilkScheduler,
     HDaggScheduler,

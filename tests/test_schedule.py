@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import BspMachine, BspSchedule, CommStep, ComputationalDAG, ScheduleError
+from repro.core import BspMachine, BspSchedule, CommStep, ScheduleError
 
 from conftest import build_diamond_dag
 

@@ -17,7 +17,6 @@ from repro.core import (
     ClassicalSchedule,
     CommStep,
     classical_to_bsp,
-    lazy_comm_schedule,
     schedule_violations,
 )
 from repro.core.reference import (
@@ -234,6 +233,89 @@ class TestRedundantDeliveryRegression:
             dag, machine, np.array([0, 2]), np.array([0, 3]), steps
         )
         assert violations == []
+
+
+class TestSparseAvailabilityTable:
+    """Satellite: above the dense cell ceiling the sparse unique-key table
+    must produce bit-identical messages (previously those instances fell
+    back to the pure-Python reference walker)."""
+
+    @pytest.fixture(autouse=True)
+    def force_sparse(self, monkeypatch):
+        import repro.core.validation as validation
+
+        monkeypatch.setattr(validation, "_MAX_DENSE_CELLS", 0)
+
+    def test_valid_scheduler_outputs_stay_clean(self):
+        machine = BspMachine.uniform(4, g=2, latency=3)
+        for dag in dagdb_instances():
+            schedule = BspGreedyScheduler().schedule(dag, machine)
+            steps = sorted(schedule.comm_schedule)
+            violations = assert_same_violations(
+                dag, machine, schedule.procs, schedule.supersteps, steps
+            )
+            assert violations == []
+
+    def test_forwarding_chain_sparse(self):
+        machine = BspMachine.uniform(4, g=1, latency=1)
+        dag = build_chain_dag(2)
+        procs = np.array([0, 3])
+        supersteps = np.array([0, 4])
+        chain = [CommStep(0, 0, 1, 0), CommStep(0, 1, 2, 1), CommStep(0, 2, 3, 2)]
+        assert assert_same_violations(dag, machine, procs, supersteps, chain) == []
+        for drop in range(3):
+            broken = [s for i, s in enumerate(chain) if i != drop]
+            assert assert_same_violations(dag, machine, procs, supersteps, broken)
+
+    def test_randomized_sparse(self):
+        rng = np.random.default_rng(1234)
+        machine = BspMachine.uniform(3, g=1, latency=1)
+        for trial in range(30):
+            dag = random_dag(12, 0.2, seed=500 + trial)
+            n = dag.num_nodes
+            procs = rng.integers(0, 3, size=n)
+            supersteps = rng.integers(-1, 4, size=n)
+            steps = [
+                CommStep(
+                    int(rng.integers(0, n)),
+                    int(rng.integers(0, 3)),
+                    int(rng.integers(0, 3)),
+                    int(rng.integers(-1, 4)),
+                )
+                for _ in range(int(rng.integers(0, 10)))
+            ]
+            assert_same_violations(dag, machine, procs, supersteps, steps)
+
+
+class TestConversionArgmaxSatellite:
+    """Satellite: the repeated-argmax bump search equals the linear sweep."""
+
+    def test_bump_positions_fuzz(self):
+        from repro.core.classical import (
+            _superstep_bumps_argmax,
+            _superstep_bumps_sweep,
+        )
+
+        rng = np.random.default_rng(77)
+        for _ in range(200):
+            n = int(rng.integers(0, 150))
+            bound = rng.integers(-1, max(n, 1), size=n)
+            assert _superstep_bumps_argmax(bound).tolist() == _superstep_bumps_sweep(
+                bound
+            )
+
+    def test_fragmented_schedule_hits_sweep_fallback(self):
+        # every position bumps: the probe budget is exhausted and the sweep
+        # tail must take over seamlessly
+        from repro.core.classical import (
+            _superstep_bumps_argmax,
+            _superstep_bumps_sweep,
+        )
+
+        n = 5000
+        bound = np.arange(n) - 1
+        bound[0] = 0  # bump at every position including the first
+        assert _superstep_bumps_argmax(bound).tolist() == _superstep_bumps_sweep(bound)
 
 
 class TestClassicalConversionDifferential:
