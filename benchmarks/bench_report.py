@@ -1,0 +1,105 @@
+"""Speedup-trajectory report over the per-PR ``BENCH_<n>.json`` records.
+
+Every PR that touches a hot path records its kernel timings in a stable
+``BENCH_<n>.json`` at the repo root (see ``_bench_utils.save_bench_root``).
+This module diffs all of those records into one per-kernel trajectory table
+(markdown to stdout): one row per kernel/case, one column per PR, each cell
+the recorded speedup of the vectorized path over its retained seed
+reference.  A kernel that regresses between PRs is immediately visible in
+review; CI appends the table to the workflow summary.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py [repo_root]
+
+The payload walker is schema-agnostic: any dict carrying a ``"speedup"``
+key becomes a row, labelled by its path through the record; list entries
+are identified by their most specific size-like field (``num_nodes``,
+``nnz``, ...), so rows line up across PRs even when case lists grow.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["collect_trajectory", "render_markdown", "main"]
+
+#: fields (in priority order) used to label a list entry so that the same
+#: case lines up across PRs
+_IDENTITY_FIELDS = ("num_nodes", "nnz", "matrix_size", "num_contractions", "points")
+
+
+def _entry_label(payload: dict) -> str:
+    for field in _IDENTITY_FIELDS:
+        if field in payload:
+            return f"{field}={payload[field]}"
+    return ""
+
+
+def _walk(payload, path: tuple[str, ...], out: dict[str, float]) -> None:
+    if isinstance(payload, dict):
+        if "speedup" in payload and isinstance(payload["speedup"], (int, float)):
+            label = "/".join(path) or "(root)"
+            out[label] = float(payload["speedup"])
+        for key, value in payload.items():
+            if key == "speedup":
+                continue
+            _walk(value, path + (str(key),), out)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            tag = _entry_label(value) if isinstance(value, dict) else str(index)
+            _walk(value, path[:-1] + (f"{path[-1] if path else 'list'}[{tag or index}]",), out)
+
+
+def collect_trajectory(root: Path) -> dict[int, dict[str, float]]:
+    """Per-PR ``{kernel label -> speedup}`` maps from every ``BENCH_*.json``."""
+    trajectory: dict[int, dict[str, float]] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if not match:
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            continue
+        if record.get("schema_version") != 1:
+            continue
+        speedups: dict[str, float] = {}
+        _walk(record.get("benchmarks", {}), (), speedups)
+        trajectory[int(match.group(1))] = speedups
+    return trajectory
+
+
+def render_markdown(trajectory: dict[int, dict[str, float]]) -> str:
+    """One markdown table: kernels as rows, PRs as columns, speedups as cells."""
+    if not trajectory:
+        return "No BENCH_*.json records found."
+    prs = sorted(trajectory)
+    kernels = sorted({kernel for per_pr in trajectory.values() for kernel in per_pr})
+    lines = [
+        "### Kernel speedup trajectory (vectorized vs retained seed reference)",
+        "",
+        "| kernel | " + " | ".join(f"PR {pr}" for pr in prs) + " |",
+        "|---" * (len(prs) + 1) + "|",
+    ]
+    for kernel in kernels:
+        cells = []
+        for pr in prs:
+            value = trajectory[pr].get(kernel)
+            cells.append(f"{value:.1f}x" if value is not None else "—")
+        lines.append(f"| {kernel} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    print(render_markdown(collect_trajectory(root)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from ..core.machine import BspMachine
@@ -137,6 +137,13 @@ class ExperimentRunner:
         Record the cost of the trivial one-processor schedule.
     heuristics_only:
         Disable every ILP stage (the configuration used for the huge dataset).
+    hc_max_passes / hc_max_steps / hccs_max_passes:
+        Per-grid-point refinement budget: every pipeline invocation (one per
+        instance x machine point) runs its HC/HCcs local search under these
+        caps.  ``None`` keeps the configuration's values.  The huge-dataset
+        driver uses this to bound refinement work deterministically instead
+        of relying only on wall-clock budgets (which make parallel grids
+        load-dependent).
     """
 
     def __init__(
@@ -147,11 +154,21 @@ class ExperimentRunner:
         include_trivial: bool = False,
         heuristics_only: bool = False,
         seed: int = 0,
+        hc_max_passes: int | None = None,
+        hc_max_steps: int | None = None,
+        hccs_max_passes: int | None = None,
     ) -> None:
-        self.config = config or PipelineConfig()
+        # own copy: the overrides below must not leak into a caller-shared config
+        self.config = replace(config) if config is not None else PipelineConfig()
         if heuristics_only:
             self.config.use_ilp = False
             self.config.use_comm_ilp = False
+        if hc_max_passes is not None:
+            self.config.hc_max_passes = hc_max_passes
+        if hc_max_steps is not None:
+            self.config.hc_max_steps = hc_max_steps
+        if hccs_max_passes is not None:
+            self.config.hccs_max_passes = hccs_max_passes
         self.include_list_baselines = include_list_baselines
         self.include_multilevel = include_multilevel
         self.include_trivial = include_trivial
@@ -483,6 +500,7 @@ def run_huge_experiment(
     deltas: Sequence[float] = (2, 3, 4),
     latency: float = 5.0,
     local_search_seconds: float | None = 5.0,
+    hc_max_steps: int | None = None,
     max_instances: int | None = None,
     seed: int = 7,
     workers: int | None = None,
@@ -490,11 +508,16 @@ def run_huge_experiment(
     """The huge-dataset experiment of Appendix C.5 (Tables 11, 12; Figure 7).
 
     Only the non-ILP part of the framework is used, as in the paper.
+    ``hc_max_steps`` bounds the accepted hill-climbing moves per grid point,
+    which keeps parallel runs deterministic (a pure wall-clock budget makes
+    the local-search depth depend on machine load).
     """
     config = PipelineConfig(
         use_ilp=False, use_comm_ilp=False, local_search_seconds=local_search_seconds
     )
-    runner = ExperimentRunner(config=config, heuristics_only=True, seed=seed)
+    runner = ExperimentRunner(
+        config=config, heuristics_only=True, seed=seed, hc_max_steps=hc_max_steps
+    )
     instances = _dataset_instances(("huge",), scale, seed, max_instances)
     if numa:
         specs = numa_machine_grid((8, 16), deltas, 1.0, latency)

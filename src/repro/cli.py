@@ -30,7 +30,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .core import BspMachine, ComputationalDAG
+from .core import BspMachine, ComputationalDAG, ConfigurationError
 from .core.serialization import save_schedule
 from .dagdb import (
     COARSE_GENERATORS,
@@ -41,6 +41,7 @@ from .dagdb import (
     build_fft_dag,
     build_stencil2d_dag,
     build_stencil3d_dag,
+    build_stencil_dag,
 )
 from .io import read_hyperdag, render_cost_table, render_schedule_text, write_hyperdag
 from .schedulers import available_schedulers, create_scheduler
@@ -134,17 +135,31 @@ def _generate_dag(args: argparse.Namespace) -> ComputationalDAG:
         )
         return FINE_GENERATORS[args.generator](pattern, args.iterations).dag
     if args.generator in STRUCTURED_GENERATORS:
-        if args.generator == "cholesky":
+        if args.generator in ("cholesky", "cholesky_rcm"):
             pattern = SparseMatrixPattern.random(
                 args.size, args.density, seed=args.seed, ensure_diagonal=True
             )
-            return build_elimination_dag(pattern).dag
+            ordering = "rcm" if args.generator == "cholesky_rcm" else "natural"
+            return build_elimination_dag(pattern, ordering=ordering).dag
         if args.generator == "fft":
             points = 1 << max(1, args.size - 1).bit_length()  # round up to 2^k
             return build_fft_dag(points).dag
+        if args.generator == "fft4":
+            points = 4
+            while points < args.size:
+                points *= 4  # round up to 4^k
+            return build_fft_dag(points, radix=4).dag
         if args.generator == "stencil2d":
             return build_stencil2d_dag(args.size, args.iterations).dag
-        return build_stencil3d_dag(args.size, args.iterations).dag
+        if args.generator == "stencil2d_rect":
+            width = max(2, args.size)
+            height = max(2, args.size // 2)
+            return build_stencil_dag((width, height), args.iterations).dag
+        if args.generator == "stencil3d":
+            return build_stencil3d_dag(args.size, args.iterations).dag
+        raise ConfigurationError(
+            f"structured generator {args.generator!r} has no CLI size adapter"
+        )
     return COARSE_GENERATORS[args.generator](args.iterations)
 
 

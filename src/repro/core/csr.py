@@ -29,13 +29,19 @@ __all__ = [
     "dedupe_edges",
     "gather_rows",
     "group_min_by_pair",
+    "group_min_table",
+    "row_max_excluding",
     "topological_levels",
     "bottom_levels_csr",
     "reachable_mask",
     "has_path_csr",
+    "NO_ENTRY",
 ]
 
 _INT = np.int64
+
+#: Sentinel for "no entry" in grouped min tables (larger than any superstep).
+NO_ENTRY = np.iinfo(np.int64).max
 
 
 def build_csr(
@@ -111,6 +117,44 @@ def group_min_by_pair(
     first = np.ones(u.size, dtype=bool)
     first[1:] = (u[1:] != u[:-1]) | (q[1:] != q[:-1])
     return u[first], q[first], values[first]
+
+
+def group_min_table(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_rows: int,
+    num_cols: int,
+) -> np.ndarray:
+    """Dense ``(num_rows, num_cols)`` table of per-cell minima.
+
+    ``table[r, c] = min(values[rows == r and cols == c])`` with empty cells
+    holding :data:`NO_ENTRY`.  This is the batched counterpart of
+    :func:`group_min_by_pair` for small, dense group domains — the
+    hill-climbing refiner uses it to build the "first superstep that needs a
+    value on each processor" table of a node's whole predecessor
+    neighbourhood in one pass.
+    """
+    table = np.full((num_rows, num_cols), NO_ENTRY, dtype=_INT)
+    if rows.size:
+        np.minimum.at(table, (rows, cols), values)
+    return table
+
+
+def row_max_excluding(values: np.ndarray) -> np.ndarray:
+    """``out[i] = max(values[j] for j != i)`` for a 1-D array.
+
+    Computed from the top-2 entries, so one O(n) pass instead of n masked
+    maxima.  For a single-element array the exclusion is empty and the
+    result is ``-inf``.
+    """
+    if values.size == 1:
+        return np.full(1, -np.inf)
+    top = int(np.argmax(values))
+    rest = np.delete(values, top)
+    out = np.full(values.size, values[top], dtype=np.float64)
+    out[top] = rest.max()
+    return out
 
 
 def topological_levels(

@@ -321,6 +321,27 @@ class SparseMatrixPattern:
         indptr, indices = build_csr(self.size, self._indices, self.row_ids())
         return SparseMatrixPattern.from_csr(self.size, indptr, indices, validate=False)
 
+    def permuted(self, order: Sequence[int] | np.ndarray) -> "SparseMatrixPattern":
+        """Pattern under a symmetric row/column permutation.
+
+        ``order`` lists the old indices in their new positions (``order[k]``
+        becomes row/column ``k``), so ``P'[i, j] = P[order[i], order[j]]`` —
+        the form elimination orderings like reverse Cuthill–McKee come in.
+        """
+        order = np.asarray(order, dtype=_INT)
+        if order.shape != (self.size,) or not np.array_equal(
+            np.sort(order), np.arange(self.size, dtype=_INT)
+        ):
+            raise DagError(f"order must be a permutation of 0..{self.size - 1}")
+        rank = np.empty(self.size, dtype=_INT)
+        rank[order] = np.arange(self.size, dtype=_INT)
+        new_rows = rank[self.row_ids()]
+        new_cols = rank[self._indices]
+        srt = np.lexsort((new_cols, new_rows))
+        return SparseMatrixPattern._from_sorted_coordinates(
+            self.size, new_rows[srt], new_cols[srt]
+        )
+
     def symmetrized(self) -> "SparseMatrixPattern":
         """Pattern of ``A ∪ Aᵀ`` (used by the elimination-DAG generator)."""
         rows = np.concatenate((self.row_ids(), self._indices))

@@ -39,10 +39,14 @@ from .weights import apply_weight_model
 
 __all__ = [
     "build_elimination_dag",
+    "build_rcm_elimination_dag",
     "build_fft_dag",
+    "build_fft4_dag",
     "build_stencil_dag",
     "build_stencil2d_dag",
+    "build_stencil2d_rect_dag",
     "build_stencil3d_dag",
+    "rcm_ordering",
     "symbolic_fill_structure",
     "STRUCTURED_GENERATORS",
 ]
@@ -101,12 +105,48 @@ def symbolic_fill_structure(
     return structures, parents
 
 
+def rcm_ordering(pattern: SparseMatrixPattern) -> np.ndarray:
+    """Reverse Cuthill–McKee ordering of the pattern's symmetrised graph.
+
+    Classic bandwidth-reducing BFS: components are entered at their
+    minimum-degree vertex, neighbours are visited in increasing
+    ``(degree, index)`` order, and the resulting Cuthill–McKee order is
+    reversed.  Returns the permutation as an array of old indices in new
+    order (``order[k]`` is the column eliminated ``k``-th).  Deterministic
+    for a fixed pattern.
+    """
+    sym = pattern.symmetrized()
+    n = sym.size
+    degrees = sym.row_lengths()
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    # component entry points: ascending (degree, index)
+    starts = np.lexsort((np.arange(n), degrees))
+    for start in starts.tolist():
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue = [start]
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order.append(v)
+            nbrs = sym.row_array(v)
+            nbrs = nbrs[~visited[nbrs]]
+            if nbrs.size:
+                visited[nbrs] = True
+                queue.extend(nbrs[np.lexsort((nbrs, degrees[nbrs]))].tolist())
+    return np.asarray(order[::-1], dtype=_INT)
+
+
 def build_elimination_dag(
     pattern: SparseMatrixPattern,
     kind: str = "cholesky",
     name: str | None = None,
     weight_model: str = "paper",
     track_roles: bool = True,
+    ordering: str = "natural",
 ) -> FineGrainedResult:
     """Column-task DAG of sparse Cholesky (or LU) elimination.
 
@@ -116,10 +156,18 @@ def build_elimination_dag(
     elimination order, so the DAG is acyclic by construction.  ``kind``
     selects the label only: both variants eliminate on the symmetrised
     pattern ``A ∪ Aᵀ`` (for unsymmetric LU this is the usual structural
-    upper bound on the fill).
+    upper bound on the fill).  ``ordering`` selects the elimination order:
+    ``"natural"`` keeps the pattern as given, ``"rcm"`` first applies the
+    reverse Cuthill–McKee permutation (:func:`rcm_ordering`), which bounds
+    the bandwidth and typically produces far less fill — the same matrix
+    yields a structurally different scheduling workload.
     """
     if kind not in ("cholesky", "lu"):
         raise DagError(f"unknown elimination kind {kind!r} (use 'cholesky' or 'lu')")
+    if ordering not in ("natural", "rcm"):
+        raise DagError(f"unknown elimination ordering {ordering!r} (use 'natural' or 'rcm')")
+    if ordering == "rcm":
+        pattern = pattern.permuted(rcm_ordering(pattern))
     n = pattern.size
     structures, _ = symbolic_fill_structure(pattern)
     builder = DagBuilder(name=name or f"{kind}_n{n}")
@@ -133,6 +181,22 @@ def build_elimination_dag(
     return _finish(builder, chunks, weight_model, track_roles)
 
 
+def build_rcm_elimination_dag(
+    pattern: SparseMatrixPattern,
+    kind: str = "cholesky",
+    name: str | None = None,
+    **kwargs,
+) -> FineGrainedResult:
+    """Elimination DAG after reverse Cuthill–McKee reordering (registry entry)."""
+    return build_elimination_dag(
+        pattern,
+        kind=kind,
+        name=name or f"{kind}_rcm_n{pattern.size}",
+        ordering="rcm",
+        **kwargs,
+    )
+
+
 # ---------------------------------------------------------------------- #
 # FFT / butterfly DAGs
 # ---------------------------------------------------------------------- #
@@ -141,30 +205,52 @@ def build_fft_dag(
     name: str | None = None,
     weight_model: str = "paper",
     track_roles: bool = True,
+    radix: int = 2,
 ) -> FineGrainedResult:
-    """Butterfly DAG of an in-place radix-2 FFT over ``points`` inputs.
+    """Butterfly DAG of an in-place radix-``r`` FFT over ``points`` inputs.
 
-    ``log2(points)`` stages of ``points`` butterfly nodes each; the node for
-    index ``i`` of stage ``t`` reads index ``i`` and its butterfly partner
-    ``i XOR 2^(t-1)`` of the previous stage.
+    ``log_r(points)`` stages of ``points`` butterfly nodes each.  With
+    radix 2, the node for index ``i`` of stage ``t`` reads index ``i`` and
+    its butterfly partner ``i XOR 2^(t-1)`` of the previous stage; with
+    radix 4 it reads the four lanes sharing every base-4 digit of ``i``
+    except digit ``t-1`` — half the stage count at four-way fan-in, a
+    structurally different (wider, shallower) scheduling workload.
     """
-    if points < 2 or points & (points - 1):
-        raise DagError(f"points must be a power of two >= 2, got {points}")
-    stages = points.bit_length() - 1
-    builder = DagBuilder(name=name or f"fft_n{points}")
+    if radix not in (2, 4):
+        raise DagError(f"radix must be 2 or 4, got {radix}")
+    stages = 0
+    size = 1
+    while size < points:
+        size *= radix
+        stages += 1
+    if points < radix or size != points:
+        raise DagError(
+            f"points must be a power of {radix} >= {radix}, got {points}"
+        )
+    builder = DagBuilder(name=name or f"fft{radix if radix != 2 else ''}_n{points}")
     builder.add_node_block(points * (stages + 1))
     lanes = np.arange(points, dtype=_INT)
     for t in range(1, stages + 1):
         current = t * points + lanes
-        previous = (t - 1) * points + lanes
-        partner = (t - 1) * points + (lanes ^ (1 << (t - 1)))
-        builder.add_edges_array(previous, current)
-        builder.add_edges_array(partner, current)
+        stride = radix ** (t - 1)
+        # own lane first, then the partners in ascending digit order — the
+        # radix-2 case reproduces the historical (previous, partner) order
+        builder.add_edges_array((t - 1) * points + lanes, current)
+        digit = (lanes // stride) % radix
+        base = lanes - digit * stride
+        for d in range(1, radix):
+            partner = base + ((digit + d) % radix) * stride
+            builder.add_edges_array((t - 1) * points + partner, current)
     chunks = [
         (lanes, "input:x"),
         (points + np.arange(points * stages, dtype=_INT), "butterfly"),
     ]
     return _finish(builder, chunks, weight_model, track_roles)
+
+
+def build_fft4_dag(points: int, name: str | None = None, **kwargs) -> FineGrainedResult:
+    """Radix-4 butterfly DAG (registry entry; ``points`` must be a power of 4)."""
+    return build_fft_dag(points, name=name, radix=4, **kwargs)
 
 
 # ---------------------------------------------------------------------- #
@@ -233,6 +319,18 @@ def build_stencil2d_dag(
     return build_stencil_dag((side, side), steps, name=name, **kwargs)
 
 
+def build_stencil2d_rect_dag(
+    width: int, height: int, steps: int, name: str | None = None, **kwargs
+) -> FineGrainedResult:
+    """Non-square 2D stencil sweep (5-point star) of ``width x height`` cells.
+
+    Skewed aspect ratios change the surface-to-volume ratio of good grid
+    partitions, so the same cell count schedules very differently from the
+    square sweep — a cheap source of scenario diversity.
+    """
+    return build_stencil_dag((width, height), steps, name=name, **kwargs)
+
+
 def build_stencil3d_dag(
     side: int, steps: int, name: str | None = None, **kwargs
 ) -> FineGrainedResult:
@@ -243,7 +341,10 @@ def build_stencil3d_dag(
 #: Registry of the structured generator families (scheduler-facing names).
 STRUCTURED_GENERATORS = {
     "cholesky": build_elimination_dag,
+    "cholesky_rcm": build_rcm_elimination_dag,
     "fft": build_fft_dag,
+    "fft4": build_fft4_dag,
     "stencil2d": build_stencil2d_dag,
+    "stencil2d_rect": build_stencil2d_rect_dag,
     "stencil3d": build_stencil3d_dag,
 }

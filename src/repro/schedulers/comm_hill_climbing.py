@@ -10,13 +10,25 @@ the incremental evaluation is a constant number of row updates per candidate.
 
 Like the paper's implementation, transfers are always sent directly from
 ``π(v)`` (no forwarding through third processors).
+
+All feasible phases of a window are evaluated against the maintained row
+maxima in one vectorized expression: adding a transfer to a phase can only
+*raise* that row, so its new maximum is ``max(comm_max[t], send[t, p1] + x,
+recv[t, p2] + x)`` — no row copies, no mutate-and-restore.  Only removing
+the transfer from its current phase needs one ``O(P)`` row scan, and that
+term is shared by every candidate of the window.  The columnar window state
+(sources, targets, volumes, window bounds, current choices) is built once
+and kept across passes.  The seed copy-mutate-restore walker is retained as
+:class:`repro.schedulers.reference.CommScheduleHillClimbingReference` and
+the vectorized path reproduces its accepted-move sequence exactly (the
+per-candidate deltas are bit-identical, not merely equal within tolerance).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.comm import CommStep, CommWindow
+from ..core.comm import CommStep
 from ..core.schedule import BspSchedule
 from .base import ScheduleImprover, TimeBudget
 
@@ -26,12 +38,24 @@ _EPS = 1e-9
 
 
 class CommScheduleHillClimbing(ScheduleImprover):
-    """Greedy first-improvement local search on the communication schedule."""
+    """Greedy first-improvement local search on the communication schedule.
+
+    Parameters
+    ----------
+    max_passes:
+        Upper bound on the number of passes over all movable windows.
+    record_moves:
+        When true, the accepted moves ``(window_index, new_phase)`` of the
+        last run are kept in :attr:`last_moves` for the differential tests.
+    """
 
     name = "comm_hill_climbing"
 
-    def __init__(self, max_passes: int = 50) -> None:
+    def __init__(self, max_passes: int = 50, record_moves: bool = False) -> None:
         self.max_passes = max_passes
+        self.record_moves = record_moves
+        #: accepted moves ``(window_index, new_phase)`` of the last run
+        self.last_moves: list[tuple[int, int]] | None = None
 
     def improve(
         self,
@@ -41,12 +65,14 @@ class CommScheduleHillClimbing(ScheduleImprover):
         budget = budget or TimeBudget.unlimited()
         machine = schedule.machine
         dag = schedule.dag
+        moves: list[tuple[int, int]] = []
+        self.last_moves = moves if self.record_moves else None
         windows = schedule.comm_windows()
         if not windows:
             return schedule
         num_supersteps = schedule.num_supersteps
 
-        # columnar view of the windows: one array per field
+        # columnar view of the windows, built once and kept across passes
         nodes = np.array([w.node for w in windows], dtype=np.int64)
         srcs = np.array([w.source for w in windows], dtype=np.int64)
         tgts = np.array([w.target for w in windows], dtype=np.int64)
@@ -79,34 +105,66 @@ class CommScheduleHillClimbing(ScheduleImprover):
         np.add.at(recv, (choices, tgts), volumes)
         comm_max = np.maximum(send, recv).max(axis=1)
 
+        # only windows with at least two feasible phases can ever move
+        movable = np.flatnonzero(latest > earliest).tolist()
+        src_list = srcs.tolist()
+        tgt_list = tgts.tolist()
+        lo_list = earliest.tolist()
+        hi_list = latest.tolist()
+        vol_list = volumes.tolist()
+
         improved_any = True
         passes = 0
         while improved_any and passes < self.max_passes and not budget.expired():
             improved_any = False
             passes += 1
-            for index, window in enumerate(windows):
+            for index in movable:
                 if budget.expired():
                     break
-                if window.earliest == window.latest:
-                    continue
                 current = int(choices[index])
+                lo = lo_list[index]
+                hi = hi_list[index]
+                volume = vol_list[index]
+                p1 = src_list[index]
+                p2 = tgt_list[index]
+
+                # removing the transfer from its current phase: one row scan,
+                # shared by every candidate phase of the window
+                send_row = send[current].copy()
+                send_row[p1] -= volume
+                recv_row = recv[current].copy()
+                recv_row[p2] -= volume
+                removal = max(float(send_row.max()), float(recv_row.max())) - comm_max[current]
+
+                # adding it to a candidate phase only raises that row, so the
+                # new maximum needs no row scan at all
+                window_max = comm_max[lo : hi + 1]
+                raised = np.maximum(
+                    window_max,
+                    np.maximum(send[lo : hi + 1, p1] + volume, recv[lo : hi + 1, p2] + volume),
+                )
+                deltas = ((raised - window_max) + removal).tolist()
+
                 best_phase = current
                 best_delta = 0.0
-                for candidate in range(window.earliest, window.latest + 1):
+                for offset, delta in enumerate(deltas):
+                    candidate = lo + offset
                     if candidate == current:
                         continue
-                    delta = self._move_delta(
-                        send, recv, comm_max, volumes[index], window, current, candidate
-                    )
                     if delta < best_delta - _EPS:
                         best_delta = delta
                         best_phase = candidate
                 if best_phase != current:
-                    self._apply_move(
-                        send, recv, comm_max, volumes[index], window, current, best_phase
-                    )
+                    send[current, p1] -= volume
+                    recv[current, p2] -= volume
+                    send[best_phase, p1] += volume
+                    recv[best_phase, p2] += volume
+                    for s in (current, best_phase):
+                        comm_max[s] = float(np.maximum(send[s], recv[s]).max())
                     choices[index] = best_phase
                     improved_any = True
+                    if self.record_moves:
+                        moves.append((index, best_phase))
 
         comm_schedule = frozenset(
             CommStep(w.node, w.source, w.target, int(choices[i]))
@@ -114,46 +172,3 @@ class CommScheduleHillClimbing(ScheduleImprover):
         )
         candidate = schedule.with_comm_schedule(comm_schedule)
         return candidate if candidate.cost() < schedule.cost() - _EPS else schedule
-
-    @staticmethod
-    def _move_delta(
-        send: np.ndarray,
-        recv: np.ndarray,
-        comm_max: np.ndarray,
-        volume: float,
-        window: CommWindow,
-        old_phase: int,
-        new_phase: int,
-    ) -> float:
-        """Change in total h-relation cost if the transfer moves phases (no state change)."""
-        old_rows = {}
-        for s in (old_phase, new_phase):
-            old_rows[s] = (send[s].copy(), recv[s].copy())
-        send[old_phase, window.source] -= volume
-        recv[old_phase, window.target] -= volume
-        send[new_phase, window.source] += volume
-        recv[new_phase, window.target] += volume
-        delta = 0.0
-        for s in (old_phase, new_phase):
-            delta += float(np.maximum(send[s], recv[s]).max()) - comm_max[s]
-        for s, (send_row, recv_row) in old_rows.items():
-            send[s] = send_row
-            recv[s] = recv_row
-        return delta
-
-    @staticmethod
-    def _apply_move(
-        send: np.ndarray,
-        recv: np.ndarray,
-        comm_max: np.ndarray,
-        volume: float,
-        window: CommWindow,
-        old_phase: int,
-        new_phase: int,
-    ) -> None:
-        send[old_phase, window.source] -= volume
-        recv[old_phase, window.target] -= volume
-        send[new_phase, window.source] += volume
-        recv[new_phase, window.target] += volume
-        for s in (old_phase, new_phase):
-            comm_max[s] = float(np.maximum(send[s], recv[s]).max())

@@ -84,6 +84,72 @@ class MilpProblem:
         """Add a continuous variable; returns its index."""
         return self._add_var(lower, upper, objective, integer=False)
 
+    def add_binary_block(self, count: int) -> int:
+        """Append ``count`` binary variables at once; returns the first index.
+
+        Equivalent to ``count`` calls of :meth:`add_binary` — the batched
+        model builders allocate whole variable families with one call and
+        address them by index arithmetic.
+        """
+        first = self.num_variables
+        self._objective.extend([0.0] * count)
+        self._lower.extend([0.0] * count)
+        self._upper.extend([1.0] * count)
+        self._integrality.extend([1] * count)
+        return first
+
+    def add_continuous_block(
+        self,
+        count: int,
+        lower: float = 0.0,
+        upper: float = np.inf,
+        objective: float = 0.0,
+    ) -> int:
+        """Append ``count`` identical continuous variables; returns the first index."""
+        first = self.num_variables
+        self._objective.extend([float(objective)] * count)
+        self._lower.extend([float(lower)] * count)
+        self._upper.extend([float(upper)] * count)
+        self._integrality.extend([0] * count)
+        return first
+
+    def add_rows(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        lower: np.ndarray | float,
+        upper: np.ndarray | float,
+        num_rows: int | None = None,
+    ) -> None:
+        """Append a whole block of constraints from parallel coefficient arrays.
+
+        ``rows`` are block-local (``0 .. num_rows - 1``); ``lower``/``upper``
+        are scalars or arrays of length ``num_rows``.  One call replaces a
+        Python loop of :meth:`add_constraint` invocations — the coefficient
+        triples are validated and appended vectorized.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not rows.size and num_rows in (None, 0):
+            return
+        if num_rows is None:
+            num_rows = int(rows.max()) + 1
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= num_rows:
+                raise SolverError("constraint block references a row out of range")
+            if cols.min() < 0 or cols.max() >= self.num_variables:
+                raise SolverError("constraint block references an unknown variable")
+        base = self.num_constraints
+        self._rows.extend((rows + base).tolist())
+        self._cols.extend(cols.tolist())
+        self._vals.extend(vals.tolist())
+        lower_arr = np.broadcast_to(np.asarray(lower, dtype=np.float64), (num_rows,))
+        upper_arr = np.broadcast_to(np.asarray(upper, dtype=np.float64), (num_rows,))
+        self._row_lower.extend(lower_arr.tolist())
+        self._row_upper.extend(upper_arr.tolist())
+
     def _add_var(self, lower: float, upper: float, objective: float, integer: bool) -> int:
         self._objective.append(float(objective))
         self._lower.append(float(lower))

@@ -23,6 +23,18 @@ after the window, and the max-constraints defining ``W`` and ``H`` on top of
 the fixed base traffic/work of nodes outside the model.  The objective is
 ``Σ_s W[s] + g · H[s]`` (latency is constant for a fixed window).
 
+Model construction is **batched**: variable families are allocated as whole
+blocks addressed by index arithmetic, the edge-indexed constraint families
+(precedence, presence recurrences, send-presence coupling, work/communication
+maxima) are emitted as flat coefficient arrays assembled with numpy over the
+DAG's CSR edge slices, and the per-window Python dict building of the seed
+implementation is gone.  The seed builder is retained as
+:func:`repro.schedulers.ilp.reference.build_window_model_reference` and a
+differential test pins both paths to the *same model* — variable count,
+objective, bounds, integrality, row bounds and constraint matrix.  Only
+construction is batched — the solver loop (HiGHS via :class:`MilpProblem`)
+is untouched.
+
 Simplifications relative to the paper (documented in DESIGN.md): no extra
 communication phase before the window, and cost savings from deleting fixed
 transfers outside the window are ignored — both match the paper's own
@@ -40,12 +52,15 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ...core.comm import CommStep
+from ...core.csr import gather_rows
 from ...core.dag import ComputationalDAG
 from ...core.exceptions import SolverError
 from ...core.machine import BspMachine
 from .backend import MilpProblem
 
 __all__ = ["WindowIlp", "WindowIlpResult", "estimate_window_variables"]
+
+_INT = np.int64
 
 
 def estimate_window_variables(
@@ -111,179 +126,302 @@ class WindowIlp:
         self._validate_context()
 
     # ------------------------------------------------------------------ #
+    def _in_model_mask(self, nodes: np.ndarray) -> np.ndarray:
+        mask = np.zeros(self.dag.num_nodes, dtype=bool)
+        mask[np.asarray(self.reassign, dtype=_INT)] = True
+        return mask[nodes]
+
     def _validate_context(self) -> None:
-        """Check the structural assumptions the formulation relies on."""
+        """Check the structural assumptions the formulation relies on.
+
+        Vectorized over the reassigned nodes' CSR neighbour slices: fixed
+        predecessors must be assigned before the window, fixed successors
+        after it (or left unassigned).
+        """
+        if not self.reassign:
+            return
         s_lo, s_hi = self.window
-        reassign_set = set(self.reassign)
-        for v in self.reassign:
-            for u in self.dag.predecessors(v):
-                if u in reassign_set:
-                    continue
-                step = int(self.fixed_supersteps[u])
-                if step < 0 or step >= s_lo:
-                    raise SolverError(
-                        f"fixed predecessor {u} of reassigned node {v} must be "
-                        f"assigned before the window (superstep {step})"
-                    )
-            for w in self.dag.successors(v):
-                if w in reassign_set:
-                    continue
-                step = int(self.fixed_supersteps[w])
-                if 0 <= step <= s_hi:
-                    raise SolverError(
-                        f"fixed successor {w} of reassigned node {v} must be "
-                        "assigned after the window or left unassigned"
-                    )
+        dag = self.dag
+        nodes = np.asarray(self.reassign, dtype=_INT)
+
+        preds, pred_offsets = gather_rows(dag.pred_indptr, dag.pred_indices, nodes)
+        outside = ~self._in_model_mask(preds)
+        bad = outside & (
+            (self.fixed_supersteps[preds] < 0) | (self.fixed_supersteps[preds] >= s_lo)
+        )
+        if bad.any():
+            at = int(np.argmax(bad))
+            v = int(nodes[np.searchsorted(pred_offsets, at, side="right") - 1])
+            u = int(preds[at])
+            raise SolverError(
+                f"fixed predecessor {u} of reassigned node {v} must be "
+                f"assigned before the window (superstep {int(self.fixed_supersteps[u])})"
+            )
+
+        succs, succ_offsets = gather_rows(dag.succ_indptr, dag.succ_indices, nodes)
+        outside = ~self._in_model_mask(succs)
+        steps = self.fixed_supersteps[succs]
+        bad = outside & (steps >= 0) & (steps <= s_hi)
+        if bad.any():
+            at = int(np.argmax(bad))
+            v = int(nodes[np.searchsorted(succ_offsets, at, side="right") - 1])
+            w = int(succs[at])
+            raise SolverError(
+                f"fixed successor {w} of reassigned node {v} must be "
+                "assigned after the window or left unassigned"
+            )
 
     # ------------------------------------------------------------------ #
-    def solve(self, time_limit: float | None = None) -> WindowIlpResult:
-        """Build the MILP, run the backend and extract the new assignment."""
+    def build_model(self) -> tuple[MilpProblem, np.ndarray]:
+        """Assemble the MILP from batched coefficient arrays.
+
+        Returns the problem plus the ``(nr, P, W)`` ``comp`` variable index
+        block used to extract the assignment.  Exposed separately from
+        :meth:`solve` so the differential test can compare the emitted model
+        against the retained seed dict builder
+        (:func:`repro.schedulers.ilp.reference.build_window_model_reference`).
+        """
         dag, machine = self.dag, self.machine
         s_lo, s_hi = self.window
-        window_steps = list(range(s_lo, s_hi + 1))
-        num_procs = machine.num_procs
-        reassign_set = set(self.reassign)
+        W = s_hi - s_lo + 1
+        P = machine.num_procs
+        nr = len(self.reassign)
+        reassign_arr = np.asarray(self.reassign, dtype=_INT)
 
-        # boundary predecessors: fixed nodes feeding the reassigned ones
-        boundary: list[int] = []
-        for v in self.reassign:
-            for u in dag.predecessors(v):
-                if u not in reassign_set and u not in boundary:
-                    boundary.append(u)
-        model_nodes = self.reassign + boundary
+        # boundary predecessors: fixed nodes feeding the reassigned ones, in
+        # first-occurrence order over the CSR predecessor slices
+        pred_flat, pred_offsets = gather_rows(
+            dag.pred_indptr, dag.pred_indices, reassign_arr
+        )
+        outside = ~self._in_model_mask(pred_flat)
+        outside_preds = pred_flat[outside]
+        if outside_preds.size:
+            _, first = np.unique(outside_preds, return_index=True)
+            boundary = outside_preds[np.sort(first)]
+        else:
+            boundary = np.empty(0, dtype=_INT)
+        nb = boundary.size
+        model_nodes = np.concatenate((reassign_arr, boundary))
+        n_model = nr + nb
+        model_pos = np.full(dag.num_nodes, -1, dtype=_INT)
+        model_pos[model_nodes] = np.arange(n_model, dtype=_INT)
 
         problem = MilpProblem(name="window_ilp")
 
-        # --- variables -------------------------------------------------- #
-        comp: dict[tuple[int, int, int], int] = {}
-        for v in self.reassign:
-            for p in range(num_procs):
-                for s in window_steps:
-                    comp[(v, p, s)] = problem.add_binary()
+        # --- variable blocks (index arithmetic replaces per-var dicts) --- #
+        comp0 = problem.add_binary_block(nr * P * W)
+        comp_idx = comp0 + np.arange(nr * P * W, dtype=_INT).reshape(nr, P, W)
 
-        send: dict[tuple[int, int, int, int], int] = {}
-        for v in model_nodes:
-            sources = (
-                range(num_procs)
-                if v in reassign_set
-                else [int(self.fixed_procs[v])]
+        # send[v, p1, p2, s]: reassigned nodes get all P sources, boundary
+        # nodes only their fixed processor; -1 marks non-existent slots
+        send_idx = np.full((n_model, P, P, W), -1, dtype=_INT)
+        send_r0 = problem.add_binary_block(nr * P * (P - 1) * W)
+        if nr and P > 1:
+            block = send_r0 + np.arange(nr * P * (P - 1) * W, dtype=_INT).reshape(
+                nr, P, P - 1, W
             )
-            for p1 in sources:
-                for p2 in range(num_procs):
-                    if p1 == p2:
-                        continue
-                    for s in window_steps:
-                        send[(v, p1, p2, s)] = problem.add_binary()
+            for p1 in range(P):
+                others = [p2 for p2 in range(P) if p2 != p1]
+                send_idx[:nr, p1, others, :] = block[:, p1]
+        send_b0 = problem.add_binary_block(nb * (P - 1) * W)
+        if nb and P > 1:
+            block = send_b0 + np.arange(nb * (P - 1) * W, dtype=_INT).reshape(
+                nb, P - 1, W
+            )
+            for bi in range(nb):
+                p1 = int(self.fixed_procs[boundary[bi]])
+                others = [p2 for p2 in range(P) if p2 != p1]
+                send_idx[nr + bi, p1, others, :] = block[bi]
 
-        pres: dict[tuple[int, int, int], int] = {}
-        for v in model_nodes:
-            for p in range(num_procs):
-                for s in window_steps:
-                    pres[(v, p, s)] = problem.add_continuous(0.0, 1.0)
+        pres0_var = problem.add_continuous_block(n_model * P * W, 0.0, 1.0)
+        pres_idx = pres0_var + np.arange(n_model * P * W, dtype=_INT).reshape(
+            n_model, P, W
+        )
 
-        work_max = {s: problem.add_continuous(0.0, np.inf, objective=1.0) for s in window_steps}
-        comm_max = {
-            s: problem.add_continuous(0.0, np.inf, objective=machine.g)
-            for s in window_steps
-        }
+        work_var0 = problem.add_continuous_block(W, 0.0, np.inf, objective=1.0)
+        comm_var0 = problem.add_continuous_block(W, 0.0, np.inf, objective=machine.g)
+        work_idx = work_var0 + np.arange(W, dtype=_INT)
+        comm_idx = comm_var0 + np.arange(W, dtype=_INT)
 
         # --- fixed context constants ------------------------------------ #
-        pres0 = self._initial_presence(boundary, reassign_set)
-        base_work, base_send, base_recv = self._base_loads(reassign_set, set(boundary))
+        init_pres = self._initial_presence_table(boundary, model_pos)
+        base_work, base_send, base_recv = self._base_loads(model_pos)
 
-        # --- constraints -------------------------------------------------#
-        # (1) every reassigned node computed exactly once
-        for v in self.reassign:
-            problem.add_eq(
-                {comp[(v, p, s)]: 1.0 for p in range(num_procs) for s in window_steps},
-                1.0,
+        # --- (1) every reassigned node computed exactly once ------------- #
+        problem.add_rows(
+            np.repeat(np.arange(nr, dtype=_INT), P * W),
+            comp_idx.ravel(),
+            np.ones(nr * P * W),
+            1.0,
+            1.0,
+            num_rows=nr,
+        )
+
+        # --- (2) presence recurrence ------------------------------------- #
+        # one row per (model node, processor, window step); si is the last
+        # axis of pres_idx, so "previous step" is plain index - 1
+        n_rows = n_model * P * W
+        rows_parts = [np.arange(n_rows, dtype=_INT)]
+        cols_parts = [pres_idx.ravel()]
+        vals_parts = [np.ones(n_rows)]
+        if W > 1:
+            prev_rows = np.arange(n_rows, dtype=_INT).reshape(n_model, P, W)[:, :, 1:]
+            rows_parts.append(prev_rows.ravel())
+            cols_parts.append((pres_idx[:, :, 1:] - 1).ravel())
+            vals_parts.append(np.full(prev_rows.size, -1.0))
+            incoming = send_idx.transpose(0, 2, 1, 3)  # (node, p2, p1, si)
+            mi, p2, p1, si = np.nonzero(incoming[:, :, :, : W - 1] >= 0)
+            rows_parts.append((mi * P + p2) * W + si + 1)
+            cols_parts.append(incoming[mi, p2, p1, si])
+            vals_parts.append(np.full(mi.size, -1.0))
+        rows_parts.append(np.arange(nr * P * W, dtype=_INT))
+        cols_parts.append(comp_idx.ravel())
+        vals_parts.append(np.full(nr * P * W, -1.0))
+        upper = np.zeros((n_model, P, W))
+        upper[:, :, 0] = init_pres
+        problem.add_rows(
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+            -np.inf,
+            upper.ravel(),
+            num_rows=n_rows,
+        )
+
+        # --- (3) sending requires presence on the source ----------------- #
+        mi, p1, p2, si = np.nonzero(send_idx >= 0)
+        n_send = mi.size
+        problem.add_rows(
+            np.tile(np.arange(n_send, dtype=_INT), 2),
+            np.concatenate((send_idx[mi, p1, p2, si], pres_idx[mi, p1, si])),
+            np.concatenate((np.ones(n_send), -np.ones(n_send))),
+            -np.inf,
+            0.0,
+            num_rows=n_send,
+        )
+
+        # --- (4) precedence: computing v needs every predecessor --------- #
+        in_model = model_pos[pred_flat] >= 0
+        edge_v = np.repeat(np.arange(nr, dtype=_INT), np.diff(pred_offsets))[in_model]
+        edge_u = model_pos[pred_flat[in_model]]
+        n_edges = edge_v.size
+        if n_edges:
+            rows = np.arange(n_edges * P * W, dtype=_INT)
+            problem.add_rows(
+                np.tile(rows, 2),
+                np.concatenate(
+                    (comp_idx[edge_v].ravel(), pres_idx[edge_u].ravel())
+                ),
+                np.concatenate(
+                    (np.ones(n_edges * P * W), -np.ones(n_edges * P * W))
+                ),
+                -np.inf,
+                0.0,
+                num_rows=n_edges * P * W,
             )
 
-        # (2) presence recurrence
-        for v in model_nodes:
-            for p in range(num_procs):
-                for s in window_steps:
-                    coefficients = {pres[(v, p, s)]: 1.0}
-                    constant = 0.0
-                    if s > s_lo:
-                        coefficients[pres[(v, p, s - 1)]] = -1.0
-                        for p1 in range(num_procs):
-                            key = (v, p1, p, s - 1)
-                            if key in send:
-                                coefficients[send[key]] = -1.0
-                    else:
-                        constant = pres0.get((v, p), 0.0)
-                    if v in reassign_set:
-                        coefficients[comp[(v, p, s)]] = -1.0
-                    problem.add_le(coefficients, constant)
+        # --- (5) values needed by fixed successors after the window ------ #
+        succ_flat, succ_offsets = gather_rows(
+            dag.succ_indptr, dag.succ_indices, reassign_arr
+        )
+        succ_v = np.repeat(np.arange(nr, dtype=_INT), np.diff(succ_offsets))
+        fixed_after = (model_pos[succ_flat] < 0) & (
+            self.fixed_supersteps[succ_flat] > s_hi
+        )
+        if fixed_after.any():
+            need_v = succ_v[fixed_after]
+            need_q = self.fixed_procs[succ_flat[fixed_after]]
+            pairs = np.unique(need_v * _INT(P) + need_q)
+            need_v, need_q = pairs // P, pairs % P
+            k = need_v.size
+            # pres[v, q, s_hi] + Σ_p1 send[v, p1, q, s_hi] >= 1
+            sends = send_idx[need_v, :, need_q, W - 1]  # (k, P)
+            rk, pk = np.nonzero(sends >= 0)
+            problem.add_rows(
+                np.concatenate((np.arange(k, dtype=_INT), rk)),
+                np.concatenate((pres_idx[need_v, need_q, W - 1], sends[rk, pk])),
+                np.ones(k + rk.size),
+                1.0,
+                np.inf,
+                num_rows=k,
+            )
 
-        # (3) sending requires presence on the source
-        for (v, p1, p2, s), send_var in send.items():
-            problem.add_le({send_var: 1.0, pres[(v, p1, s)]: -1.0}, 0.0)
+        # --- (6) work maxima --------------------------------------------- #
+        rows_grid = np.arange(W * P, dtype=_INT)  # row (si, p) = si * P + p
+        comp_rows = np.tile(
+            (np.arange(P, dtype=_INT)[:, None] + np.arange(W, dtype=_INT)[None, :] * P)
+            .ravel(),
+            nr,
+        )
+        problem.add_rows(
+            np.concatenate((rows_grid, comp_rows)),
+            np.concatenate(
+                (np.repeat(work_idx, P), comp_idx.ravel())
+            ),
+            np.concatenate(
+                (
+                    np.ones(W * P),
+                    -np.repeat(dag.work_weights[reassign_arr], P * W),
+                )
+            ),
+            base_work.ravel(),
+            np.inf,
+            num_rows=W * P,
+        )
 
-        # (4) precedence: computing v needs every predecessor available
-        boundary_set = set(boundary)
-        for v in self.reassign:
-            for u in dag.predecessors(v):
-                if u not in reassign_set and u not in boundary_set:
-                    continue
-                for p in range(num_procs):
-                    for s in window_steps:
-                        problem.add_le(
-                            {comp[(v, p, s)]: 1.0, pres[(u, p, s)]: -1.0}, 0.0
-                        )
+        # --- (7) communication maxima (send side and receive side) ------- #
+        volumes = dag.comm_weights[model_nodes[mi]] * machine.numa[p1, p2]
+        rows_comm = np.arange(W * P, dtype=_INT) * 2  # send side; recv side is +1
+        lower = np.empty(W * P * 2)
+        lower[0::2] = base_send.ravel()
+        lower[1::2] = base_recv.ravel()
+        problem.add_rows(
+            np.concatenate(
+                (
+                    rows_comm,
+                    rows_comm + 1,
+                    (si * P + p1) * 2,
+                    (si * P + p2) * 2 + 1,
+                )
+            ),
+            np.concatenate(
+                (
+                    np.repeat(comm_idx, P),
+                    np.repeat(comm_idx, P),
+                    send_idx[mi, p1, p2, si],
+                    send_idx[mi, p1, p2, si],
+                )
+            ),
+            np.concatenate(
+                (np.ones(W * P), np.ones(W * P), -volumes, -volumes)
+            ),
+            lower,
+            np.inf,
+            num_rows=W * P * 2,
+        )
 
-        # (5) values needed by fixed successors after the window must reach
-        #     their processor by the end of the window
-        for v in self.reassign:
-            needed_procs = set()
-            for w in dag.successors(v):
-                if w in reassign_set:
-                    continue
-                step = int(self.fixed_supersteps[w])
-                if step > s_hi:
-                    needed_procs.add(int(self.fixed_procs[w]))
-            for q in needed_procs:
-                coefficients = {pres[(v, q, s_hi)]: 1.0}
-                for p1 in range(num_procs):
-                    key = (v, p1, q, s_hi)
-                    if key in send:
-                        coefficients[send[key]] = 1.0
-                problem.add_ge(coefficients, 1.0)
+        return problem, comp_idx
 
-        # (6) work maxima
-        for s in window_steps:
-            for p in range(num_procs):
-                coefficients = {work_max[s]: 1.0}
-                for v in self.reassign:
-                    coefficients[comp[(v, p, s)]] = -dag.work(v)
-                problem.add_ge(coefficients, base_work.get((s, p), 0.0))
-
-        # (7) communication maxima (send side and receive side)
-        numa = machine.numa
-        outgoing: dict[tuple[int, int], dict[int, float]] = {}
-        incoming: dict[tuple[int, int], dict[int, float]] = {}
-        for (v, p1, p2, step), send_var in send.items():
-            volume = dag.comm(v) * numa[p1, p2]
-            outgoing.setdefault((step, p1), {})[send_var] = -volume
-            incoming.setdefault((step, p2), {})[send_var] = -volume
-        for s in window_steps:
-            for p in range(num_procs):
-                send_coeffs = {comm_max[s]: 1.0, **outgoing.get((s, p), {})}
-                recv_coeffs = {comm_max[s]: 1.0, **incoming.get((s, p), {})}
-                problem.add_ge(send_coeffs, base_send.get((s, p), 0.0))
-                problem.add_ge(recv_coeffs, base_recv.get((s, p), 0.0))
-
+    def solve(self, time_limit: float | None = None) -> WindowIlpResult:
+        """Build the batched model and run the backend."""
+        s_lo, s_hi = self.window
+        W = s_hi - s_lo + 1
+        P = self.machine.num_procs
+        nr = len(self.reassign)
+        problem, comp_idx = self.build_model()
         solution = problem.solve(time_limit=time_limit)
         if not solution.feasible:
             return WindowIlpResult(False, {}, {}, float("inf"), solution.message)
 
+        chosen = solution.values[comp_idx.reshape(nr, P * W)] > 0.5
         new_procs: dict[int, int] = {}
         new_steps: dict[int, int] = {}
-        for (v, p, s), var in comp.items():
-            if solution.is_one(var):
+        for vi, v in enumerate(self.reassign):
+            slots = np.flatnonzero(chosen[vi])
+            if slots.size:
+                p, s_off = divmod(int(slots[0]), W)
                 new_procs[v] = p
-                new_steps[v] = s
+                new_steps[v] = s_lo + s_off
         missing = [v for v in self.reassign if v not in new_procs]
         if missing:
             return WindowIlpResult(
@@ -292,45 +430,60 @@ class WindowIlp:
         return WindowIlpResult(True, new_procs, new_steps, solution.objective, solution.message)
 
     # ------------------------------------------------------------------ #
-    def _initial_presence(
-        self, boundary: list[int], reassign_set: set[int]
-    ) -> dict[tuple[int, int], float]:
-        """Presence constants at the start of the window for boundary predecessors."""
+    def _initial_presence_table(
+        self, boundary: np.ndarray, model_pos: np.ndarray
+    ) -> np.ndarray:
+        """Dense ``(n_model, P)`` presence constants at the window start."""
         s_lo, _ = self.window
-        pres0: dict[tuple[int, int], float] = {}
-        for u in boundary:
-            pres0[(u, int(self.fixed_procs[u]))] = 1.0
+        nr = len(self.reassign)
+        init = np.zeros((nr + boundary.size, self.machine.num_procs))
+        if boundary.size:
+            init[nr + np.arange(boundary.size), self.fixed_procs[boundary]] = 1.0
         for step in self.context_comm:
-            if step.node in reassign_set:
-                continue
-            if step.node in set(boundary) and step.superstep < s_lo:
-                pres0[(step.node, step.target)] = 1.0
-        return pres0
+            pos = int(model_pos[step.node]) if step.node < model_pos.size else -1
+            if pos >= nr and step.superstep < s_lo:  # boundary predecessor
+                init[pos, step.target] = 1.0
+        return init
 
-    def _base_loads(
-        self, reassign_set: set[int], boundary_set: set[int]
-    ) -> tuple[dict, dict, dict]:
-        """Constant work/send/recv loads inside the window from nodes outside the model."""
+    def _base_loads(self, model_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Constant work/send/recv loads inside the window from nodes outside the model.
+
+        Dense ``(W, P)`` tables, filled with vectorized scatters over the
+        whole assignment arrays instead of a per-node Python sweep.
+        """
         s_lo, s_hi = self.window
-        base_work: dict[tuple[int, int], float] = {}
-        base_send: dict[tuple[int, int], float] = {}
-        base_recv: dict[tuple[int, int], float] = {}
-        for v in self.dag.nodes():
-            if v in reassign_set:
-                continue
-            step = int(self.fixed_supersteps[v])
-            if s_lo <= step <= s_hi and int(self.fixed_procs[v]) >= 0:
-                key = (step, int(self.fixed_procs[v]))
-                base_work[key] = base_work.get(key, 0.0) + self.dag.work(v)
+        W = s_hi - s_lo + 1
+        P = self.machine.num_procs
+        base_work = np.zeros((W, P))
+        base_send = np.zeros((W, P))
+        base_recv = np.zeros((W, P))
+
+        reassign_mask = np.zeros(self.dag.num_nodes, dtype=bool)
+        reassign_mask[np.asarray(self.reassign, dtype=_INT)] = True
+        steps = self.fixed_supersteps
+        in_window = (
+            ~reassign_mask
+            & (steps >= s_lo)
+            & (steps <= s_hi)
+            & (self.fixed_procs >= 0)
+        )
+        if in_window.any():
+            nodes = np.flatnonzero(in_window)
+            np.add.at(
+                base_work,
+                (steps[nodes] - s_lo, self.fixed_procs[nodes]),
+                self.dag.work_weights[nodes],
+            )
+
         numa = self.machine.numa
+        nr = len(self.reassign)
         for step in self.context_comm:
-            if step.node in reassign_set or step.node in boundary_set:
+            pos = int(model_pos[step.node]) if step.node < model_pos.size else -1
+            if pos >= 0:  # reassigned or boundary: modelled by send variables
                 continue
             if not s_lo <= step.superstep <= s_hi:
                 continue
             volume = self.dag.comm(step.node) * numa[step.source, step.target]
-            send_key = (step.superstep, step.source)
-            recv_key = (step.superstep, step.target)
-            base_send[send_key] = base_send.get(send_key, 0.0) + volume
-            base_recv[recv_key] = base_recv.get(recv_key, 0.0) + volume
+            base_send[step.superstep - s_lo, step.source] += volume
+            base_recv[step.superstep - s_lo, step.target] += volume
         return base_work, base_send, base_recv

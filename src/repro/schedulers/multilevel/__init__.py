@@ -7,7 +7,7 @@ from .coarsen import (
     coarsen_dag,
     coarsen_dag_reference,
 )
-from .refine import project_to_original, restrict_to_quotient
+from .refine import project_arrays, project_to_original, restrict_arrays, restrict_to_quotient
 from .scheduler import MultilevelScheduler
 
 __all__ = [
@@ -17,6 +17,8 @@ __all__ = [
     "QuotientDag",
     "coarsen_dag",
     "coarsen_dag_reference",
+    "project_arrays",
     "project_to_original",
+    "restrict_arrays",
     "restrict_to_quotient",
 ]

@@ -6,6 +6,14 @@ the quotient was acyclic and its schedule valid, the projected schedule is
 always a valid BSP schedule of the original DAG.  Projecting *up* (from an
 assignment of original nodes that is constant on every cluster) is the
 inverse operation used between refinement bursts.
+
+Both directions are plain gathers over the quotient's index arrays.  The
+refinement loop works on the raw ``(π, τ)`` arrays
+(:func:`restrict_arrays`), so a per-level hill-climbing burst needs neither
+schedule validation nor an intermediate :class:`BspSchedule` object — the
+cluster-constant projection of a valid coarse schedule is valid by
+construction, and the burst's :class:`~repro.schedulers.hill_climbing.LazyCostTracker`
+is reused across bursts at a fixed level instead of being rebuilt.
 """
 
 from __future__ import annotations
@@ -16,7 +24,12 @@ from ...core.machine import BspMachine
 from ...core.schedule import BspSchedule
 from .coarsen import QuotientDag
 
-__all__ = ["project_to_original", "restrict_to_quotient"]
+__all__ = [
+    "project_arrays",
+    "project_to_original",
+    "restrict_arrays",
+    "restrict_to_quotient",
+]
 
 
 def project_to_original(
@@ -29,23 +42,44 @@ def project_to_original(
     return procs.copy(), supersteps.copy()
 
 
+def project_arrays(
+    quotient: QuotientDag,
+    coarse_procs: np.ndarray,
+    coarse_supersteps: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array-level :func:`project_to_original` (no schedule object needed)."""
+    return (
+        coarse_procs[quotient.orig_to_coarse].copy(),
+        coarse_supersteps[quotient.orig_to_coarse].copy(),
+    )
+
+
+def restrict_arrays(
+    quotient: QuotientDag,
+    procs: np.ndarray,
+    supersteps: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assignment arrays of the quotient induced by a cluster-constant original one.
+
+    Every coarse node takes the assignment of its representative original
+    node — one fancy-indexing gather per array instead of the historical
+    per-cluster Python loop.  The caller must guarantee that all original
+    nodes of a cluster share the same assignment (which the multilevel
+    scheduler maintains as an invariant).
+    """
+    reps = np.asarray(quotient.coarse_to_rep, dtype=np.int64)
+    return (
+        np.asarray(procs, dtype=np.int64)[reps],
+        np.asarray(supersteps, dtype=np.int64)[reps],
+    )
+
+
 def restrict_to_quotient(
     quotient: QuotientDag,
     machine: BspMachine,
     procs: np.ndarray,
     supersteps: np.ndarray,
 ) -> BspSchedule:
-    """Schedule of the quotient DAG induced by a cluster-constant original assignment.
-
-    Every coarse node takes the assignment of its representative original
-    node.  The caller must guarantee that all original nodes of a cluster
-    share the same assignment (which the multilevel scheduler maintains as
-    an invariant).
-    """
-    coarse_procs = np.array(
-        [int(procs[rep]) for rep in quotient.coarse_to_rep], dtype=np.int64
-    )
-    coarse_steps = np.array(
-        [int(supersteps[rep]) for rep in quotient.coarse_to_rep], dtype=np.int64
-    )
+    """Schedule of the quotient DAG induced by a cluster-constant original assignment."""
+    coarse_procs, coarse_steps = restrict_arrays(quotient, procs, supersteps)
     return BspSchedule(quotient.dag, machine, coarse_procs, coarse_steps)

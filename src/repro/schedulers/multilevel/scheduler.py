@@ -25,7 +25,7 @@ from ..base import Scheduler, ScheduleImprover, TimeBudget, best_schedule
 from ..comm_hill_climbing import CommScheduleHillClimbing
 from ..hill_climbing import HillClimbingImprover
 from .coarsen import coarsen_dag
-from .refine import project_to_original, restrict_to_quotient
+from .refine import project_arrays, project_to_original, restrict_arrays
 
 __all__ = ["MultilevelScheduler"]
 
@@ -46,6 +46,10 @@ class MultilevelScheduler(Scheduler):
     refine_max_steps:
         Maximum number of accepted hill-climbing moves per refinement burst
         (paper: 100).
+    refine_rounds:
+        Number of hill-climbing bursts run at every uncoarsening level.  The
+        paper runs one; additional rounds reuse the level's cost tracker, so
+        they cost only the extra accepted moves, not a tracker rebuild.
     comm_improvers:
         Improvers applied to the fully uncoarsened schedule (default:
         ``HCcs``; the pipeline variant also appends ``ILPcs``).
@@ -62,6 +66,7 @@ class MultilevelScheduler(Scheduler):
         coarsening_ratios: tuple[float, ...] = (0.3, 0.15),
         refine_interval: int = 5,
         refine_max_steps: int = 100,
+        refine_rounds: int = 1,
         comm_improvers: tuple[ScheduleImprover, ...] | None = None,
         min_nodes: int = 16,
     ) -> None:
@@ -69,6 +74,7 @@ class MultilevelScheduler(Scheduler):
         self.coarsening_ratios = coarsening_ratios
         self.refine_interval = max(1, refine_interval)
         self.refine_max_steps = refine_max_steps
+        self.refine_rounds = max(1, refine_rounds)
         self.comm_improvers = (
             comm_improvers if comm_improvers is not None else (CommScheduleHillClimbing(),)
         )
@@ -118,7 +124,14 @@ class MultilevelScheduler(Scheduler):
         coarse_schedule = base.schedule(full_quotient.dag, machine, budget.fraction(0.5))
         procs, supersteps = project_to_original(full_quotient, coarse_schedule)
 
-        # gradual uncoarsening with refinement bursts
+        # Gradual uncoarsening with refinement bursts.  Every level works on
+        # raw assignment arrays: the cluster-constant projection of a valid
+        # schedule is valid by construction, so no schedule object is built
+        # and no validation runs per burst; the level's cost tracker is
+        # built once and reused across all bursts of that level.  After the
+        # bursts, supersteps emptied by the moves are compacted away (the
+        # seed path compacted per level too — without it, the ±1-superstep
+        # move neighbourhood cannot bridge the gaps at later levels).
         refiner = HillClimbingImprover(max_steps=self.refine_max_steps)
         total = sequence.num_contractions
         level = total - self.refine_interval
@@ -126,9 +139,24 @@ class MultilevelScheduler(Scheduler):
             if budget.expired():
                 break
             quotient = sequence.quotient(level)
-            projected = restrict_to_quotient(quotient, machine, procs, supersteps)
-            refined = refiner.improve(projected, budget.fraction(0.1))
-            procs, supersteps = project_to_original(quotient, refined)
+            coarse_procs, coarse_steps = restrict_arrays(quotient, procs, supersteps)
+            tracker = None
+            for _ in range(self.refine_rounds):
+                if budget.expired():
+                    break
+                tracker, accepted = refiner.refine_assignment(
+                    quotient.dag,
+                    machine,
+                    coarse_procs if tracker is None else tracker.procs,
+                    coarse_steps if tracker is None else tracker.supersteps,
+                    budget=budget.fraction(0.1),
+                    tracker=tracker,
+                )
+                if accepted == 0:
+                    break  # converged: further rounds would only re-scan
+            if tracker is not None:
+                coarse_procs, coarse_steps, _ = tracker.compacted_assignment()
+            procs, supersteps = project_arrays(quotient, coarse_procs, coarse_steps)
             level -= self.refine_interval
 
         # final refinement and communication optimisation on the original DAG

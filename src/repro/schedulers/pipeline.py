@@ -70,6 +70,14 @@ class PipelineConfig:
     use_full_ilp: bool = True
     #: wall-clock seconds for each HC + HCcs pass (paper: 300 s)
     local_search_seconds: float | None = 5.0
+    #: maximum full HC passes per local-search invocation
+    hc_max_passes: int = 50
+    #: optional cap on accepted HC moves per invocation (``None`` = until
+    #: convergence); the experiment drivers thread a per-grid-point value
+    #: through here for the huge-dataset runs
+    hc_max_steps: int | None = None
+    #: maximum HCcs passes per local-search invocation
+    hccs_max_passes: int = 50
     #: wall-clock seconds for ILPfull (paper: 3600 s)
     ilp_full_seconds: float | None = 20.0
     #: wall-clock seconds per ILPpart window (paper: 180 s)
@@ -164,7 +172,13 @@ class SchedulingPipeline(Scheduler):
         return initializers
 
     def _local_search(self) -> tuple[ScheduleImprover, ScheduleImprover]:
-        return HillClimbingImprover(), CommScheduleHillClimbing()
+        config = self.config
+        return (
+            HillClimbingImprover(
+                max_passes=config.hc_max_passes, max_steps=config.hc_max_steps
+            ),
+            CommScheduleHillClimbing(max_passes=config.hccs_max_passes),
+        )
 
     # ------------------------------------------------------------------ #
     def schedule(
@@ -247,10 +261,13 @@ class MultilevelPipeline(Scheduler):
         coarsening_ratios: tuple[float, ...] = (0.3, 0.15),
         refine_interval: int = 5,
         refine_max_steps: int = 100,
+        refine_rounds: int = 1,
     ) -> None:
         self.config = config or PipelineConfig()
         base_config = PipelineConfig(**{**self.config.__dict__, "use_comm_ilp": False})
-        comm_improvers: tuple[ScheduleImprover, ...] = (CommScheduleHillClimbing(),)
+        comm_improvers: tuple[ScheduleImprover, ...] = (
+            CommScheduleHillClimbing(max_passes=self.config.hccs_max_passes),
+        )
         if self.config.use_ilp and self.config.use_comm_ilp:
             comm_improvers = comm_improvers + (
                 IlpCommScheduleImprover(time_limit=self.config.ilp_comm_seconds),
@@ -260,6 +277,7 @@ class MultilevelPipeline(Scheduler):
             coarsening_ratios=coarsening_ratios,
             refine_interval=refine_interval,
             refine_max_steps=refine_max_steps,
+            refine_rounds=refine_rounds,
             comm_improvers=comm_improvers,
         )
 

@@ -1,0 +1,88 @@
+"""Tests for the per-PR benchmark trajectory report (``benchmarks/bench_report.py``)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from bench_report import collect_trajectory, main, render_markdown  # noqa: E402
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _write_record(root: Path, pr: int, benchmarks: dict) -> None:
+    payload = {"schema_version": 1, "pr": pr, "benchmarks": benchmarks}
+    (root / f"BENCH_{pr}.json").write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestCollectTrajectory:
+    def test_collects_speedups_per_pr(self, tmp_path):
+        _write_record(
+            tmp_path,
+            1,
+            {"kernels": {"levels": {"seed_s": 1.0, "csr_s": 0.1, "speedup": 10.0}}},
+        )
+        _write_record(
+            tmp_path,
+            2,
+            {"kernels": {"levels": {"seed_s": 1.0, "csr_s": 0.05, "speedup": 20.0}}},
+        )
+        trajectory = collect_trajectory(tmp_path)
+        assert sorted(trajectory) == [1, 2]
+        assert trajectory[1] == {"kernels/levels": 10.0}
+        assert trajectory[2] == {"kernels/levels": 20.0}
+
+    def test_list_entries_labelled_by_identity_fields(self, tmp_path):
+        cases = [
+            {"num_nodes": 100, "speedup": 2.0},
+            {"num_nodes": 1000, "speedup": 4.0},
+        ]
+        _write_record(tmp_path, 3, {"hc": {"cases": cases}})
+        trajectory = collect_trajectory(tmp_path)
+        assert trajectory[3] == {
+            "hc/cases[num_nodes=100]": 2.0,
+            "hc/cases[num_nodes=1000]": 4.0,
+        }
+
+    def test_ignores_malformed_and_foreign_files(self, tmp_path):
+        (tmp_path / "BENCH_9.json").write_text("not json", encoding="utf-8")
+        (tmp_path / "BENCH_x.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "BENCH_8.json").write_text(
+            json.dumps({"schema_version": 99}), encoding="utf-8"
+        )
+        assert collect_trajectory(tmp_path) == {}
+
+
+class TestRenderMarkdown:
+    def test_rows_align_across_prs(self, tmp_path):
+        _write_record(tmp_path, 1, {"a": {"speedup": 3.0}})
+        _write_record(tmp_path, 2, {"a": {"speedup": 6.0}, "b": {"speedup": 1.5}})
+        table = render_markdown(collect_trajectory(tmp_path))
+        lines = table.splitlines()
+        assert "| kernel | PR 1 | PR 2 |" in lines
+        assert "| a | 3.0x | 6.0x |" in lines
+        assert "| b | — | 1.5x |" in lines  # missing cell rendered as a dash
+
+    def test_empty_root(self, tmp_path):
+        assert "No BENCH_*.json" in render_markdown(collect_trajectory(tmp_path))
+
+
+class TestRepoRecords:
+    def test_repo_trajectory_covers_bench_3_and_4(self):
+        """Acceptance: the committed records BENCH_3 and BENCH_4 both report."""
+        trajectory = collect_trajectory(REPO_ROOT)
+        assert {3, 4} <= set(trajectory)
+        assert trajectory[3], "BENCH_3.json contributed no speedups"
+        assert trajectory[4], "BENCH_4.json contributed no speedups"
+        # the tentpole record: HC refinement at 100k nodes in BENCH_4
+        assert any("hc_refinement" in k and "100000" in k for k in trajectory[4])
+        table = render_markdown(trajectory)
+        assert "PR 3" in table and "PR 4" in table
+
+    def test_main_prints_table(self, capsys):
+        assert main([str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel speedup trajectory" in out

@@ -119,3 +119,47 @@ class TestTrainingSet:
         low, high = dataset_interval("training", "bench")
         sizes = [inst.num_nodes for inst in build_training_set(scale="bench")]
         assert min(sizes) < (low + high) / 2 < max(sizes)
+
+
+class TestModelCalibration:
+    """PR-4 satellite: closed-form nnz→nodes model replaces the bisection."""
+
+    def test_probe_budget_is_model_plus_one(self, monkeypatch):
+        """Per instance: three fixed tiny model probes + one verification build."""
+        import repro.dagdb.datasets as datasets_module
+
+        calls = []
+        original = datasets_module._fine_instance
+
+        def counting(generator, matrix_size, density, iterations, seed):
+            calls.append(matrix_size)
+            return original(generator, matrix_size, density, iterations, seed)
+
+        monkeypatch.setattr(datasets_module, "_fine_instance", counting)
+        dag, size = datasets_module._calibrate_fine("exp", 300, 0.25, 3, seed=7)
+        model_sizes = set(datasets_module._MODEL_PROBE_SIZES)
+        non_model = [s for s in calls if s not in model_sizes]
+        # the verification probe is the returned DAG; no near-target bisection
+        assert len(non_model) == 1 and non_model[0] == size
+        assert abs(dag.num_nodes - 300) <= max(0.3 * 300, 10)
+
+    def test_model_accuracy_across_generators_and_targets(self):
+        from repro.dagdb.datasets import _calibrate_fine
+
+        for generator, iterations in (("spmv", 1), ("exp", 3), ("cg", 2), ("knn", 4)):
+            for target in (120, 500, 1500):
+                dag, _ = _calibrate_fine(generator, target, 0.25, iterations, seed=5)
+                assert 0.5 * target <= dag.num_nodes <= 1.6 * target, (
+                    generator,
+                    target,
+                    dag.num_nodes,
+                )
+
+    def test_falls_back_to_bisection_when_model_misses(self, monkeypatch):
+        """A deliberately broken model must not break calibration."""
+        import repro.dagdb.datasets as datasets_module
+
+        monkeypatch.setattr(datasets_module, "_MODEL_PROBE_SIZES", (8, 9, 10))
+        dag, size = datasets_module._calibrate_fine("spmv", 800, 0.25, 1, seed=7)
+        assert 0.5 * 800 <= dag.num_nodes <= 1.6 * 800
+        assert size >= 2

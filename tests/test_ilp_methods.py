@@ -218,3 +218,63 @@ class TestIlpInit:
         ilp_init = IlpInitScheduler(time_limit_per_batch=TIME_LIMIT).schedule(dag, machine)
         random_like = RoundRobinScheduler().schedule(dag, machine)
         assert ilp_init.cost() <= random_like.cost()
+
+
+class TestWindowModelDifferential:
+    """The batched WindowIlp construction emits the seed dict builder's model."""
+
+    def test_batched_model_identical_to_reference(self):
+        from scipy import sparse
+
+        from repro.schedulers.ilp.reference import build_window_model_reference
+        from repro.schedulers.ilp.window import WindowIlp
+        from repro.schedulers.trivial import RoundRobinScheduler
+
+        import numpy as np
+
+        from conftest import random_dag
+
+        checked = 0
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            dag = random_dag(int(rng.integers(8, 20)), 0.25, seed=seed)
+            machine = BspMachine.uniform(int(rng.integers(2, 5)), g=2, latency=1)
+            schedule = RoundRobinScheduler().schedule(dag, machine)
+            num_steps = schedule.num_supersteps
+            low = int(rng.integers(0, num_steps))
+            high = min(num_steps - 1, low + int(rng.integers(0, 3)))
+            reassign = [
+                v for v in dag.nodes() if low <= schedule.superstep_of(v) <= high
+            ]
+            if not reassign:
+                continue
+            ilp = WindowIlp(
+                dag,
+                machine,
+                schedule.procs,
+                schedule.supersteps,
+                reassign=reassign,
+                window=(low, high),
+                context_comm=schedule.comm_schedule,
+            )
+            batched, _ = ilp.build_model()
+            reference = build_window_model_reference(ilp)
+            assert batched.num_variables == reference.num_variables
+            assert batched._objective == reference._objective
+            assert batched._lower == reference._lower
+            assert batched._upper == reference._upper
+            assert batched._integrality == reference._integrality
+            assert batched.num_constraints == reference.num_constraints
+            assert batched._row_lower == reference._row_lower
+            assert batched._row_upper == reference._row_upper
+            matrix_b = sparse.csr_matrix(
+                (batched._vals, (batched._rows, batched._cols)),
+                shape=(batched.num_constraints, batched.num_variables),
+            )
+            matrix_r = sparse.csr_matrix(
+                (reference._vals, (reference._rows, reference._cols)),
+                shape=(reference.num_constraints, reference.num_variables),
+            )
+            assert abs(matrix_b - matrix_r).sum() == 0
+            checked += 1
+        assert checked >= 4  # enough non-degenerate windows exercised

@@ -48,6 +48,24 @@ class TestPipelineConfig:
         assert any(init.name == "ilp_init" for init in small)
         assert not any(init.name == "ilp_init" for init in large)
 
+    def test_refinement_budget_threads_into_local_search(self):
+        """The per-grid-point refinement caps reach the HC/HCcs improvers."""
+        config = PipelineConfig(hc_max_passes=7, hc_max_steps=11, hccs_max_passes=3)
+        hill_climb, comm_climb = SchedulingPipeline(config)._local_search()
+        assert hill_climb.max_passes == 7
+        assert hill_climb.max_steps == 11
+        assert comm_climb.max_passes == 3
+
+    def test_runner_refinement_budget_overrides_config(self):
+        from repro.analysis.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(hc_max_steps=5, hc_max_passes=2, hccs_max_passes=4)
+        assert runner.config.hc_max_steps == 5
+        assert runner.config.hc_max_passes == 2
+        assert runner.config.hccs_max_passes == 4
+        untouched = ExperimentRunner()
+        assert untouched.config.hc_max_steps is None
+
 
 class TestBasePipeline:
     @pytest.mark.slow

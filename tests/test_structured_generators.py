@@ -13,10 +13,14 @@ from repro.dagdb import (
     WEIGHT_MODELS,
     apply_weight_model,
     build_elimination_dag,
+    build_fft4_dag,
     build_fft_dag,
+    build_rcm_elimination_dag,
     build_stencil2d_dag,
+    build_stencil2d_rect_dag,
     build_stencil3d_dag,
     build_stencil_dag,
+    rcm_ordering,
 )
 from repro.dagdb.structured import symbolic_fill_structure
 from repro.schedulers import SchedulingPipeline, create_scheduler
@@ -165,8 +169,11 @@ class TestSchedulableEndToEnd:
     def instances(self):
         pattern = SparseMatrixPattern.random(20, 0.15, seed=6, ensure_diagonal=True)
         yield build_elimination_dag(pattern).dag
+        yield build_rcm_elimination_dag(pattern).dag
         yield build_fft_dag(16).dag
+        yield build_fft4_dag(16).dag
         yield build_stencil2d_dag(4, 3).dag
+        yield build_stencil2d_rect_dag(6, 3, 2).dag
         yield build_stencil3d_dag(3, 2).dag
 
     @pytest.mark.parametrize("scheduler_name", ["bsp_greedy", "hdagg", "cilk", "bl_est"])
@@ -194,4 +201,76 @@ class TestSchedulableEndToEnd:
             assert violations == [], dag.name
 
     def test_registry_names(self):
-        assert set(STRUCTURED_GENERATORS) == {"cholesky", "fft", "stencil2d", "stencil3d"}
+        assert set(STRUCTURED_GENERATORS) == {
+            "cholesky",
+            "cholesky_rcm",
+            "fft",
+            "fft4",
+            "stencil2d",
+            "stencil2d_rect",
+            "stencil3d",
+        }
+
+
+class TestScenarioVariants:
+    """The PR-4 diversity additions: radix-4 FFT, rectangular stencils, RCM."""
+
+    def test_fft4_structure(self):
+        result = build_fft4_dag(64)
+        stages = 3  # log4(64)
+        assert result.dag.num_nodes == 64 * (stages + 1)
+        assert result.dag.num_edges == 64 * stages * 4  # four-way fan-in
+        assert result.dag.depth() == stages + 1
+        assert result.dag.is_acyclic()
+
+    def test_fft4_rejects_non_power_of_four(self):
+        for bad in (2, 8, 32, 12):
+            with pytest.raises(DagError):
+                build_fft4_dag(bad)
+
+    def test_fft_radix2_unchanged_by_radix_parameter(self):
+        base = build_fft_dag(16)
+        explicit = build_fft_dag(16, radix=2)
+        assert np.array_equal(base.dag.succ_indptr, explicit.dag.succ_indptr)
+        assert np.array_equal(base.dag.succ_indices, explicit.dag.succ_indices)
+        assert base.roles == explicit.roles
+
+    def test_rect_stencil_aspect_ratio(self):
+        result = build_stencil2d_rect_dag(8, 2, 3)
+        assert result.dag.num_nodes == 8 * 2 * 4
+        assert result.dag.is_acyclic()
+        # a 1 x n strip degenerates to coupled chains and must still build
+        strip = build_stencil2d_rect_dag(5, 1, 2)
+        assert strip.dag.num_nodes == 5 * 3
+        assert strip.dag.is_acyclic()
+
+    def test_rcm_ordering_is_permutation_and_reduces_band_fill(self):
+        band = SparseMatrixPattern.banded(40, 2)
+        scramble = np.random.default_rng(1).permutation(40)
+        scrambled = band.permuted(scramble)
+        order = rcm_ordering(scrambled)
+        assert sorted(order.tolist()) == list(range(40))
+        natural = build_elimination_dag(scrambled)
+        rcm = build_rcm_elimination_dag(scrambled)
+        assert rcm.dag.num_nodes == natural.dag.num_nodes == 40
+        # RCM restores a narrow band, so the fill graph has far fewer edges
+        assert rcm.dag.num_edges < natural.dag.num_edges
+
+    def test_rcm_deterministic(self):
+        pattern = SparseMatrixPattern.random(25, 0.15, seed=4, ensure_diagonal=True)
+        first = build_rcm_elimination_dag(pattern)
+        second = build_rcm_elimination_dag(pattern)
+        assert np.array_equal(first.dag.succ_indptr, second.dag.succ_indptr)
+        assert np.array_equal(first.dag.succ_indices, second.dag.succ_indices)
+
+    def test_elimination_ordering_validation(self):
+        pattern = SparseMatrixPattern.tridiagonal(5)
+        with pytest.raises(DagError):
+            build_elimination_dag(pattern, ordering="amd")
+
+    def test_permuted_validates_order(self):
+        pattern = SparseMatrixPattern.tridiagonal(4)
+        with pytest.raises(DagError):
+            pattern.permuted([0, 1, 1, 2])
+        identity = pattern.permuted([0, 1, 2, 3])
+        assert identity == pattern
