@@ -49,8 +49,20 @@ def _walk(payload, path: tuple[str, ...], out: dict[str, float]) -> None:
                 continue
             _walk(value, path + (str(key),), out)
     elif isinstance(payload, list):
-        for index, value in enumerate(payload):
-            tag = _entry_label(value) if isinstance(value, dict) else str(index)
+        tags = [
+            _entry_label(value) if isinstance(value, dict) else str(index)
+            for index, value in enumerate(payload)
+        ]
+        # two entries sharing the identity field (e.g. same num_nodes,
+        # different max_steps) must not collapse into one row: duplicate
+        # labels get a stable occurrence-index suffix
+        duplicated = {tag for tag in tags if tag and tags.count(tag) > 1}
+        occurrence: dict[str, int] = {}
+        for index, (value, tag) in enumerate(zip(payload, tags)):
+            if tag in duplicated:
+                nth = occurrence.get(tag, 0)
+                occurrence[tag] = nth + 1
+                tag = f"{tag}#{nth}"
             _walk(value, path[:-1] + (f"{path[-1] if path else 'list'}[{tag or index}]",), out)
 
 

@@ -21,15 +21,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    BspMachine,
-    CilkScheduler,
-    HDaggScheduler,
-    MultilevelPipeline,
-    PipelineConfig,
-    SchedulingPipeline,
-)
-from repro.core import BspSchedule
+from repro import PipelineConfig
+from repro.api import MachineSpec, ScheduleRequest, SchedulerSpec, SchedulingService
 from repro.dagdb import SparseMatrixPattern, build_cg_dag
 
 
@@ -43,24 +36,30 @@ def main() -> None:
     print()
 
     config = PipelineConfig.fast()
-    base_pipeline = SchedulingPipeline(config)
-    multilevel_pipeline = MultilevelPipeline(config)
+    specs = {
+        "cilk": SchedulerSpec("cilk", {"seed": 0}),
+        "hdagg": SchedulerSpec("hdagg"),
+        "trivial": SchedulerSpec("trivial"),
+        "framework": SchedulerSpec("framework", {"config": config}),
+        "multilevel": SchedulerSpec("multilevel", {"config": config}),
+    }
+    service = SchedulingService()
 
-    columns = ("cilk", "hdagg", "trivial", "framework", "multilevel")
+    columns = tuple(specs)
     header = f"{'P':>3} {'delta':>6} | " + " | ".join(f"{c:>10}" for c in columns)
     print(header)
     print("-" * len(header))
 
     for num_procs in (8, 16):
         for delta in (2, 3, 4):
-            machine = BspMachine.numa_hierarchy(num_procs, delta=delta, g=1, latency=5)
-            costs = {
-                "cilk": CilkScheduler(seed=0).schedule(dag, machine).cost(),
-                "hdagg": HDaggScheduler().schedule(dag, machine).cost(),
-                "trivial": BspSchedule.trivial(dag, machine).cost(),
-                "framework": base_pipeline.schedule(dag, machine).cost(),
-                "multilevel": multilevel_pipeline.schedule(dag, machine).cost(),
-            }
+            machine = MachineSpec(num_procs, g=1, latency=5, numa_delta=delta)
+            results = service.solve_many(
+                [
+                    ScheduleRequest(dag=dag, machine=machine, scheduler=spec)
+                    for spec in specs.values()
+                ]
+            )
+            costs = dict(zip(specs, (result.cost for result in results)))
             row = f"{num_procs:>3} {delta:>6} | " + " | ".join(
                 f"{costs[c]:>10.1f}" for c in columns
             )

@@ -7,6 +7,11 @@ per-processor computation phases and the communication phases in between)
 is printed together with its cost breakdown.  The framework pipeline is then
 compared against the Cilk and HDagg baselines.
 
+Everything runs through the service API: each scheduler is a declarative
+``SchedulerSpec`` inside a ``ScheduleRequest``, and one ``SchedulingService``
+answers the whole batch (with the framework's per-stage cost trace on its
+``ScheduleResult``).
+
 Run with::
 
     python examples/quickstart.py
@@ -14,13 +19,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    BspMachine,
-    CilkScheduler,
-    HDaggScheduler,
-    PipelineConfig,
-    SchedulingPipeline,
-)
+from repro import BspMachine, PipelineConfig
+from repro.api import ScheduleRequest, SchedulerSpec, SchedulingService
 from repro.core import ComputationalDAG
 from repro.io import render_cost_table, render_schedule_text
 
@@ -46,25 +46,33 @@ def main() -> None:
     print(f"DAG '{dag.name}': {dag.num_nodes} nodes, {dag.num_edges} edges")
     print(f"Machine: {machine.describe()}\n")
 
-    pipeline = SchedulingPipeline(PipelineConfig.fast())
-    result = pipeline.schedule_with_stages(dag, machine)
-
-    print(render_schedule_text(result.schedule))
-    print()
-
-    schedules = {
-        "cilk": CilkScheduler(seed=0).schedule(dag, machine),
-        "hdagg": HDaggScheduler().schedule(dag, machine),
-        "framework": result.schedule,
+    service = SchedulingService()
+    specs = {
+        "cilk": SchedulerSpec("cilk", {"seed": 0}),
+        "hdagg": SchedulerSpec("hdagg"),
+        "framework": SchedulerSpec("framework", {"config": PipelineConfig.fast()}),
     }
-    print(render_cost_table(schedules))
+    results = service.solve_many(
+        [
+            ScheduleRequest(dag=dag, machine=machine, scheduler=spec)
+            for spec in specs.values()
+        ]
+    )
+    by_name = dict(zip(specs, results))
+
+    framework = by_name["framework"]
+    print(render_schedule_text(framework.to_schedule()))
     print()
+
+    print(render_cost_table({name: r.to_schedule() for name, r in by_name.items()}))
+    print()
+    stages = framework.stages
     print("Pipeline stage costs:")
-    for name, cost in result.stages.initial.items():
+    for name, cost in stages.initial.items():
         print(f"  initial ({name:<11s}): {cost:8.2f}")
-    print(f"  after HC + HCcs      : {result.stages.after_local_search:8.2f}")
-    print(f"  after ILP stage      : {result.stages.after_ilp_assignment:8.2f}")
-    print(f"  final                : {result.stages.final:8.2f}")
+    print(f"  after HC + HCcs      : {stages.after_local_search:8.2f}")
+    print(f"  after ILP stage      : {stages.after_ilp_assignment:8.2f}")
+    print(f"  final                : {stages.final:8.2f}")
 
 
 if __name__ == "__main__":

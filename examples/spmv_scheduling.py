@@ -18,15 +18,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    BlEstScheduler,
-    BspMachine,
-    CilkScheduler,
-    EtfScheduler,
-    HDaggScheduler,
-    PipelineConfig,
-    SchedulingPipeline,
-)
+from repro import PipelineConfig
+from repro.api import MachineSpec, ScheduleRequest, SchedulerSpec, SchedulingService
 from repro.dagdb import SparseMatrixPattern, build_spmv_dag
 
 
@@ -58,24 +51,30 @@ def main() -> None:
     )
     print()
 
-    schedulers = {
-        "cilk": CilkScheduler(seed=0),
-        "bl_est": BlEstScheduler(),
-        "etf": EtfScheduler(),
-        "hdagg": HDaggScheduler(),
-        "framework": SchedulingPipeline(PipelineConfig.fast()),
+    # one declarative spec per scheduler; the g-sweep is a batch of
+    # requests answered by one service (process-parallel with workers=N)
+    specs = {
+        "cilk": SchedulerSpec("cilk", {"seed": 0}),
+        "bl_est": SchedulerSpec("bl_est"),
+        "etf": SchedulerSpec("etf"),
+        "hdagg": SchedulerSpec("hdagg"),
+        "framework": SchedulerSpec("framework", {"config": PipelineConfig.fast()}),
     }
+    service = SchedulingService()
 
-    header = f"{'g':>4} | " + " | ".join(f"{name:>10}" for name in schedulers)
+    header = f"{'g':>4} | " + " | ".join(f"{name:>10}" for name in specs)
     print(header)
     print("-" * len(header))
     for g in (1, 3, 5):
-        machine = BspMachine.uniform(4, g=g, latency=5)
-        costs = {
-            name: scheduler.schedule(dag, machine).cost()
-            for name, scheduler in schedulers.items()
-        }
-        row = f"{g:>4} | " + " | ".join(f"{costs[name]:>10.1f}" for name in schedulers)
+        machine = MachineSpec(num_procs=4, g=g, latency=5)
+        results = service.solve_many(
+            [
+                ScheduleRequest(dag=dag, machine=machine, scheduler=spec)
+                for spec in specs.values()
+            ]
+        )
+        costs = dict(zip(specs, (result.cost for result in results)))
+        row = f"{g:>4} | " + " | ".join(f"{costs[name]:>10.1f}" for name in specs)
         print(row)
     print()
     print(

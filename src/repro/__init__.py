@@ -33,8 +33,16 @@ from .core import (
     evaluate_cost,
     lazy_comm_schedule,
 )
+from .api import (
+    MachineSpec,
+    ScheduleRequest,
+    ScheduleResult,
+    SchedulerSpec,
+    SchedulingService,
+)
 from .schedulers import (
     BlEstScheduler,
+    Budget,
     BspGreedyScheduler,
     CilkScheduler,
     CommScheduleHillClimbing,
@@ -67,6 +75,7 @@ __all__ = [
     "BspGreedyScheduler",
     "BspMachine",
     "BspSchedule",
+    "Budget",
     "CilkScheduler",
     "ClassicalSchedule",
     "CommScheduleHillClimbing",
@@ -81,14 +90,19 @@ __all__ = [
     "IlpInitScheduler",
     "IlpPartialImprover",
     "LinearClusteringScheduler",
+    "MachineSpec",
     "MultilevelPipeline",
     "MultilevelScheduler",
     "PipelineConfig",
     "ReproError",
     "ScheduleError",
     "ScheduleImprover",
+    "ScheduleRequest",
+    "ScheduleResult",
     "Scheduler",
+    "SchedulerSpec",
     "SchedulingPipeline",
+    "SchedulingService",
     "SimulatedAnnealingImprover",
     "SourceScheduler",
     "TimeBudget",

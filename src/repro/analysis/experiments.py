@@ -18,23 +18,16 @@ node-count intervals.
 
 from __future__ import annotations
 
-import os
-import pickle
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
-from ..core.machine import BspMachine
-from ..core.schedule import BspSchedule
+from ..api import ScheduleRequest, SchedulerSpec, SchedulingService
+from ..core.machine import MachineSpec
+from ..core.parallel import default_workers, parallel_map
 from ..dagdb.datasets import DatasetInstance, build_dataset, build_training_set
 from ..schedulers.bsp_greedy import BspGreedyScheduler
-from ..schedulers.cilk import CilkScheduler
-from ..schedulers.hdagg import HDaggScheduler
 from ..schedulers.ilp import IlpInitScheduler
-from ..schedulers.listsched import BlEstScheduler, EtfScheduler
-from ..schedulers.pipeline import MultilevelPipeline, PipelineConfig, SchedulingPipeline
+from ..schedulers.pipeline import PipelineConfig
 from ..schedulers.source_heuristic import SourceScheduler
 from .metrics import geometric_mean
 
@@ -57,33 +50,9 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------- #
-# machine grid
+# machine grid (the MachineSpec point itself now lives in repro.core.machine,
+# shared with the service API's wire format; re-exported here for callers)
 # ---------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class MachineSpec:
-    """One machine-parameter point of the evaluation grid."""
-
-    num_procs: int
-    g: float = 1.0
-    latency: float = 5.0
-    numa_delta: float | None = None
-
-    def build(self) -> BspMachine:
-        """Materialise the :class:`BspMachine`."""
-        if self.numa_delta is None:
-            return BspMachine.uniform(self.num_procs, g=self.g, latency=self.latency)
-        return BspMachine.numa_hierarchy(
-            self.num_procs, delta=self.numa_delta, g=self.g, latency=self.latency
-        )
-
-    def label(self) -> str:
-        """Short label used in table headers."""
-        base = f"P={self.num_procs},g={self.g:g},l={self.latency:g}"
-        if self.numa_delta is not None:
-            base += f",D={self.numa_delta:g}"
-        return base
-
-
 def no_numa_machine_grid(
     procs: Sequence[int] = (4, 8, 16),
     g_values: Sequence[float] = (1, 3, 5),
@@ -173,32 +142,65 @@ class ExperimentRunner:
         self.include_multilevel = include_multilevel
         self.include_trivial = include_trivial
         self.seed = seed
+        self._service: SchedulingService | None = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> SchedulingService:
+        """The per-runner scheduling service (created lazily, per process).
+
+        The grid never repeats an (instance, machine, scheduler) triple, so
+        the runner disables the service's result cache; everything else —
+        declarative specs, budget threading, stage traces — goes through
+        the one facade every other caller uses.
+        """
+        if self._service is None:
+            self._service = SchedulingService(cache_size=0)
+        return self._service
+
+    def __getstate__(self) -> dict:
+        # the lazily-created service never crosses a process boundary; each
+        # pool worker builds its own on first use
+        state = self.__dict__.copy()
+        state["_service"] = None
+        return state
+
+    def _request(
+        self, instance: DatasetInstance, spec: MachineSpec, name: str, params=None
+    ) -> ScheduleRequest:
+        return ScheduleRequest(
+            dag=instance.dag,
+            machine=spec,
+            scheduler=SchedulerSpec(name, params or {}),
+            seed=self.seed,
+        )
+
     def run_instance(self, instance: DatasetInstance, spec: MachineSpec) -> InstanceRecord:
         """Run every configured scheduler on one instance/machine pair."""
-        machine = spec.build()
-        dag = instance.dag
+        solve = self.service.solve
         costs: dict[str, float] = {}
 
-        costs["cilk"] = CilkScheduler(seed=self.seed).schedule(dag, machine).cost()
-        costs["hdagg"] = HDaggScheduler().schedule(dag, machine).cost()
+        costs["cilk"] = solve(self._request(instance, spec, "cilk")).cost
+        costs["hdagg"] = solve(self._request(instance, spec, "hdagg")).cost
         if self.include_list_baselines:
-            costs["bl_est"] = BlEstScheduler().schedule(dag, machine).cost()
-            costs["etf"] = EtfScheduler().schedule(dag, machine).cost()
+            costs["bl_est"] = solve(self._request(instance, spec, "bl_est")).cost
+            costs["etf"] = solve(self._request(instance, spec, "etf")).cost
         if self.include_trivial:
-            costs["trivial"] = BspSchedule.trivial(dag, machine).cost()
+            costs["trivial"] = solve(self._request(instance, spec, "trivial")).cost
 
-        pipeline = SchedulingPipeline(self.config)
-        result = pipeline.schedule_with_stages(dag, machine)
+        result = solve(
+            self._request(instance, spec, "framework", {"config": self.config})
+        )
+        assert result.stages is not None
         costs["init"] = result.stages.best_init
         costs["hccs"] = result.stages.after_local_search
         costs["ilp"] = result.stages.after_ilp_assignment
         costs["final"] = result.stages.final
 
         if self.include_multilevel:
-            ml = MultilevelPipeline(self.config)
-            costs["multilevel"] = ml.schedule(dag, machine).cost()
+            costs["multilevel"] = solve(
+                self._request(instance, spec, "multilevel", {"config": self.config})
+            ).cost
 
         return InstanceRecord(
             instance=instance.name,
@@ -224,41 +226,25 @@ class ExperimentRunner:
 
 
 # ---------------------------------------------------------------------- #
-# process-parallel grid execution
+# process-parallel grid execution (pool mechanics shared with the service
+# API's ``solve_many`` — see repro.core.parallel)
 # ---------------------------------------------------------------------- #
 def _default_workers() -> int:
     """Worker count from the ``REPRO_WORKERS`` environment knob (default 1)."""
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
-    if not raw:
-        return 1
-    try:
-        return max(int(raw), 1)
-    except ValueError:
-        warnings.warn(f"ignoring non-integer REPRO_WORKERS={raw!r}", stacklevel=2)
-        return 1
-
-
-#: per-worker runner installed by the pool initializer, so the (potentially
-#: heavy) runner configuration is pickled once per worker, not per grid point
-_WORKER_RUNNER: "ExperimentRunner | None" = None
-
-
-def _init_grid_worker(runner: "ExperimentRunner") -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = runner
+    return default_workers()
 
 
 def _run_grid_task(
-    task: tuple[DatasetInstance, list[MachineSpec]]
+    runner: "ExperimentRunner",
+    task: tuple[DatasetInstance, list[MachineSpec]],
 ) -> list[InstanceRecord]:
-    """Module-level trampoline so grid tasks are picklable for the pool.
+    """Module-level pool handler for one grid task.
 
     A task is one instance plus the machine specs to run it on, so a heavy
     instance crosses the worker pipe once per task, not once per spec.
     """
     instance, specs = task
-    assert _WORKER_RUNNER is not None
-    return [_WORKER_RUNNER.run_instance(instance, spec) for spec in specs]
+    return [runner.run_instance(instance, spec) for spec in specs]
 
 
 def run_grid(
@@ -289,85 +275,20 @@ def run_grid(
     """
     instances = list(instances)
     specs = list(specs)
-    pairs = [(instance, spec) for instance in instances for spec in specs]
     if workers is None:
-        workers = _default_workers()
-
-    def serial() -> list[InstanceRecord]:
-        return [runner.run_instance(instance, spec) for instance, spec in pairs]
-
-    if workers <= 1 or len(pairs) <= 1:
-        return serial()
-
-    # pre-flight: prove the shared configuration can cross a process
-    # boundary (pickle signals this with TypeError/AttributeError/ValueError
-    # as often as with PicklingError).  Only the small shared payloads are
-    # probed — serialising the full instance list here would double the
-    # pickling work and materialise a dataset-sized blob; an unpicklable
-    # individual instance instead fails fast below.
-    try:
-        pickle.dumps((runner, specs))
-    except (pickle.PicklingError, TypeError, AttributeError, ValueError) as exc:
-        warnings.warn(
-            f"grid inputs are not picklable ({exc!r}); running the grid serially",
-            stacklevel=2,
-        )
-        return serial()
+        workers = default_workers()
 
     # one task per instance when that saturates the pool (the instance then
     # crosses the pipe once, not once per spec); otherwise one task per pair
-    if len(instances) >= workers or len(specs) == 1:
+    if workers <= 1 or len(instances) >= workers or len(specs) == 1:
         tasks = [(instance, specs) for instance in instances]
     else:
-        tasks = [(instance, [spec]) for instance, spec in pairs]
+        tasks = [
+            (instance, [spec]) for instance in instances for spec in specs
+        ]
 
-    try:
-        pool = ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)),
-            initializer=_init_grid_worker,
-            initargs=(runner,),
-        )
-    except (OSError, ImportError, NotImplementedError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); running the grid serially",
-            stacklevel=2,
-        )
-        return serial()
-    try:
-        futures = [pool.submit(_run_grid_task, task) for task in tasks]
-    except BaseException:
-        pool.shutdown(cancel_futures=True)
-        raise
-    results: list[list[InstanceRecord] | None] = [None] * len(tasks)
-    broken: BrokenProcessPool | None = None
-    for index, future in enumerate(futures):
-        try:
-            results[index] = future.result()
-        except BrokenProcessPool as exc:
-            # crashed/killed worker: keep harvesting what did complete
-            broken = exc
-        except BaseException:
-            # a genuine experiment error — including an instance that fails
-            # task-level pickling — cancels the remaining grid points and
-            # propagates promptly instead of sitting through the whole grid
-            pool.shutdown(cancel_futures=True)
-            raise
-    pool.shutdown(cancel_futures=True)
-    if broken is not None:
-        # recompute only the tasks that never finished; completed parallel
-        # results are kept rather than thrown away
-        warnings.warn(
-            f"process pool failed ({broken!r}); recomputing "
-            f"{sum(r is None for r in results)} unfinished task(s) serially",
-            stacklevel=2,
-        )
-        for index, task in enumerate(tasks):
-            if results[index] is None:
-                instance, task_specs = task
-                results[index] = [
-                    runner.run_instance(instance, spec) for spec in task_specs
-                ]
-    return [record for chunk in results for record in chunk]  # type: ignore[union-attr]
+    chunks = parallel_map(_run_grid_task, runner, tasks, workers)
+    return [record for chunk in chunks for record in chunk]
 
 
 # ---------------------------------------------------------------------- #
@@ -605,15 +526,16 @@ def run_multilevel_ratio_experiment(
     for instance in instances:
         for spec in numa_machine_grid(procs, deltas, g, latency):
             record = runner.run_instance(instance, spec)
-            machine = spec.build()
-            ml15 = MultilevelPipeline(config, coarsening_ratios=(0.15,)).schedule(
-                instance.dag, machine
-            )
-            ml30 = MultilevelPipeline(config, coarsening_ratios=(0.3,)).schedule(
-                instance.dag, machine
-            )
-            record.costs["ml_c15"] = ml15.cost()
-            record.costs["ml_c30"] = ml30.cost()
+            for key, ratio in (("ml_c15", 0.15), ("ml_c30", 0.3)):
+                ml = runner.service.solve(
+                    runner._request(
+                        instance,
+                        spec,
+                        "multilevel",
+                        {"config": config, "coarsening_ratios": [ratio]},
+                    )
+                )
+                record.costs[key] = ml.cost
             record.costs["ml_copt"] = min(record.costs["ml_c15"], record.costs["ml_c30"])
             records.append(record)
     return records

@@ -1,0 +1,50 @@
+"""The unified, serializable scheduling-service API.
+
+One stateless request/result contract over the whole algorithm portfolio:
+
+* :class:`SchedulerSpec` — declarative scheduler recipe (registry name +
+  validated params), buildable from/to plain dicts;
+* :class:`~repro.schedulers.Budget` — the unified budget model (wall-clock
+  allowance + deterministic ``max_steps`` / ``ilp_node_limit`` caps),
+  re-exported here as part of the wire vocabulary;
+* :class:`ScheduleRequest` — DAG (inline, in-memory or file reference) +
+  machine + spec + budget + seed, content-addressed via
+  :meth:`~ScheduleRequest.fingerprint`;
+* :class:`ScheduleResult` — schedule, cost breakdown, per-stage trace,
+  timings and provenance, JSON round-trippable;
+* :class:`SchedulingService` — ``solve`` / ``solve_many(workers=N)`` with
+  deterministic ordering and content-addressed result caching.
+
+Quickstart
+----------
+>>> from repro.api import (
+...     MachineSpec, ScheduleRequest, SchedulerSpec, SchedulingService,
+... )
+>>> from repro.dagdb import SparseMatrixPattern, build_spmv_dag
+>>> dag = build_spmv_dag(SparseMatrixPattern.random(8, 0.4, seed=1)).dag
+>>> service = SchedulingService()
+>>> request = ScheduleRequest(
+...     dag=dag,
+...     machine=MachineSpec(num_procs=4, g=1, latency=5),
+...     scheduler=SchedulerSpec("bsp_greedy"),
+... )
+>>> service.solve(request).cost > 0
+True
+"""
+
+from ..core.machine import MachineSpec
+from ..schedulers.base import Budget
+from .request import ScheduleRequest, dag_fingerprint
+from .result import ScheduleResult
+from .spec import SchedulerSpec
+from .service import SchedulingService
+
+__all__ = [
+    "Budget",
+    "MachineSpec",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "SchedulerSpec",
+    "SchedulingService",
+    "dag_fingerprint",
+]

@@ -1,0 +1,197 @@
+"""The batched scheduling-service facade.
+
+:class:`SchedulingService` is the single entry point every caller funnels
+through — the CLI, the experiment harness and the examples all build
+:class:`~repro.api.ScheduleRequest` objects and hand them here.
+
+* :meth:`~SchedulingService.solve` runs one request: resolve the DAG and
+  machine, build the scheduler from its declarative spec, restart the
+  budget clock, run, and wrap the outcome in a self-contained
+  :class:`~repro.api.ScheduleResult` (with the per-stage cost trace when
+  the scheduler is a pipeline).
+* :meth:`~SchedulingService.solve_many` fans a batch out over the shared
+  process-pool machinery (:mod:`repro.core.parallel`, the same contract as
+  the experiment grid): results come back in request order, pool failures
+  degrade to serial execution, and for deterministic-budget requests the
+  parallel canonical payloads are bit-identical to serial ones.
+* Results are cached **content-addressed**: the cache key is the request
+  fingerprint (DAG content + machine + spec + budget + seed), so a replayed
+  request is answered without recomputation — across ``solve`` and
+  ``solve_many`` alike.  Cache hits are flagged (``result.cache_hit``) and
+  counted (:meth:`cache_info`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import replace
+
+from ..core.parallel import parallel_map
+from ..schedulers.pipeline import SchedulingPipeline
+from .request import ScheduleRequest
+from .result import ScheduleResult
+
+__all__ = ["SchedulingService"]
+
+
+def _coerce_request(request: ScheduleRequest | dict) -> ScheduleRequest:
+    if isinstance(request, dict):
+        return ScheduleRequest.from_dict(request)
+    return request
+
+
+def _solve_request(request: ScheduleRequest) -> ScheduleResult:
+    """Run one request to completion (no cache; shared by solve paths)."""
+    fingerprint = request.fingerprint()
+    started = time.perf_counter()
+    dag = request.resolve_dag()
+    machine = request.build_machine()
+    scheduler = request.scheduler.build(default_seed=request.seed)
+    budget = None if request.budget is None else request.budget.started()
+    prepared = time.perf_counter()
+    stages = None
+    if isinstance(scheduler, SchedulingPipeline):
+        pipeline_result = scheduler.schedule_with_stages(dag, machine, budget)
+        schedule = pipeline_result.schedule
+        stages = pipeline_result.stages
+    else:
+        schedule = scheduler.schedule(dag, machine, budget)
+    finished = time.perf_counter()
+    return ScheduleResult.from_schedule(
+        schedule,
+        scheduler=request.scheduler.name,
+        fingerprint=fingerprint,
+        stages=stages,
+        timings={
+            "prepare_seconds": prepared - started,
+            "solve_seconds": finished - prepared,
+            "total_seconds": finished - started,
+        },
+    )
+
+
+def _solve_task(_payload: None, request: ScheduleRequest) -> ScheduleResult:
+    """Module-level pool handler (see :func:`repro.core.parallel.parallel_map`)."""
+    result = _solve_request(request)
+    # serialise eagerly in the worker and ship only the wire dict: the live
+    # schedule object would carry the whole instance across the pipe a
+    # second time, and the parent can rebuild it lazily via to_schedule()
+    result.schedule_dict()
+    return replace(result, _schedule=None)
+
+
+class SchedulingService:
+    """Stateless solve facade with batched fan-out and content-addressed caching.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of results kept (LRU).  ``0`` disables caching,
+        ``None`` means unbounded.  The cache is keyed by the request
+        fingerprint, so only bit-identical requests (same DAG content,
+        machine, spec, budget, seed) ever share an entry.  Note that
+        wall-clock-budget requests are cacheable but not deterministic —
+        a replay may legitimately return the cached (different-depth)
+        result; deterministic-budget requests replay exactly.
+    """
+
+    def __init__(self, cache_size: int | None = 256) -> None:
+        self.cache_size = cache_size
+        self._cache: OrderedDict[str, ScheduleResult] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # cache plumbing
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and the current entry count."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (counters included)."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def _cache_get(self, fingerprint: str) -> ScheduleResult | None:
+        if self.cache_size == 0:
+            return None
+        result = self._cache.get(fingerprint)
+        if result is None:
+            self._misses += 1
+            return None
+        self._cache.move_to_end(fingerprint)
+        self._hits += 1
+        # hits are flagged on a shallow copy so the cached entry itself
+        # stays pristine for the next caller
+        return replace(result, cache_hit=True)
+
+    def _cache_put(self, fingerprint: str, result: ScheduleResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[fingerprint] = result
+        self._cache.move_to_end(fingerprint)
+        if self.cache_size is not None:
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    def solve(self, request: ScheduleRequest | dict) -> ScheduleResult:
+        """Solve one request (dict-form requests are deserialized first)."""
+        request = _coerce_request(request)
+        fingerprint = request.fingerprint()
+        cached = self._cache_get(fingerprint)
+        if cached is not None:
+            return cached
+        result = _solve_request(request)
+        self._cache_put(fingerprint, result)
+        return result
+
+    def solve_many(
+        self,
+        requests: list[ScheduleRequest | dict],
+        workers: int | None = None,
+    ) -> list[ScheduleResult]:
+        """Solve a batch, optionally process-parallel; results in request order.
+
+        Cached requests are answered without touching the pool; only the
+        misses fan out.  ``workers=None`` reads ``REPRO_WORKERS`` (default
+        1 = serial).  For deterministic-budget requests a parallel batch
+        returns canonical payloads bit-identical to a serial one; see
+        :mod:`repro.core.parallel` for the pool degradation contract.
+        """
+        coerced = [_coerce_request(request) for request in requests]
+        fingerprints = [request.fingerprint() for request in coerced]
+        results: list[ScheduleResult | None] = [None] * len(coerced)
+        # content-addressed within the batch too: identical requests are
+        # solved once, whether answered by the cache or freshly computed
+        unique_misses: dict[str, int] = {}
+        duplicate_of: dict[int, str] = {}
+        for index, fingerprint in enumerate(fingerprints):
+            cached = self._cache_get(fingerprint)
+            if cached is not None:
+                results[index] = cached
+            elif fingerprint in unique_misses:
+                duplicate_of[index] = fingerprint
+            else:
+                unique_misses[fingerprint] = index
+        if unique_misses:
+            solved = parallel_map(
+                _solve_task,
+                None,
+                [coerced[i] for i in unique_misses.values()],
+                workers,
+            )
+            by_fingerprint = dict(zip(unique_misses, solved))
+            for fingerprint, result in by_fingerprint.items():
+                self._cache_put(fingerprint, result)
+                results[unique_misses[fingerprint]] = result
+            for index, fingerprint in duplicate_of.items():
+                results[index] = replace(by_fingerprint[fingerprint], cache_hit=True)
+        return results  # type: ignore[return-value]

@@ -21,6 +21,11 @@ Three subcommands cover the common workflows:
 
         python -m repro compare cg.hdag --procs 4 --g 5 \\
             --schedulers cilk hdagg framework
+
+Both scheduling commands run through :class:`repro.api.SchedulingService`:
+the argparse namespace becomes a declarative :class:`ScheduleRequest` and
+``schedule --output`` writes the :class:`ScheduleResult` JSON wire format
+(validated round-trippable by ``repro.api.ScheduleResult.from_json``).
 """
 
 from __future__ import annotations
@@ -30,8 +35,8 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .core import BspMachine, ComputationalDAG, ConfigurationError
-from .core.serialization import save_schedule
+from .api import MachineSpec, ScheduleRequest, SchedulerSpec, SchedulingService
+from .core import ComputationalDAG, ConfigurationError
 from .dagdb import (
     COARSE_GENERATORS,
     FINE_GENERATORS,
@@ -44,7 +49,7 @@ from .dagdb import (
     build_stencil_dag,
 )
 from .io import read_hyperdag, render_cost_table, render_schedule_text, write_hyperdag
-from .schedulers import available_schedulers, create_scheduler
+from .schedulers import available_schedulers
 
 __all__ = ["main", "build_parser"]
 
@@ -120,11 +125,24 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
 # ---------------------------------------------------------------------- #
 # command implementations
 # ---------------------------------------------------------------------- #
-def _machine_from_args(args: argparse.Namespace) -> BspMachine:
-    if args.numa_delta is None:
-        return BspMachine.uniform(args.procs, g=args.g, latency=args.latency)
-    return BspMachine.numa_hierarchy(
-        args.procs, delta=args.numa_delta, g=args.g, latency=args.latency
+def _machine_spec_from_args(args: argparse.Namespace) -> MachineSpec:
+    return MachineSpec(
+        num_procs=args.procs,
+        g=args.g,
+        latency=args.latency,
+        numa_delta=args.numa_delta,
+    )
+
+
+def _request_from_args(
+    args: argparse.Namespace, scheduler: str
+) -> ScheduleRequest:
+    """One declarative request from the argparse namespace (the CLI's glue)."""
+    return ScheduleRequest(
+        dag=args.input,
+        machine=_machine_spec_from_args(args),
+        scheduler=SchedulerSpec(scheduler),
+        seed=args.seed,
     )
 
 
@@ -135,11 +153,13 @@ def _generate_dag(args: argparse.Namespace) -> ComputationalDAG:
         )
         return FINE_GENERATORS[args.generator](pattern, args.iterations).dag
     if args.generator in STRUCTURED_GENERATORS:
-        if args.generator in ("cholesky", "cholesky_rcm"):
+        if args.generator in ("cholesky", "cholesky_rcm", "cholesky_amd"):
             pattern = SparseMatrixPattern.random(
                 args.size, args.density, seed=args.seed, ensure_diagonal=True
             )
-            ordering = "rcm" if args.generator == "cholesky_rcm" else "natural"
+            ordering = {"cholesky_rcm": "rcm", "cholesky_amd": "amd"}.get(
+                args.generator, "natural"
+            )
             return build_elimination_dag(pattern, ordering=ordering).dag
         if args.generator == "fft":
             points = 1 << max(1, args.size - 1).bit_length()  # round up to 2^k
@@ -174,32 +194,45 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_schedule(args: argparse.Namespace) -> int:
-    dag = read_hyperdag(args.input)
-    machine = _machine_from_args(args)
-    kwargs = {"seed": args.seed} if args.scheduler == "cilk" else {}
-    scheduler = create_scheduler(args.scheduler, **kwargs)
-    schedule = scheduler.schedule(dag, machine)
-    breakdown = schedule.cost_breakdown()
+    request = _request_from_args(args, args.scheduler)
+    result = SchedulingService().solve(request)
+    machine = request.build_machine()
+    breakdown = result.breakdown
     print(
-        f"{args.scheduler} on {machine.describe()}: cost {breakdown.total:.2f} "
-        f"(work {breakdown.work:.2f}, comm {breakdown.comm:.2f}, "
-        f"latency {breakdown.latency:.2f}, {schedule.num_supersteps} supersteps)"
+        f"{args.scheduler} on {machine.describe()}: cost {breakdown['total']:.2f} "
+        f"(work {breakdown['work']:.2f}, comm {breakdown['comm']:.2f}, "
+        f"latency {breakdown['latency']:.2f}, {result.num_supersteps} supersteps)"
     )
     if args.render:
-        print(render_schedule_text(schedule))
+        print(render_schedule_text(result.to_schedule()))
     if args.output:
-        save_schedule(schedule, Path(args.output))
-        print(f"schedule written to {args.output}")
+        Path(args.output).write_text(result.to_json(indent=2), encoding="utf-8")
+        print(f"schedule result written to {args.output}")
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    service = SchedulingService()
+    # resolve the instance once and share the DAG (and its fingerprint
+    # memo) across the whole batch instead of re-reading the file per
+    # scheduler
     dag = read_hyperdag(args.input)
-    machine = _machine_from_args(args)
-    schedules = {}
-    for name in args.schedulers:
-        kwargs = {"seed": args.seed} if name == "cilk" else {}
-        schedules[name] = create_scheduler(name, **kwargs).schedule(dag, machine)
+    machine_spec = _machine_spec_from_args(args)
+    requests = [
+        ScheduleRequest(
+            dag=dag,
+            machine=machine_spec,
+            scheduler=SchedulerSpec(name),
+            seed=args.seed,
+        )
+        for name in args.schedulers
+    ]
+    results = service.solve_many(requests)
+    schedules = {
+        name: result.to_schedule()
+        for name, result in zip(args.schedulers, results)
+    }
+    machine = requests[0].build_machine()
     print(f"instance {args.input}: {dag.num_nodes} nodes on {machine.describe()}")
     print(render_cost_table(schedules))
     return 0

@@ -13,7 +13,8 @@ from .exceptions import (
     ScheduleError,
     SolverError,
 )
-from .machine import BspMachine
+from .machine import BspMachine, MachineSpec
+from .parallel import default_workers, parallel_map
 from .schedule import BspSchedule
 from .serialization import (
     dag_from_dict,
@@ -41,6 +42,7 @@ __all__ = [
     "DagError",
     "EdgeView",
     "MachineError",
+    "MachineSpec",
     "ReproError",
     "ScheduleError",
     "SolverError",
@@ -53,6 +55,8 @@ __all__ = [
     "load_schedule",
     "machine_from_dict",
     "machine_to_dict",
+    "default_workers",
+    "parallel_map",
     "save_schedule",
     "schedule_from_dict",
     "schedule_to_dict",

@@ -298,6 +298,8 @@ class ComputationalDAG:
         self._topo_cache: list[int] | None = None
         self._level_cache: np.ndarray | None = None
         self._bottom_level_cache: np.ndarray | None = None
+        # content fingerprint memo (filled by repro.api.request.dag_fingerprint)
+        self._content_fingerprint: str | None = None
 
     def _ensure_csr(self) -> None:
         if self._succ_indptr is not None:
@@ -351,6 +353,7 @@ class ComputationalDAG:
         self._check_node(v)
         self._work[v] = value
         self._bottom_level_cache = None
+        self._content_fingerprint = None
 
     def set_comm(self, v: int, value: float) -> None:
         """Set ``c(v)``."""
@@ -358,15 +361,18 @@ class ComputationalDAG:
             raise DagError("communication weight must be non-negative")
         self._check_node(v)
         self._comm[v] = value
+        self._content_fingerprint = None
 
     def set_work_weights(self, values: Sequence[float]) -> None:
         """Replace the whole work weight vector in one vectorized assignment."""
         self._work[: self._n] = self._init_weights(values, self._n, "work_weights")
         self._bottom_level_cache = None
+        self._content_fingerprint = None
 
     def set_comm_weights(self, values: Sequence[float]) -> None:
         """Replace the whole communication weight vector."""
         self._comm[: self._n] = self._init_weights(values, self._n, "comm_weights")
+        self._content_fingerprint = None
 
     @property
     def total_work(self) -> float:

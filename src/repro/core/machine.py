@@ -25,7 +25,7 @@ import numpy as np
 
 from .exceptions import MachineError
 
-__all__ = ["BspMachine"]
+__all__ = ["BspMachine", "MachineSpec"]
 
 
 def _uniform_numa(num_procs: int) -> np.ndarray:
@@ -181,3 +181,59 @@ class BspMachine:
         return (
             f"BspMachine(P={self.num_procs}, g={self.g}, l={self.latency}, {kind})"
         )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A declarative machine-parameter point (``P``, ``g``, ``ℓ``, optional ``Δ``).
+
+    The serializable counterpart of :class:`BspMachine`: four plain scalars
+    instead of a materialised ``P × P`` NUMA matrix, so specs are cheap to
+    hash, compare and ship across process or wire boundaries.  The
+    experiment grids of :mod:`repro.analysis.experiments` and the
+    :class:`repro.api.ScheduleRequest` wire format are both built from
+    these.
+    """
+
+    num_procs: int
+    g: float = 1.0
+    latency: float = 5.0
+    numa_delta: float | None = None
+
+    def build(self) -> BspMachine:
+        """Materialise the :class:`BspMachine`."""
+        if self.numa_delta is None:
+            return BspMachine.uniform(self.num_procs, g=self.g, latency=self.latency)
+        return BspMachine.numa_hierarchy(
+            self.num_procs, delta=self.numa_delta, g=self.g, latency=self.latency
+        )
+
+    def label(self) -> str:
+        """Short label used in table headers."""
+        base = f"P={self.num_procs},g={self.g:g},l={self.latency:g}"
+        if self.numa_delta is not None:
+            base += f",D={self.numa_delta:g}"
+        return base
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "num_procs": int(self.num_procs),
+            "g": float(self.g),
+            "latency": float(self.latency),
+            "numa_delta": None if self.numa_delta is None else float(self.numa_delta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            delta = data.get("numa_delta")
+            return cls(
+                num_procs=int(data["num_procs"]),
+                g=float(data.get("g", 1.0)),
+                latency=float(data.get("latency", 5.0)),
+                numa_delta=None if delta is None else float(delta),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MachineError(f"malformed machine spec: {exc}") from exc

@@ -71,9 +71,9 @@ def dag_from_dict(data: dict[str, Any]) -> ComputationalDAG:
 def machine_to_dict(machine: BspMachine) -> dict[str, Any]:
     """JSON-compatible representation of a machine."""
     return {
-        "num_procs": machine.num_procs,
-        "g": machine.g,
-        "latency": machine.latency,
+        "num_procs": int(machine.num_procs),
+        "g": float(machine.g),
+        "latency": float(machine.latency),
         "numa": machine.numa.tolist(),
     }
 
@@ -129,5 +129,13 @@ def save_schedule(schedule: BspSchedule, path: str | Path) -> None:
 
 
 def load_schedule(path: str | Path) -> BspSchedule:
-    """Load a schedule previously written by :func:`save_schedule`."""
-    return schedule_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+    """Load a schedule previously written by :func:`save_schedule`.
+
+    Also accepts the service API's :class:`repro.api.ScheduleResult` wire
+    format (what ``repro schedule --output`` emits), in which the schedule
+    payload is nested under a ``"schedule"`` key.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "schedule" in data and "procs" not in data:
+        data = data["schedule"]
+    return schedule_from_dict(data)

@@ -1,7 +1,14 @@
 """Scheduling algorithms: baselines, initialisers, local search, ILP and multilevel."""
 
 from .annealing import SimulatedAnnealingImprover
-from .base import Scheduler, ScheduleImprover, TimeBudget, best_schedule
+from .base import (
+    Budget,
+    Scheduler,
+    ScheduleImprover,
+    TimeBudget,
+    best_schedule,
+    budget_limits,
+)
 from .clustering import LinearClusteringScheduler
 from .bsp_greedy import BspGreedyScheduler
 from .cilk import CilkScheduler
@@ -32,6 +39,7 @@ from .trivial import RoundRobinScheduler, TrivialScheduler
 
 __all__ = [
     "BlEstScheduler",
+    "Budget",
     "BspGreedyScheduler",
     "CilkScheduler",
     "CommScheduleHillClimbing",
@@ -62,6 +70,7 @@ __all__ = [
     "WindowIlp",
     "available_schedulers",
     "best_schedule",
+    "budget_limits",
     "coarsen_dag",
     "create_scheduler",
     "estimate_window_variables",

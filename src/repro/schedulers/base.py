@@ -8,9 +8,21 @@ Two kinds of algorithms make up the framework (paper Figure 3):
   equal or lower cost (local search, the ILP improvement methods and the
   communication-schedule optimisers).
 
-Every algorithm accepts an optional wall-clock time budget through a
-:class:`TimeBudget`; algorithms check it cooperatively so that runs remain
-deterministic apart from the point at which they stop.
+Every algorithm accepts an optional budget.  Two regimes exist:
+
+* :class:`TimeBudget` — a cooperative wall-clock allowance; algorithms
+  check it inside their main loops, so runs remain deterministic apart
+  from the point at which they stop.
+* :class:`Budget` — the unified model of the service API: the wall-clock
+  allowance plus the *deterministic* limits (``max_steps`` for the
+  hill-climbing refiners, ``ilp_node_limit`` for the branch-and-bound
+  solver).  A budget with ``seconds=None`` and only deterministic limits
+  makes every algorithm reproducible bit-for-bit regardless of machine
+  load — the regime the batched/parallel entry points rely on.
+
+``Budget`` subclasses ``TimeBudget``, so every ``budget:`` parameter in the
+framework accepts either; algorithms that understand the deterministic
+limits read them via :func:`budget_limits`.
 """
 
 from __future__ import annotations
@@ -24,7 +36,14 @@ from ..core.dag import ComputationalDAG
 from ..core.machine import BspMachine
 from ..core.schedule import BspSchedule
 
-__all__ = ["Scheduler", "ScheduleImprover", "TimeBudget", "best_schedule"]
+__all__ = [
+    "Budget",
+    "Scheduler",
+    "ScheduleImprover",
+    "TimeBudget",
+    "best_schedule",
+    "budget_limits",
+]
 
 
 @dataclass
@@ -71,6 +90,78 @@ class TimeBudget:
         if self.seconds is None:
             return TimeBudget(None)
         return TimeBudget(self.seconds * ratio)
+
+
+@dataclass
+class Budget(TimeBudget):
+    """The unified budget model: wall-clock plus deterministic limits.
+
+    Parameters
+    ----------
+    seconds:
+        Cooperative wall-clock allowance (``None`` = unlimited), exactly as
+        in :class:`TimeBudget`.
+    max_steps:
+        Deterministic cap on *accepted* local-search moves per improver
+        invocation (HC and HCcs honour it).
+    ilp_node_limit:
+        Deterministic cap on branch-and-bound nodes per ILP solve (threaded
+        through :class:`~repro.schedulers.ilp.WindowIlp` and the ILP
+        improvers down to the HiGHS backend).
+
+    A budget whose only limits are deterministic (``seconds is None``)
+    yields bit-identical runs regardless of machine load; this is what the
+    service API's ``solve_many`` relies on for parallel == serial replay.
+    """
+
+    max_steps: int | None = None
+    ilp_node_limit: int | None = None
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether the budget is free of wall-clock limits."""
+        return self.seconds is None
+
+    def started(self) -> "Budget":
+        """A fresh copy with the clock restarted (for deserialized budgets)."""
+        return Budget(
+            seconds=self.seconds,
+            max_steps=self.max_steps,
+            ilp_node_limit=self.ilp_node_limit,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "seconds": None if self.seconds is None else float(self.seconds),
+            "max_steps": None if self.max_steps is None else int(self.max_steps),
+            "ilp_node_limit": (
+                None if self.ilp_node_limit is None else int(self.ilp_node_limit)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Budget":
+        """Rebuild a budget from :meth:`to_dict` output."""
+        seconds = data.get("seconds")
+        max_steps = data.get("max_steps")
+        node_limit = data.get("ilp_node_limit")
+        return cls(
+            seconds=None if seconds is None else float(seconds),
+            max_steps=None if max_steps is None else int(max_steps),
+            ilp_node_limit=None if node_limit is None else int(node_limit),
+        )
+
+
+def budget_limits(budget: TimeBudget | None) -> tuple[int | None, int | None]:
+    """The ``(max_steps, ilp_node_limit)`` carried by a budget, if any.
+
+    Plain :class:`TimeBudget` objects (and ``None``) carry no deterministic
+    limits; algorithm code calls this instead of type-sniffing inline.
+    """
+    if isinstance(budget, Budget):
+        return budget.max_steps, budget.ilp_node_limit
+    return None, None
 
 
 class Scheduler(ABC):

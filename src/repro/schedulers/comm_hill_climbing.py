@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core.comm import CommStep
 from ..core.schedule import BspSchedule
-from .base import ScheduleImprover, TimeBudget
+from .base import ScheduleImprover, TimeBudget, budget_limits
 
 __all__ = ["CommScheduleHillClimbing"]
 
@@ -113,6 +113,11 @@ class CommScheduleHillClimbing(ScheduleImprover):
         hi_list = latest.tolist()
         vol_list = volumes.tolist()
 
+        # a unified Budget's deterministic step cap bounds the accepted
+        # phase moves of this invocation (None = until convergence)
+        max_steps, _ = budget_limits(budget)
+        accepted = 0
+
         improved_any = True
         passes = 0
         while improved_any and passes < self.max_passes and not budget.expired():
@@ -120,6 +125,8 @@ class CommScheduleHillClimbing(ScheduleImprover):
             passes += 1
             for index in movable:
                 if budget.expired():
+                    break
+                if max_steps is not None and accepted >= max_steps:
                     break
                 current = int(choices[index])
                 lo = lo_list[index]
@@ -162,9 +169,12 @@ class CommScheduleHillClimbing(ScheduleImprover):
                     for s in (current, best_phase):
                         comm_max[s] = float(np.maximum(send[s], recv[s]).max())
                     choices[index] = best_phase
+                    accepted += 1
                     improved_any = True
                     if self.record_moves:
                         moves.append((index, best_phase))
+            if max_steps is not None and accepted >= max_steps:
+                break
 
         comm_schedule = frozenset(
             CommStep(w.node, w.source, w.target, int(choices[i]))

@@ -43,7 +43,7 @@ from ..core.csr import NO_ENTRY, gather_rows, group_min_by_pair, group_min_table
 from ..core.dag import ComputationalDAG
 from ..core.machine import BspMachine
 from ..core.schedule import BspSchedule
-from .base import ScheduleImprover, TimeBudget
+from .base import ScheduleImprover, TimeBudget, budget_limits
 
 __all__ = ["LazyCostTracker", "HillClimbingImprover"]
 
@@ -559,6 +559,13 @@ class HillClimbingImprover(ScheduleImprover):
         budget = budget or TimeBudget.unlimited()
         if max_steps is None:
             max_steps = self.max_steps
+        budget_steps, _ = budget_limits(budget)
+        if budget_steps is not None:
+            # a unified Budget's deterministic step cap bounds this
+            # invocation on top of (never instead of) the configured cap
+            max_steps = (
+                budget_steps if max_steps is None else min(max_steps, budget_steps)
+            )
         moves: list[tuple[int, int, int]] = []
         self.last_moves = moves if self.record_moves else None
         dag = tracker.dag

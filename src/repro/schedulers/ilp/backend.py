@@ -189,11 +189,19 @@ class MilpProblem:
         self.add_constraint(coefficients, value, value)
 
     # ------------------------------------------------------------------ #
-    def solve(self, time_limit: float | None = None, mip_rel_gap: float = 0.0) -> MilpSolution:
+    def solve(
+        self,
+        time_limit: float | None = None,
+        mip_rel_gap: float = 0.0,
+        node_limit: int | None = None,
+    ) -> MilpSolution:
         """Solve the model with HiGHS; returns a (possibly infeasible) solution object.
 
         A ``time_limit`` of ``None`` lets the solver run to optimality.  When
         no feasible point is found, :attr:`MilpSolution.feasible` is false.
+        ``node_limit`` caps the branch-and-bound node count — unlike the
+        wall-clock limit it is *deterministic*, so two runs with the same
+        node limit stop at the same incumbent regardless of machine load.
         """
         if self.num_variables == 0:
             return MilpSolution(np.zeros(0), 0.0, 0, "empty model")
@@ -214,6 +222,8 @@ class MilpProblem:
             options["time_limit"] = max(float(time_limit), 0.05)
         if mip_rel_gap:
             options["mip_rel_gap"] = float(mip_rel_gap)
+        if node_limit is not None:
+            options["node_limit"] = max(int(node_limit), 1)
         result = milp(
             c=c,
             constraints=constraints,

@@ -18,7 +18,7 @@ import numpy as np
 
 from ...core.comm import CommStep
 from ...core.schedule import BspSchedule
-from ..base import ScheduleImprover, TimeBudget
+from ..base import ScheduleImprover, TimeBudget, budget_limits
 from .backend import MilpProblem
 
 __all__ = ["IlpCommScheduleImprover"]
@@ -36,13 +36,23 @@ class IlpCommScheduleImprover(ScheduleImprover):
     max_transfers:
         Safety bound: instances with more required transfers than this are
         left to the hill-climbing variant (``HCcs``).
+    node_limit:
+        Deterministic branch-and-bound node cap; a
+        :class:`~repro.schedulers.Budget` with ``ilp_node_limit`` overrides
+        it per invocation.
     """
 
     name = "ilp_commsched"
 
-    def __init__(self, time_limit: float | None = 30.0, max_transfers: int = 5000) -> None:
+    def __init__(
+        self,
+        time_limit: float | None = 30.0,
+        max_transfers: int = 5000,
+        node_limit: int | None = None,
+    ) -> None:
         self.time_limit = time_limit
         self.max_transfers = max_transfers
+        self.node_limit = node_limit
 
     def improve(
         self,
@@ -56,6 +66,9 @@ class IlpCommScheduleImprover(ScheduleImprover):
         time_limit = self.time_limit
         if budget.seconds is not None:
             time_limit = min(time_limit or budget.remaining, budget.remaining)
+        _, node_limit = budget_limits(budget)
+        if node_limit is None:
+            node_limit = self.node_limit
 
         machine = schedule.machine
         dag = schedule.dag
@@ -88,7 +101,7 @@ class IlpCommScheduleImprover(ScheduleImprover):
         for (s, _proc), coefficients in recv_terms.items():
             problem.add_ge({h_vars[s]: 1.0, **coefficients}, 0.0)
 
-        solution = problem.solve(time_limit=time_limit)
+        solution = problem.solve(time_limit=time_limit, node_limit=node_limit)
         if not solution.feasible:
             return schedule
 

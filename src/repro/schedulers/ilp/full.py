@@ -11,7 +11,7 @@ left to ``ILPpart``.
 from __future__ import annotations
 
 from ...core.schedule import BspSchedule
-from ..base import ScheduleImprover, TimeBudget
+from ..base import ScheduleImprover, TimeBudget, budget_limits
 from .window import WindowIlp, estimate_window_variables
 
 __all__ = ["IlpFullImprover"]
@@ -28,13 +28,23 @@ class IlpFullImprover(ScheduleImprover):
         Skip the solve when ``n · S · P²`` exceeds this bound (paper: 20 000).
     time_limit:
         Wall-clock limit handed to the MILP solver (seconds).
+    node_limit:
+        Deterministic branch-and-bound node cap (``None`` = unlimited); a
+        :class:`~repro.schedulers.Budget` with ``ilp_node_limit`` overrides
+        it per invocation.
     """
 
     name = "ilp_full"
 
-    def __init__(self, max_variables: int = 20000, time_limit: float | None = 60.0) -> None:
+    def __init__(
+        self,
+        max_variables: int = 20000,
+        time_limit: float | None = 60.0,
+        node_limit: int | None = None,
+    ) -> None:
         self.max_variables = max_variables
         self.time_limit = time_limit
+        self.node_limit = node_limit
 
     def applicable(self, schedule: BspSchedule) -> bool:
         """Whether the instance is small enough for the full ILP."""
@@ -56,6 +66,9 @@ class IlpFullImprover(ScheduleImprover):
         time_limit = self.time_limit
         if budget.seconds is not None:
             time_limit = min(time_limit or budget.remaining, budget.remaining)
+        _, node_limit = budget_limits(budget)
+        if node_limit is None:
+            node_limit = self.node_limit
 
         window = (0, max(schedule.num_supersteps - 1, 0))
         ilp = WindowIlp(
@@ -67,7 +80,7 @@ class IlpFullImprover(ScheduleImprover):
             window=window,
             context_comm=schedule.comm_schedule,
         )
-        result = ilp.solve(time_limit=time_limit)
+        result = ilp.solve(time_limit=time_limit, node_limit=node_limit)
         if not result.feasible:
             return schedule
         procs = schedule.procs.copy()

@@ -21,7 +21,7 @@ from ...core.comm import CommStep
 from ...core.dag import ComputationalDAG
 from ...core.machine import BspMachine
 from ...core.schedule import BspSchedule
-from ..base import Scheduler, TimeBudget
+from ..base import Scheduler, TimeBudget, budget_limits
 from .window import WindowIlp, estimate_window_variables
 
 __all__ = ["IlpInitScheduler"]
@@ -38,6 +38,10 @@ class IlpInitScheduler(Scheduler):
         Number of fresh supersteps each batch may use (paper: 3).
     time_limit_per_batch:
         MILP time limit per batch (seconds).
+    node_limit:
+        Deterministic branch-and-bound node cap per batch solve; a
+        :class:`~repro.schedulers.Budget` with ``ilp_node_limit`` overrides
+        it per invocation.
     """
 
     name = "ilp_init"
@@ -47,10 +51,12 @@ class IlpInitScheduler(Scheduler):
         max_variables: int = 2000,
         supersteps_per_batch: int = 3,
         time_limit_per_batch: float | None = 15.0,
+        node_limit: int | None = None,
     ) -> None:
         self.max_variables = max_variables
         self.supersteps_per_batch = supersteps_per_batch
         self.time_limit_per_batch = time_limit_per_batch
+        self.node_limit = node_limit
 
     # ------------------------------------------------------------------ #
     def _batches(self, dag: ComputationalDAG, num_procs: int) -> list[list[int]]:
@@ -102,6 +108,9 @@ class IlpInitScheduler(Scheduler):
         if n == 0:
             return BspSchedule(dag, machine, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
         budget = budget or TimeBudget.unlimited()
+        _, node_limit = budget_limits(budget)
+        if node_limit is None:
+            node_limit = self.node_limit
 
         procs = np.full(n, -1, dtype=np.int64)
         supersteps = np.full(n, -1, dtype=np.int64)
@@ -125,7 +134,7 @@ class IlpInitScheduler(Scheduler):
                     window=(window_low, window_high),
                     context_comm=context,
                 )
-                result = ilp.solve(time_limit=time_limit)
+                result = ilp.solve(time_limit=time_limit, node_limit=node_limit)
                 if result.feasible:
                     for v in batch:
                         procs[v] = result.procs[v]

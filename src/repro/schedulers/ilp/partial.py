@@ -11,7 +11,7 @@ evaluated cost improves.
 from __future__ import annotations
 
 from ...core.schedule import BspSchedule
-from ..base import ScheduleImprover, TimeBudget
+from ..base import ScheduleImprover, TimeBudget, budget_limits
 from .window import WindowIlp, estimate_window_variables
 
 __all__ = ["IlpPartialImprover"]
@@ -30,6 +30,10 @@ class IlpPartialImprover(ScheduleImprover):
         MILP time limit for every interval (seconds).
     max_rounds:
         How many sweeps over the whole schedule to perform.
+    node_limit:
+        Deterministic branch-and-bound node cap per interval solve; a
+        :class:`~repro.schedulers.Budget` with ``ilp_node_limit`` overrides
+        it per invocation.
     """
 
     name = "ilp_partial"
@@ -39,10 +43,12 @@ class IlpPartialImprover(ScheduleImprover):
         max_variables: int = 4000,
         time_limit_per_window: float | None = 20.0,
         max_rounds: int = 1,
+        node_limit: int | None = None,
     ) -> None:
         self.max_variables = max_variables
         self.time_limit_per_window = time_limit_per_window
         self.max_rounds = max_rounds
+        self.node_limit = node_limit
 
     # ------------------------------------------------------------------ #
     def _intervals(self, schedule: BspSchedule) -> list[tuple[int, int]]:
@@ -78,6 +84,9 @@ class IlpPartialImprover(ScheduleImprover):
         if schedule.dag.num_nodes == 0 or schedule.num_supersteps == 0:
             return schedule
         budget = budget or TimeBudget.unlimited()
+        _, node_limit = budget_limits(budget)
+        if node_limit is None:
+            node_limit = self.node_limit
         incumbent = schedule
 
         for _ in range(self.max_rounds):
@@ -111,7 +120,7 @@ class IlpPartialImprover(ScheduleImprover):
                     window=(low, high),
                     context_comm=incumbent.comm_schedule,
                 )
-                result = ilp.solve(time_limit=time_limit)
+                result = ilp.solve(time_limit=time_limit, node_limit=node_limit)
                 if not result.feasible:
                     continue
                 procs = incumbent.procs.copy()

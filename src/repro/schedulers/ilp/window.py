@@ -123,13 +123,39 @@ class WindowIlp:
         if self.window[0] < 0 or self.window[1] < self.window[0]:
             raise SolverError(f"invalid superstep window {window}")
         self.context_comm = list(context_comm)
+
+        # shared per-instance arrays, hoisted out of the model build: the
+        # reassign mask, the CSR neighbour gathers, the boundary-predecessor
+        # set and the node -> model-position map depend only on (dag,
+        # reassign), so repeated ``build_model`` calls (and the context
+        # validation below) reuse them instead of reallocating per build
+        self._reassign_arr = np.asarray(self.reassign, dtype=_INT)
+        self._reassign_mask = np.zeros(dag.num_nodes, dtype=bool)
+        self._reassign_mask[self._reassign_arr] = True
+        self._pred_flat, self._pred_offsets = gather_rows(
+            dag.pred_indptr, dag.pred_indices, self._reassign_arr
+        )
+        self._succ_flat, self._succ_offsets = gather_rows(
+            dag.succ_indptr, dag.succ_indices, self._reassign_arr
+        )
+        # boundary predecessors: fixed nodes feeding the reassigned ones, in
+        # first-occurrence order over the CSR predecessor slices
+        outside_preds = self._pred_flat[~self._reassign_mask[self._pred_flat]]
+        if outside_preds.size:
+            _, first = np.unique(outside_preds, return_index=True)
+            self._boundary = outside_preds[np.sort(first)]
+        else:
+            self._boundary = np.empty(0, dtype=_INT)
+        self._model_nodes = np.concatenate((self._reassign_arr, self._boundary))
+        self._model_pos = np.full(dag.num_nodes, -1, dtype=_INT)
+        self._model_pos[self._model_nodes] = np.arange(
+            self._model_nodes.size, dtype=_INT
+        )
         self._validate_context()
 
     # ------------------------------------------------------------------ #
     def _in_model_mask(self, nodes: np.ndarray) -> np.ndarray:
-        mask = np.zeros(self.dag.num_nodes, dtype=bool)
-        mask[np.asarray(self.reassign, dtype=_INT)] = True
-        return mask[nodes]
+        return self._reassign_mask[nodes]
 
     def _validate_context(self) -> None:
         """Check the structural assumptions the formulation relies on.
@@ -141,10 +167,9 @@ class WindowIlp:
         if not self.reassign:
             return
         s_lo, s_hi = self.window
-        dag = self.dag
-        nodes = np.asarray(self.reassign, dtype=_INT)
+        nodes = self._reassign_arr
 
-        preds, pred_offsets = gather_rows(dag.pred_indptr, dag.pred_indices, nodes)
+        preds, pred_offsets = self._pred_flat, self._pred_offsets
         outside = ~self._in_model_mask(preds)
         bad = outside & (
             (self.fixed_supersteps[preds] < 0) | (self.fixed_supersteps[preds] >= s_lo)
@@ -158,7 +183,7 @@ class WindowIlp:
                 f"assigned before the window (superstep {int(self.fixed_supersteps[u])})"
             )
 
-        succs, succ_offsets = gather_rows(dag.succ_indptr, dag.succ_indices, nodes)
+        succs, succ_offsets = self._succ_flat, self._succ_offsets
         outside = ~self._in_model_mask(succs)
         steps = self.fixed_supersteps[succs]
         bad = outside & (steps >= 0) & (steps <= s_hi)
@@ -186,25 +211,16 @@ class WindowIlp:
         W = s_hi - s_lo + 1
         P = machine.num_procs
         nr = len(self.reassign)
-        reassign_arr = np.asarray(self.reassign, dtype=_INT)
 
-        # boundary predecessors: fixed nodes feeding the reassigned ones, in
-        # first-occurrence order over the CSR predecessor slices
-        pred_flat, pred_offsets = gather_rows(
-            dag.pred_indptr, dag.pred_indices, reassign_arr
-        )
-        outside = ~self._in_model_mask(pred_flat)
-        outside_preds = pred_flat[outside]
-        if outside_preds.size:
-            _, first = np.unique(outside_preds, return_index=True)
-            boundary = outside_preds[np.sort(first)]
-        else:
-            boundary = np.empty(0, dtype=_INT)
+        # hoisted in __init__: reassign array/mask, neighbour gathers,
+        # boundary predecessors and the node -> model-position map
+        reassign_arr = self._reassign_arr
+        pred_flat, pred_offsets = self._pred_flat, self._pred_offsets
+        boundary = self._boundary
         nb = boundary.size
-        model_nodes = np.concatenate((reassign_arr, boundary))
+        model_nodes = self._model_nodes
         n_model = nr + nb
-        model_pos = np.full(dag.num_nodes, -1, dtype=_INT)
-        model_pos[model_nodes] = np.arange(n_model, dtype=_INT)
+        model_pos = self._model_pos
 
         problem = MilpProblem(name="window_ilp")
 
@@ -244,8 +260,8 @@ class WindowIlp:
         comm_idx = comm_var0 + np.arange(W, dtype=_INT)
 
         # --- fixed context constants ------------------------------------ #
-        init_pres = self._initial_presence_table(boundary, model_pos)
-        base_work, base_send, base_recv = self._base_loads(model_pos)
+        init_pres = self._initial_presence_table()
+        base_work, base_send, base_recv = self._base_loads()
 
         # --- (1) every reassigned node computed exactly once ------------- #
         problem.add_rows(
@@ -321,9 +337,7 @@ class WindowIlp:
             )
 
         # --- (5) values needed by fixed successors after the window ------ #
-        succ_flat, succ_offsets = gather_rows(
-            dag.succ_indptr, dag.succ_indices, reassign_arr
-        )
+        succ_flat, succ_offsets = self._succ_flat, self._succ_offsets
         succ_v = np.repeat(np.arange(nr, dtype=_INT), np.diff(succ_offsets))
         fixed_after = (model_pos[succ_flat] < 0) & (
             self.fixed_supersteps[succ_flat] > s_hi
@@ -402,14 +416,21 @@ class WindowIlp:
 
         return problem, comp_idx
 
-    def solve(self, time_limit: float | None = None) -> WindowIlpResult:
-        """Build the batched model and run the backend."""
+    def solve(
+        self, time_limit: float | None = None, node_limit: int | None = None
+    ) -> WindowIlpResult:
+        """Build the batched model and run the backend.
+
+        ``node_limit`` is the deterministic branch-and-bound cap (see
+        :meth:`MilpProblem.solve`); the ILP improvers thread it through from
+        :class:`repro.schedulers.Budget.ilp_node_limit`.
+        """
         s_lo, s_hi = self.window
         W = s_hi - s_lo + 1
         P = self.machine.num_procs
         nr = len(self.reassign)
         problem, comp_idx = self.build_model()
-        solution = problem.solve(time_limit=time_limit)
+        solution = problem.solve(time_limit=time_limit, node_limit=node_limit)
         if not solution.feasible:
             return WindowIlpResult(False, {}, {}, float("inf"), solution.message)
 
@@ -430,12 +451,11 @@ class WindowIlp:
         return WindowIlpResult(True, new_procs, new_steps, solution.objective, solution.message)
 
     # ------------------------------------------------------------------ #
-    def _initial_presence_table(
-        self, boundary: np.ndarray, model_pos: np.ndarray
-    ) -> np.ndarray:
+    def _initial_presence_table(self) -> np.ndarray:
         """Dense ``(n_model, P)`` presence constants at the window start."""
         s_lo, _ = self.window
         nr = len(self.reassign)
+        boundary, model_pos = self._boundary, self._model_pos
         init = np.zeros((nr + boundary.size, self.machine.num_procs))
         if boundary.size:
             init[nr + np.arange(boundary.size), self.fixed_procs[boundary]] = 1.0
@@ -445,7 +465,7 @@ class WindowIlp:
                 init[pos, step.target] = 1.0
         return init
 
-    def _base_loads(self, model_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _base_loads(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Constant work/send/recv loads inside the window from nodes outside the model.
 
         Dense ``(W, P)`` tables, filled with vectorized scatters over the
@@ -458,8 +478,8 @@ class WindowIlp:
         base_send = np.zeros((W, P))
         base_recv = np.zeros((W, P))
 
-        reassign_mask = np.zeros(self.dag.num_nodes, dtype=bool)
-        reassign_mask[np.asarray(self.reassign, dtype=_INT)] = True
+        model_pos = self._model_pos
+        reassign_mask = self._reassign_mask
         steps = self.fixed_supersteps
         in_window = (
             ~reassign_mask

@@ -22,12 +22,19 @@ around the same base pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..core.dag import ComputationalDAG
 from ..core.machine import BspMachine
 from ..core.schedule import BspSchedule
-from .base import Scheduler, ScheduleImprover, TimeBudget, best_schedule
+from .base import (
+    Budget,
+    Scheduler,
+    ScheduleImprover,
+    TimeBudget,
+    best_schedule,
+    budget_limits,
+)
 from .bsp_greedy import BspGreedyScheduler
 from .comm_hill_climbing import CommScheduleHillClimbing
 from .hill_climbing import HillClimbingImprover
@@ -90,8 +97,29 @@ class PipelineConfig:
     ilp_full_max_variables: int = 20000
     ilp_partial_max_variables: int = 4000
     ilp_init_max_variables: int = 2000
+    #: deterministic branch-and-bound node cap for every ILP solve
+    #: (``None`` = wall-clock limits only).  Setting this and clearing the
+    #: ``ilp_*_seconds`` knobs makes the whole pipeline reproducible
+    #: bit-for-bit regardless of machine load — the deterministic
+    #: counterpart of the PR-4 ``hc_max_steps`` treatment.
+    ilp_node_limit: int | None = None
     #: random seed forwarded to randomised components
     seed: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain JSON-compatible dict (the declarative wire form)."""
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown PipelineConfig field(s): {', '.join(unknown)}"
+            )
+        return cls(**data)
 
     @classmethod
     def fast(cls) -> "PipelineConfig":
@@ -127,6 +155,27 @@ class StageCosts:
     def final(self) -> float:
         """Cost of the final schedule."""
         return self.after_comm_ilp
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "initial": {name: float(cost) for name, cost in self.initial.items()},
+            "best_init": float(self.best_init),
+            "after_local_search": float(self.after_local_search),
+            "after_ilp_assignment": float(self.after_ilp_assignment),
+            "after_comm_ilp": float(self.after_comm_ilp),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageCosts":
+        """Rebuild stage costs from :meth:`to_dict` output."""
+        return cls(
+            initial={str(k): float(v) for k, v in data.get("initial", {}).items()},
+            best_init=float(data["best_init"]),
+            after_local_search=float(data["after_local_search"]),
+            after_ilp_assignment=float(data["after_ilp_assignment"]),
+            after_comm_ilp=float(data["after_comm_ilp"]),
+        )
 
 
 @dataclass
@@ -167,6 +216,7 @@ class SchedulingPipeline(Scheduler):
                 IlpInitScheduler(
                     max_variables=config.ilp_init_max_variables,
                     time_limit_per_batch=config.ilp_init_seconds,
+                    node_limit=config.ilp_node_limit,
                 )
             )
         return initializers
@@ -202,6 +252,10 @@ class SchedulingPipeline(Scheduler):
 
         hill_climb, comm_climb = self._local_search()
         local_budget_seconds = config.local_search_seconds
+        # a unified outer Budget's deterministic limits propagate into the
+        # per-stage local-search budgets (the ILP stages read them straight
+        # from the outer budget they already receive)
+        outer_steps, outer_nodes = budget_limits(budget)
 
         # --- stage 1 + 2: initialisers, each followed by HC + HCcs -------- #
         candidates: list[BspSchedule] = []
@@ -211,9 +265,17 @@ class SchedulingPipeline(Scheduler):
             stages.initial[initializer.name] = initial.cost()
             candidates.append(initial)
 
-            hc_budget = TimeBudget(None if local_budget_seconds is None else 0.9 * local_budget_seconds)
+            hc_budget = Budget(
+                None if local_budget_seconds is None else 0.9 * local_budget_seconds,
+                max_steps=outer_steps,
+                ilp_node_limit=outer_nodes,
+            )
             improved = hill_climb.improve(initial.with_lazy_comm(), hc_budget)
-            hccs_budget = TimeBudget(None if local_budget_seconds is None else 0.1 * local_budget_seconds)
+            hccs_budget = Budget(
+                None if local_budget_seconds is None else 0.1 * local_budget_seconds,
+                max_steps=outer_steps,
+                ilp_node_limit=outer_nodes,
+            )
             improved = comm_climb.improve(improved, hccs_budget)
             improved_candidates.append(improved)
 
@@ -230,6 +292,7 @@ class SchedulingPipeline(Scheduler):
             full = IlpFullImprover(
                 max_variables=config.ilp_full_max_variables,
                 time_limit=config.ilp_full_seconds,
+                node_limit=config.ilp_node_limit,
             )
             if config.use_full_ilp and full.applicable(assignment_view):
                 assignment_view = full.improve(assignment_view, budget)
@@ -237,13 +300,16 @@ class SchedulingPipeline(Scheduler):
                 partial = IlpPartialImprover(
                     max_variables=config.ilp_partial_max_variables,
                     time_limit_per_window=config.ilp_partial_seconds,
+                    node_limit=config.ilp_node_limit,
                 )
                 assignment_view = partial.improve(assignment_view, budget)
             incumbent = best_schedule(incumbent, assignment_view)
         stages.after_ilp_assignment = incumbent.cost()
 
         if config.use_ilp and config.use_comm_ilp:
-            comm_ilp = IlpCommScheduleImprover(time_limit=config.ilp_comm_seconds)
+            comm_ilp = IlpCommScheduleImprover(
+                time_limit=config.ilp_comm_seconds, node_limit=config.ilp_node_limit
+            )
             incumbent = best_schedule(incumbent, comm_ilp.improve(incumbent, budget))
         stages.after_comm_ilp = incumbent.cost()
 
@@ -270,7 +336,10 @@ class MultilevelPipeline(Scheduler):
         )
         if self.config.use_ilp and self.config.use_comm_ilp:
             comm_improvers = comm_improvers + (
-                IlpCommScheduleImprover(time_limit=self.config.ilp_comm_seconds),
+                IlpCommScheduleImprover(
+                    time_limit=self.config.ilp_comm_seconds,
+                    node_limit=self.config.ilp_node_limit,
+                ),
             )
         self._scheduler = MultilevelScheduler(
             base_scheduler=SchedulingPipeline(base_config),

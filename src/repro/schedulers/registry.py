@@ -1,17 +1,17 @@
 """Name-based registry of schedulers (baselines, heuristics and pipelines).
 
-The experiment harness and the examples refer to schedulers by the short
-names used throughout the paper (``cilk``, ``hdagg``, ``bsp_greedy``,
-``framework``, ``multilevel``, ...).  :func:`create_scheduler` builds a
-fresh instance for a given name, optionally forwarding constructor keyword
-arguments.
+The service API and the examples refer to schedulers by the short names
+used throughout the paper (``cilk``, ``hdagg``, ``bsp_greedy``,
+``framework``, ``multilevel``, ...).  The canonical construction path is
+the declarative :class:`repro.api.SchedulerSpec` (registry name + validated
+params); :func:`create_scheduler` is retained as a thin back-compat shim
+over it.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from ..core.exceptions import ConfigurationError
 from .base import Scheduler
 from .bsp_greedy import BspGreedyScheduler
 from .cilk import CilkScheduler
@@ -48,11 +48,13 @@ def available_schedulers() -> list[str]:
 
 
 def create_scheduler(name: str, **kwargs) -> Scheduler:
-    """Instantiate a scheduler by its registry name."""
-    try:
-        factory = SCHEDULER_FACTORIES[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
-        ) from exc
-    return factory(**kwargs)
+    """Instantiate a scheduler by its registry name (back-compat shim).
+
+    Delegates to :class:`repro.api.SchedulerSpec`, which validates the
+    parameters against the factory signature before construction.  New code
+    should build specs directly — they serialise, fingerprint and travel
+    through :class:`repro.api.SchedulingService`.
+    """
+    from ..api.spec import SchedulerSpec  # deferred: the spec layer sits above
+
+    return SchedulerSpec(name, kwargs).build()

@@ -1,0 +1,336 @@
+"""Tests for the unified scheduling-service API (repro.api).
+
+Covers the PR acceptance criteria: every registry scheduler invocable via
+``SchedulingService.solve`` from a dict-built request, JSON round-trip
+identity for requests and results, fingerprint stability across processes,
+cache hit/miss behaviour, and ``solve_many`` parallel == serial replay for
+deterministic-budget requests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    Budget,
+    MachineSpec,
+    ScheduleRequest,
+    ScheduleResult,
+    SchedulerSpec,
+    SchedulingService,
+    dag_fingerprint,
+)
+from repro.core import ConfigurationError
+from repro.io import write_hyperdag
+from repro.schedulers import PipelineConfig, available_schedulers
+
+from conftest import random_dag
+
+#: small per-stage limits so the ILP-bearing schedulers stay fast in tests
+FAST_CONFIG = {
+    "local_search_seconds": 0.2,
+    "ilp_full_seconds": 0.5,
+    "ilp_partial_seconds": 0.5,
+    "ilp_comm_seconds": 0.5,
+    "ilp_init_seconds": 0.5,
+}
+
+#: config with no wall-clock budgets at all: every scheduler deterministic
+DETERMINISTIC_CONFIG = {
+    "use_ilp": False,
+    "use_comm_ilp": False,
+    "local_search_seconds": None,
+}
+
+
+def _dag(n=14, seed=3):
+    return random_dag(n, 0.25, seed=seed)
+
+
+def _request_dict(scheduler_name, params=None, procs=3, seed=0):
+    """A fully dict-built request (the wire form a queue would carry)."""
+    dag = _dag()
+    request = ScheduleRequest(
+        dag=dag,
+        machine=MachineSpec(num_procs=procs, g=1, latency=2),
+        scheduler=SchedulerSpec(scheduler_name, params or {}),
+        seed=seed,
+    )
+    return json.loads(request.to_json())
+
+
+class TestSchedulerSpec:
+    def test_unknown_name_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            SchedulerSpec("does_not_exist")
+
+    def test_unknown_parameter_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            SchedulerSpec("hdagg", {"bogus_knob": 3})
+
+    def test_roundtrip_normalises_rich_params(self):
+        config = PipelineConfig(**FAST_CONFIG)
+        spec = SchedulerSpec(
+            "multilevel", {"config": config, "coarsening_ratios": (0.3, 0.15)}
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert data["params"]["coarsening_ratios"] == [0.3, 0.15]
+        assert data["params"]["config"]["local_search_seconds"] == 0.2
+        rebuilt = SchedulerSpec.from_dict(data)
+        scheduler = rebuilt.build()
+        assert scheduler.config.local_search_seconds == 0.2
+
+    def test_build_injects_default_seed_only_when_accepted(self):
+        cilk = SchedulerSpec("cilk").build(default_seed=42)
+        assert cilk.seed == 42
+        pinned = SchedulerSpec("cilk", {"seed": 7}).build(default_seed=42)
+        assert pinned.seed == 7
+        SchedulerSpec("hdagg").build(default_seed=42)  # must not blow up
+
+
+class TestSolveAllRegistrySchedulers:
+    @pytest.mark.parametrize("name", available_schedulers())
+    def test_every_registry_scheduler_solves_from_dict_request(self, name):
+        params = {}
+        if name in ("framework", "multilevel"):
+            params = {"config": FAST_CONFIG}
+        elif name == "framework_heuristics":
+            params = {"local_search_seconds": 0.2}
+        elif name == "ilp_init":
+            params = {"time_limit_per_batch": 0.5}
+        result = SchedulingService(cache_size=0).solve(
+            _request_dict(name, params, procs=2)
+        )
+        assert result.cost > 0
+        assert result.scheduler == name
+        assert result.to_schedule().is_valid()
+        # pipeline schedulers report their stage trace
+        if name == "framework":
+            assert result.stages is not None
+            assert result.stages.final == pytest.approx(result.cost)
+
+
+class TestWireFormat:
+    def test_request_json_roundtrip_identity(self):
+        data = _request_dict("bsp_greedy")
+        rebuilt = ScheduleRequest.from_dict(data)
+        assert rebuilt.to_dict() == data
+        assert ScheduleRequest.from_json(rebuilt.to_json()).to_dict() == data
+
+    def test_result_json_roundtrip_identity(self):
+        result = SchedulingService(cache_size=0).solve(
+            _request_dict("framework", {"config": FAST_CONFIG}, procs=2)
+        )
+        payload = json.loads(result.to_json())
+        rebuilt = ScheduleResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.to_schedule().cost() == pytest.approx(result.cost)
+
+    def test_file_reference_requests(self, tmp_path):
+        dag = _dag()
+        path = tmp_path / "instance.hdag"
+        write_hyperdag(dag, path)
+        request = ScheduleRequest(
+            dag=str(path),
+            machine=MachineSpec(2, 1, 2),
+            scheduler=SchedulerSpec("source"),
+        )
+        assert request.to_dict()["dag_ref"] == str(path)
+        inline = ScheduleRequest(
+            dag=dag, machine=MachineSpec(2, 1, 2), scheduler=SchedulerSpec("source")
+        )
+        # a reference and its inline content address the same problem
+        assert request.fingerprint() == inline.fingerprint()
+        assert (
+            SchedulingService(cache_size=0).solve(request).canonical_dict()
+            == SchedulingService(cache_size=0).solve(inline).canonical_dict()
+        )
+
+    def test_explicit_machine_roundtrip(self):
+        machine = MachineSpec(4, 2, 3, numa_delta=3).build()
+        request = ScheduleRequest(
+            dag=_dag(), machine=machine, scheduler=SchedulerSpec("hdagg")
+        )
+        data = request.to_dict()
+        assert "numa" in data["machine"]
+        rebuilt = ScheduleRequest.from_dict(data)
+        assert rebuilt.fingerprint() == request.fingerprint()
+
+
+class TestFingerprint:
+    def test_sensitive_to_every_component(self):
+        base = ScheduleRequest.from_dict(_request_dict("hdagg"))
+        fingerprints = {base.fingerprint()}
+        for variant in (
+            ScheduleRequest.from_dict(_request_dict("hdagg", procs=4)),
+            ScheduleRequest.from_dict(_request_dict("hdagg", seed=9)),
+            ScheduleRequest.from_dict(_request_dict("bsp_greedy")),
+            ScheduleRequest(
+                dag=_dag(seed=8),
+                machine=MachineSpec(3, 1, 2),
+                scheduler=SchedulerSpec("hdagg"),
+            ),
+            ScheduleRequest(
+                dag=_dag(),
+                machine=MachineSpec(3, 1, 2),
+                scheduler=SchedulerSpec("hdagg"),
+                budget=Budget(max_steps=5),
+            ),
+        ):
+            fingerprints.add(variant.fingerprint())
+        assert len(fingerprints) == 6  # all distinct
+
+    def test_dag_fingerprint_tracks_mutation(self):
+        dag = _dag()
+        before = dag_fingerprint(dag)
+        assert dag_fingerprint(dag) == before  # memoized
+        dag.set_work(0, dag.work(0) + 1.0)
+        assert dag_fingerprint(dag) != before
+
+    def test_stable_across_processes(self, tmp_path):
+        """The same wire request hashes identically in a fresh interpreter."""
+        data = _request_dict("framework", {"config": FAST_CONFIG}, seed=5)
+        payload_path = tmp_path / "request.json"
+        payload_path.write_text(json.dumps(data), encoding="utf-8")
+        script = (
+            "import json, sys\n"
+            "from repro.api import ScheduleRequest\n"
+            "request = ScheduleRequest.from_json(open(sys.argv[1]).read())\n"
+            "print(request.fingerprint())\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "271828"  # a hash-order dependence would show
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(payload_path)],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == ScheduleRequest.from_dict(data).fingerprint()
+
+
+class TestCache:
+    def test_hit_miss_and_counters(self):
+        service = SchedulingService()
+        request = _request_dict("bsp_greedy")
+        first = service.solve(request)
+        assert not first.cache_hit
+        second = service.solve(request)
+        assert second.cache_hit
+        assert second.canonical_dict() == first.canonical_dict()
+        assert service.cache_info() == {"hits": 1, "misses": 1, "size": 1}
+        # a different seed is a different content address
+        third = service.solve(_request_dict("bsp_greedy", seed=11))
+        assert not third.cache_hit
+        assert service.cache_info()["misses"] == 2
+
+    def test_lru_eviction_and_disable(self):
+        service = SchedulingService(cache_size=1)
+        a = _request_dict("bsp_greedy", seed=1)
+        b = _request_dict("bsp_greedy", seed=2)
+        service.solve(a)
+        service.solve(b)  # evicts a
+        assert service.cache_info()["size"] == 1
+        assert not service.solve(a).cache_hit
+        disabled = SchedulingService(cache_size=0)
+        disabled.solve(a)
+        assert not disabled.solve(a).cache_hit
+        assert disabled.cache_info()["size"] == 0
+
+    def test_clear_cache(self):
+        service = SchedulingService()
+        request = _request_dict("source")
+        service.solve(request)
+        service.clear_cache()
+        assert service.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        assert not service.solve(request).cache_hit
+
+
+class TestSolveMany:
+    def _requests(self):
+        dag = _dag(16, seed=4)
+        specs = [MachineSpec(p, g, 2) for p in (2, 4) for g in (1, 3)]
+        return [
+            ScheduleRequest(
+                dag=dag,
+                machine=spec,
+                scheduler=SchedulerSpec(
+                    "framework", {"config": DETERMINISTIC_CONFIG}
+                ),
+                budget=Budget(seconds=None, max_steps=50),
+                seed=7,
+            )
+            for spec in specs
+        ]
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = SchedulingService(cache_size=0).solve_many(self._requests(), workers=1)
+        parallel = SchedulingService(cache_size=0).solve_many(self._requests(), workers=4)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a.canonical_dict() == b.canonical_dict()
+
+    def test_order_matches_requests_and_cache_short_circuits(self):
+        service = SchedulingService()
+        requests = self._requests()
+        first = service.solve_many(requests)
+        assert [r.fingerprint for r in first] == [r.fingerprint() for r in requests]
+        again = service.solve_many(requests, workers=2)
+        assert all(r.cache_hit for r in again)
+        assert [a.canonical_dict() for a in again] == [
+            f.canonical_dict() for f in first
+        ]
+
+    def test_accepts_dict_requests(self):
+        service = SchedulingService(cache_size=0)
+        results = service.solve_many([_request_dict("source"), _request_dict("hdagg")])
+        assert [r.scheduler for r in results] == ["source", "hdagg"]
+
+
+class TestBudgetModel:
+    def test_roundtrip_and_flags(self):
+        budget = Budget(seconds=2.5, max_steps=10, ilp_node_limit=100)
+        data = budget.to_dict()
+        rebuilt = Budget.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.to_dict() == data
+        assert not rebuilt.deterministic
+        assert Budget(seconds=None, max_steps=3).deterministic
+        fresh = rebuilt.started()
+        assert fresh.seconds == 2.5 and fresh.max_steps == 10
+        assert not fresh.expired()
+
+    def test_is_a_time_budget(self):
+        from repro.schedulers import TimeBudget
+
+        budget = Budget(seconds=0.0)
+        assert isinstance(budget, TimeBudget)
+        assert budget.expired()
+
+    def test_max_steps_bounds_local_search(self):
+        """A deterministic step cap of zero must freeze the local search."""
+        dag = _dag(20, seed=5)
+
+        def solve(budget):
+            return SchedulingService(cache_size=0).solve(
+                ScheduleRequest(
+                    dag=dag,
+                    machine=MachineSpec(4, 1, 2),
+                    scheduler=SchedulerSpec(
+                        "framework", {"config": DETERMINISTIC_CONFIG}
+                    ),
+                    budget=budget,
+                )
+            )
+
+        frozen = solve(Budget(seconds=None, max_steps=0))
+        free = solve(Budget(seconds=None))
+        assert frozen.stages.after_local_search == pytest.approx(
+            frozen.stages.best_init
+        )
+        assert free.cost <= frozen.cost + 1e-9

@@ -7,7 +7,14 @@ import time
 import pytest
 
 from repro.core import BspMachine
-from repro.schedulers import Scheduler, ScheduleImprover, TimeBudget, best_schedule
+from repro.schedulers import (
+    Budget,
+    Scheduler,
+    ScheduleImprover,
+    TimeBudget,
+    best_schedule,
+    budget_limits,
+)
 from repro.schedulers.trivial import TrivialScheduler
 
 
@@ -42,6 +49,34 @@ class TestTimeBudget:
         half = budget.fraction(0.5)
         assert half.seconds == pytest.approx(5.0)
         assert TimeBudget.unlimited().fraction(0.5).seconds is None
+
+
+class TestUnifiedBudget:
+    def test_budget_is_a_time_budget(self):
+        budget = Budget(seconds=0.05, max_steps=4, ilp_node_limit=10)
+        assert isinstance(budget, TimeBudget)
+        assert not budget.deterministic
+        time.sleep(0.06)
+        assert budget.expired()
+
+    def test_deterministic_budget_never_expires(self):
+        budget = Budget(seconds=None, max_steps=2)
+        assert budget.deterministic
+        assert not budget.expired()
+        assert budget.remaining == float("inf")
+
+    def test_budget_limits_helper(self):
+        assert budget_limits(None) == (None, None)
+        assert budget_limits(TimeBudget(1.0)) == (None, None)
+        assert budget_limits(Budget(max_steps=3, ilp_node_limit=7)) == (3, 7)
+
+    def test_started_restarts_clock(self):
+        budget = Budget(seconds=0.05, max_steps=1)
+        time.sleep(0.06)
+        assert budget.expired()
+        fresh = budget.started()
+        assert not fresh.expired()
+        assert (fresh.seconds, fresh.max_steps) == (0.05, 1)
 
 
 class TestBaseClasses:

@@ -47,6 +47,21 @@ class TestCollectTrajectory:
             "hc/cases[num_nodes=1000]": 4.0,
         }
 
+    def test_duplicate_labels_get_index_suffix(self, tmp_path):
+        """Two cases sharing the identity field must not hide a row."""
+        cases = [
+            {"num_nodes": 100, "max_steps": 10, "speedup": 2.0},
+            {"num_nodes": 100, "max_steps": 50, "speedup": 4.0},
+            {"num_nodes": 1000, "speedup": 8.0},
+        ]
+        _write_record(tmp_path, 5, {"hc": {"cases": cases}})
+        trajectory = collect_trajectory(tmp_path)
+        assert trajectory[5] == {
+            "hc/cases[num_nodes=100#0]": 2.0,
+            "hc/cases[num_nodes=100#1]": 4.0,
+            "hc/cases[num_nodes=1000]": 8.0,  # unique labels stay unchanged
+        }
+
     def test_ignores_malformed_and_foreign_files(self, tmp_path):
         (tmp_path / "BENCH_9.json").write_text("not json", encoding="utf-8")
         (tmp_path / "BENCH_x.json").write_text("{}", encoding="utf-8")

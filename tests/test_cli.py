@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.api import ScheduleResult
 from repro.cli import build_parser, main
 from repro.core import load_schedule
 from repro.io import read_hyperdag, write_hyperdag
@@ -91,11 +92,17 @@ class TestSchedule:
             ]
         )
         assert code == 0
+        # the emitted payload is the ScheduleResult wire format ...
+        payload = json.loads(output.read_text())
+        assert payload["scheduler"] == "hdagg"
+        assert payload["schedule"]["machine"]["num_procs"] == 8
+        result = ScheduleResult.from_dict(payload)
+        assert result.to_dict() == payload  # lossless round-trip
+        assert result.to_schedule().is_valid()
+        # ... and load_schedule understands it too (back-compat loader)
         loaded = load_schedule(output)
         assert loaded.is_valid()
         assert loaded.machine.num_procs == 8
-        payload = json.loads(output.read_text())
-        assert payload["machine"]["num_procs"] == 8
 
 
 class TestCompare:

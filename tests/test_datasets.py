@@ -86,11 +86,29 @@ class TestBenchDatasets:
     def test_structured_families_present(self):
         instances = build_dataset("small", scale="bench")
         structured = {i.generator for i in instances if i.kind == "structured"}
-        assert structured == {"cholesky", "fft", "stencil2d"}
+        assert structured == {
+            "cholesky",
+            "cholesky_rcm",
+            "fft",
+            "fft4",
+            "stencil2d",
+            "stencil2d_rect",
+        }
         low, high = dataset_interval("small", "bench")
         for inst in instances:
             if inst.kind == "structured":
                 assert 0.4 * low <= inst.num_nodes <= 2.0 * high, inst.name
+
+    def test_structured_variants_differ_from_their_bases(self):
+        """The PR-4 variants are real scenario diversity, not renamed copies."""
+        instances = {i.generator: i for i in build_dataset("small", scale="bench")
+                     if i.kind == "structured"}
+        rcm, natural = instances["cholesky_rcm"], instances["cholesky"]
+        assert rcm.dag.num_nodes == natural.dag.num_nodes  # same column count
+        assert rcm.dag.num_edges != natural.dag.num_edges  # different fill
+        assert instances["fft4"].dag.depth() < instances["fft"].dag.depth()
+        rect = instances["stencil2d_rect"]
+        assert rect.params["width"] == 2 * rect.params["height"]
 
     def test_structured_instances_can_be_disabled(self):
         without = build_dataset("tiny", scale="bench", include_structured=False)

@@ -198,7 +198,7 @@ class TestIlpInit:
             def __init__(self, *args, **kwargs):
                 pass
 
-            def solve(self, time_limit=None):
+            def solve(self, time_limit=None, node_limit=None):
                 from repro.schedulers.ilp.window import WindowIlpResult
 
                 return WindowIlpResult(False, {}, {}, float("inf"), "forced failure")

@@ -12,6 +12,8 @@ from repro.dagdb import (
     SparseMatrixPattern,
     WEIGHT_MODELS,
     apply_weight_model,
+    amd_ordering,
+    build_amd_elimination_dag,
     build_elimination_dag,
     build_fft4_dag,
     build_fft_dag,
@@ -170,6 +172,7 @@ class TestSchedulableEndToEnd:
         pattern = SparseMatrixPattern.random(20, 0.15, seed=6, ensure_diagonal=True)
         yield build_elimination_dag(pattern).dag
         yield build_rcm_elimination_dag(pattern).dag
+        yield build_amd_elimination_dag(pattern).dag
         yield build_fft_dag(16).dag
         yield build_fft4_dag(16).dag
         yield build_stencil2d_dag(4, 3).dag
@@ -203,6 +206,7 @@ class TestSchedulableEndToEnd:
     def test_registry_names(self):
         assert set(STRUCTURED_GENERATORS) == {
             "cholesky",
+            "cholesky_amd",
             "cholesky_rcm",
             "fft",
             "fft4",
@@ -266,7 +270,34 @@ class TestScenarioVariants:
     def test_elimination_ordering_validation(self):
         pattern = SparseMatrixPattern.tridiagonal(5)
         with pytest.raises(DagError):
-            build_elimination_dag(pattern, ordering="amd")
+            build_elimination_dag(pattern, ordering="colamd")
+
+    def test_amd_ordering_is_permutation_and_reduces_fill(self):
+        pattern = SparseMatrixPattern.random(40, 0.15, seed=9, ensure_diagonal=True)
+        order = amd_ordering(pattern)
+        assert sorted(order.tolist()) == list(range(40))
+        natural = build_elimination_dag(pattern)
+        amd = build_amd_elimination_dag(pattern)
+        assert amd.dag.num_nodes == natural.dag.num_nodes == 40
+        # minimum degree greedily suppresses fill; on a random pattern it
+        # must not do worse than the natural order
+        assert amd.dag.num_edges <= natural.dag.num_edges
+        assert amd.dag.is_acyclic()
+
+    def test_amd_deterministic(self):
+        pattern = SparseMatrixPattern.random(25, 0.2, seed=2, ensure_diagonal=True)
+        first = build_amd_elimination_dag(pattern)
+        second = build_amd_elimination_dag(pattern)
+        assert np.array_equal(first.dag.succ_indptr, second.dag.succ_indptr)
+        assert np.array_equal(first.dag.succ_indices, second.dag.succ_indices)
+
+    def test_amd_handles_disconnected_and_tiny_patterns(self):
+        # a diagonal-only pattern has no fill under any ordering
+        diag = SparseMatrixPattern.from_coordinates(4, [(i, i) for i in range(4)])
+        assert sorted(amd_ordering(diag).tolist()) == list(range(4))
+        assert build_amd_elimination_dag(diag).dag.num_edges == 0
+        empty = SparseMatrixPattern(0)
+        assert amd_ordering(empty).size == 0
 
     def test_permuted_validates_order(self):
         pattern = SparseMatrixPattern.tridiagonal(4)
