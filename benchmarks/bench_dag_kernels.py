@@ -76,7 +76,7 @@ GENERATION_ACCEPTANCE_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_MIN_GEN_SPEEDUP", "10.0")
 )
 #: stacked-PR sequence number of the stable BENCH_<n>.json record
-BENCH_PR_NUMBER = int(os.environ.get("REPRO_BENCH_PR", "4"))
+BENCH_PR_NUMBER = int(os.environ.get("REPRO_BENCH_PR", "6"))
 
 
 # ---------------------------------------------------------------------- #

@@ -25,7 +25,7 @@ import re
 import sys
 from pathlib import Path
 
-__all__ = ["collect_trajectory", "render_markdown", "main"]
+__all__ = ["collect_trajectory", "collect_backends", "render_markdown", "main"]
 
 #: fields (in priority order) used to label a list entry so that the same
 #: case lines up across PRs
@@ -85,8 +85,57 @@ def collect_trajectory(root: Path) -> dict[int, dict[str, float]]:
     return trajectory
 
 
-def render_markdown(trajectory: dict[int, dict[str, float]]) -> str:
-    """One markdown table: kernels as rows, PRs as columns, speedups as cells."""
+def _find_backend(payload) -> str | None:
+    """First ``"kernel_backend"`` string anywhere in a record payload."""
+    if isinstance(payload, dict):
+        value = payload.get("kernel_backend")
+        if isinstance(value, str):
+            return value
+        for child in payload.values():
+            found = _find_backend(child)
+            if found is not None:
+                return found
+    elif isinstance(payload, list):
+        for child in payload:
+            found = _find_backend(child)
+            if found is not None:
+                return found
+    return None
+
+
+def collect_backends(root: Path) -> dict[int, str]:
+    """Per-PR kernel backend (``numpy`` / ``numba``) from every ``BENCH_*.json``.
+
+    PRs predating the kernel-dispatch layer record no backend; they are
+    simply absent from the result (rendered as a dash).
+    """
+    backends: dict[int, str] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if not match:
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            continue
+        if record.get("schema_version") != 1:
+            continue
+        backend = _find_backend(record.get("benchmarks", {}))
+        if backend is not None:
+            backends[int(match.group(1))] = backend
+    return backends
+
+
+def render_markdown(
+    trajectory: dict[int, dict[str, float]],
+    backends: dict[int, str] | None = None,
+) -> str:
+    """One markdown table: kernels as rows, PRs as columns, speedups as cells.
+
+    When ``backends`` is given, a leading row shows which kernel backend
+    (:mod:`repro.core.kernels`) produced each PR's numbers — a numba column
+    and a numpy column are not comparable cell-for-cell.
+    """
     if not trajectory:
         return "No BENCH_*.json records found."
     prs = sorted(trajectory)
@@ -97,6 +146,9 @@ def render_markdown(trajectory: dict[int, dict[str, float]]) -> str:
         "| kernel | " + " | ".join(f"PR {pr}" for pr in prs) + " |",
         "|---" * (len(prs) + 1) + "|",
     ]
+    if backends:
+        cells = [backends.get(pr, "—") for pr in prs]
+        lines.append("| *(kernel backend)* | " + " | ".join(cells) + " |")
     for kernel in kernels:
         cells = []
         for pr in prs:
@@ -109,7 +161,7 @@ def render_markdown(trajectory: dict[int, dict[str, float]]) -> str:
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
-    print(render_markdown(collect_trajectory(root)))
+    print(render_markdown(collect_trajectory(root), collect_backends(root)))
     return 0
 
 

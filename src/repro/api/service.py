@@ -81,6 +81,11 @@ def _solve_task(_payload: None, request: ScheduleRequest) -> ScheduleResult:
     return replace(result, _schedule=None)
 
 
+def _solve_task_thread(_payload: None, request: ScheduleRequest) -> ScheduleResult:
+    """Thread-pool handler: no pipe, so the live schedule object is kept."""
+    return _solve_request(request)
+
+
 class SchedulingService:
     """Stateless solve facade with batched fan-out and content-addressed caching.
 
@@ -157,14 +162,23 @@ class SchedulingService:
         self,
         requests: list[ScheduleRequest | dict],
         workers: int | None = None,
+        executor: str = "process",
     ) -> list[ScheduleResult]:
-        """Solve a batch, optionally process-parallel; results in request order.
+        """Solve a batch, optionally pool-parallel; results in request order.
 
         Cached requests are answered without touching the pool; only the
         misses fan out.  ``workers=None`` reads ``REPRO_WORKERS`` (default
         1 = serial).  For deterministic-budget requests a parallel batch
         returns canonical payloads bit-identical to a serial one; see
         :mod:`repro.core.parallel` for the pool degradation contract.
+
+        ``executor="thread"`` fans out over a thread pool instead of a
+        process pool: requests and results never cross a pickle boundary
+        (a batch sharing one large in-memory DAG ships it zero times
+        instead of once per request), and the hot loops release the GIL
+        under the compiled kernel backend.  With the numpy backend threads
+        still interleave under the GIL — prefer processes there unless the
+        batch is dominated by serialization.
         """
         coerced = [_coerce_request(request) for request in requests]
         fingerprints = [request.fingerprint() for request in coerced]
@@ -183,10 +197,11 @@ class SchedulingService:
                 unique_misses[fingerprint] = index
         if unique_misses:
             solved = parallel_map(
-                _solve_task,
+                _solve_task if executor == "process" else _solve_task_thread,
                 None,
                 [coerced[i] for i in unique_misses.values()],
                 workers,
+                executor=executor,
             )
             by_fingerprint = dict(zip(unique_misses, solved))
             for fingerprint, result in by_fingerprint.items():

@@ -1,0 +1,300 @@
+"""Kernel-dispatch layer for the refinement/coarsening/symbolic hot loops.
+
+Two interchangeable backends implement the four hot loops of the pipeline
+(HC refinement pass, HCcs window walk, coarsening acyclicity probe,
+symbolic factorisation):
+
+* ``numpy`` — the vectorized reference implementation, extracted unchanged
+  from the scheduler/dagdb modules.  Always available.
+* ``numba`` — the same loops compiled with ``@njit(nogil=True, cache=True)``
+  (:mod:`repro.core.kernels.numba_impl`).  Selected automatically when a
+  working numba is importable; a missing or broken install silently falls
+  back to ``numpy``.
+
+The ``REPRO_KERNEL_BACKEND`` environment variable overrides the automatic
+choice (``numpy`` or ``numba``; forcing ``numba`` without a working install
+raises :class:`KernelBackendError` instead of silently degrading, so CI
+matrix legs cannot pass vacuously).  The undocumented value ``loops`` runs
+the *uncompiled* loop bodies of :mod:`repro.core.kernels.loops` — the exact
+code numba compiles — which is how the backend-parity suite pins the
+compiled backend's semantics on machines without numba.
+
+Both backends are pinned to the retained seed references by the existing
+differential suites; on the repository's integer/dyadic-weight instances
+they are bit-identical, not merely equal within tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from . import loops, numba_impl, numpy_impl
+from .state import HccsState
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackendError",
+    "HccsState",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "warmup",
+    "hc_pass",
+    "hccs_pass",
+    "coarsen_reach",
+    "symbolic_fill",
+]
+
+#: Environment knob selecting the kernel backend.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Public backend names ("loops" additionally accepted for parity testing).
+_PUBLIC = ("numpy", "numba")
+_NAMES = ("numpy", "numba", "loops")
+
+#: Node/window chunk between budget checks when a wall-clock budget is
+#: active: large enough to amortise the kernel-call overhead, small enough
+#: that an expired budget stops a pass promptly.
+_BUDGET_CHUNK = 2048
+
+_EPS = 1e-9
+
+
+class KernelBackendError(RuntimeError):
+    """An explicitly requested kernel backend cannot be honoured."""
+
+
+def get_backend() -> str:
+    """The active backend name, honouring ``REPRO_KERNEL_BACKEND``.
+
+    Without the override: ``numba`` when a working install is importable,
+    else ``numpy``.  An unknown forced name, or forcing ``numba`` where it
+    is unavailable, raises :class:`KernelBackendError` with the reason.
+    """
+    forced = os.environ.get(ENV_VAR)
+    if forced is not None and forced.strip():
+        name = forced.strip().lower()
+        if name not in _NAMES:
+            raise KernelBackendError(
+                f"unknown kernel backend {forced!r} (from {ENV_VAR}): "
+                f"expected one of {', '.join(repr(n) for n in _PUBLIC)}"
+            )
+        if name == "numba" and not numba_impl.available():
+            raise KernelBackendError(
+                f"{ENV_VAR}=numba was forced but the numba backend is "
+                f"unavailable ({numba_impl.unavailable_reason()}); install "
+                f"the 'speed' extra (pip install repro-bsp-scheduling[speed]) or "
+                f"unset {ENV_VAR}"
+            )
+        return name
+    return "numba" if numba_impl.available() else "numpy"
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names usable in this interpreter (public names only)."""
+    return _PUBLIC if numba_impl.available() else ("numpy",)
+
+
+def backend_info() -> dict:
+    """Diagnostic snapshot for the ``repro kernels`` CLI subcommand."""
+    forced = os.environ.get(ENV_VAR)
+    try:
+        active: str | None = get_backend()
+        error = None
+    except KernelBackendError as exc:
+        active = None
+        error = str(exc)
+    return {
+        "active": active,
+        "forced": forced,
+        "error": error,
+        "available": list(available_backends()),
+        "numba_available": numba_impl.available(),
+        "numba_version": numba_impl.version(),
+        "numba_unavailable_reason": numba_impl.unavailable_reason(),
+    }
+
+
+def warmup() -> float:
+    """Pre-compile the active backend's kernels; returns seconds spent.
+
+    A no-op (0.0) unless the numba backend is active — the numpy and loops
+    backends have nothing to compile.
+    """
+    if get_backend() == "numba":
+        return numba_impl.warmup()
+    return 0.0
+
+
+# ---------------------------------------------------------------------- #
+# dispatched kernels
+# ---------------------------------------------------------------------- #
+def _loop_fn(numba_name: str, loops_fn):
+    """The compiled kernel for the active backend ('numba' vs 'loops')."""
+    backend = get_backend()
+    if backend == "numba":
+        return getattr(numba_impl, numba_name)
+    return loops_fn
+
+
+def hc_pass(tracker, start, stop, max_accept=-1, eps=_EPS, budget=None):
+    """One HC refinement pass over nodes ``[start, stop)`` of a tracker.
+
+    Dispatches to the active backend; returns ``(accepted, moves)`` where
+    ``moves`` lists the accepted ``(node, new_proc, new_step)`` triples in
+    acceptance order.  ``max_accept < 0`` (or ``None``) means unlimited; a
+    wall-clock ``budget`` is checked per node (numpy backend) or between
+    node chunks (compiled backends — one kernel call cannot observe the
+    clock mid-flight).
+    """
+    if max_accept is None:
+        max_accept = -1
+    if get_backend() == "numpy":
+        return numpy_impl.hc_pass_numpy(tracker, start, stop, max_accept, eps, budget)
+    fn = _loop_fn("hc_pass_jit", loops.hc_pass_loops)
+    dag = tracker.dag
+    machine = tracker.machine
+    timed = budget is not None and budget.seconds is not None
+    chunk = _BUDGET_CHUNK if timed else max(stop - start, 1)
+    accepted = 0
+    moves: list[tuple[int, int, int]] = []
+    pos = start
+    while pos < stop:
+        if budget is not None and budget.expired():
+            break
+        cap = -1 if max_accept < 0 else max_accept - accepted
+        if max_accept >= 0 and cap <= 0:
+            break
+        end = min(pos + chunk, stop)
+        moves_out = np.empty((max(end - pos, 1), 3), dtype=np.int64)
+        got = fn(
+            dag.succ_indptr,
+            dag.succ_indices,
+            dag.pred_indptr,
+            dag.pred_indices,
+            dag.work_weights,
+            dag.comm_weights,
+            machine.numa,
+            float(machine.g),
+            tracker.procs,
+            tracker.supersteps,
+            tracker.work,
+            tracker.send,
+            tracker.recv,
+            tracker._work_max,
+            tracker._comm_max,
+            tracker.need_min,
+            tracker.need_cnt,
+            pos,
+            end,
+            cap,
+            eps,
+            moves_out,
+        )
+        for k in range(got):
+            moves.append(
+                (int(moves_out[k, 0]), int(moves_out[k, 1]), int(moves_out[k, 2]))
+            )
+        accepted += int(got)
+        pos = end
+    return accepted, moves
+
+
+def hccs_pass(state: HccsState, start, stop, max_accept=-1, eps=_EPS, budget=None):
+    """One HCcs pass over ``state.movable[start:stop]``.
+
+    Returns ``(accepted, moves)`` with the accepted ``(window_index,
+    new_phase)`` pairs in acceptance order; budget/cap semantics as in
+    :func:`hc_pass`.
+    """
+    if max_accept is None:
+        max_accept = -1
+    if get_backend() == "numpy":
+        return numpy_impl.hccs_pass_numpy(state, start, stop, max_accept, eps, budget)
+    fn = _loop_fn("hccs_pass_jit", loops.hccs_pass_loops)
+    timed = budget is not None and budget.seconds is not None
+    chunk = _BUDGET_CHUNK if timed else max(stop - start, 1)
+    accepted = 0
+    moves: list[tuple[int, int]] = []
+    pos = start
+    while pos < stop:
+        if budget is not None and budget.expired():
+            break
+        cap = -1 if max_accept < 0 else max_accept - accepted
+        if max_accept >= 0 and cap <= 0:
+            break
+        end = min(pos + chunk, stop)
+        moves_out = np.empty((max(end - pos, 1), 2), dtype=np.int64)
+        got = fn(
+            state.send,
+            state.recv,
+            state.comm_max,
+            state.choices,
+            state.movable,
+            state.srcs,
+            state.tgts,
+            state.earliest,
+            state.latest,
+            state.volumes,
+            pos,
+            end,
+            cap,
+            eps,
+            moves_out,
+        )
+        for k in range(got):
+            moves.append((int(moves_out[k, 0]), int(moves_out[k, 1])))
+        accepted += int(got)
+        pos = end
+    return accepted, moves
+
+
+def coarsen_reach(graph, u, v, budget=None):
+    """Alternative-path probe for the coarsener's acyclicity check.
+
+    ``graph`` is a flat-adjacency working graph (``succ_pool``/``succ_start``
+    /``succ_len`` plus reusable DFS scratch).  Returns ``1`` when another
+    ``u -> v`` route exists (not contractable), ``0`` when none does, and
+    ``-1`` when the node ``budget`` (``None`` = unlimited) runs out first.
+    """
+    backend = get_backend()
+    if backend == "numpy":
+        # Python-native mirror of the loop body (identical visit order and
+        # budget accounting) — much faster than the un-jitted array DFS
+        return numpy_impl.coarsen_reach_numpy(graph, u, v, budget)
+    fn = (
+        numba_impl.coarsen_reach_jit if backend == "numba" else loops.coarsen_reach_loops
+    )
+    return int(
+        fn(
+            graph.succ_pool,
+            graph.succ_start,
+            graph.succ_len,
+            u,
+            v,
+            -1 if budget is None else budget,
+            graph.dfs_stack,
+            graph.dfs_seen,
+            graph.next_stamp(),
+        )
+    )
+
+
+def symbolic_fill(indptr, indices, n):
+    """Per-column structure union of the up-looking symbolic factorisation.
+
+    Takes the CSR pattern of the symmetrised matrix; returns the ragged
+    below-diagonal column structures of ``L`` as ``(out_indptr,
+    out_indices, parents)`` with ``parents`` the elimination tree.
+    """
+    backend = get_backend()
+    if backend == "numpy":
+        return numpy_impl.symbolic_fill_numpy(indptr, indices, n)
+    fn = _loop_fn("symbolic_fill_jit", loops.symbolic_fill_loops)
+    return fn(
+        np.ascontiguousarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(indices, dtype=np.int64),
+        n,
+    )

@@ -1,0 +1,192 @@
+"""The numpy kernel backend — today's vectorized hot loops, extracted.
+
+Each function here is the behavior-identical numpy formulation of one hot
+loop, lifted out of its original module so the dispatch layer can swap it
+for the compiled backend.  The heavy lifting still lives where it always
+did (e.g. :meth:`LazyCostTracker.candidate_deltas`); these wrappers own the
+*pass drivers* — the per-node / per-window Python orchestration that the
+numba backend replaces with one compiled loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .loops import symbolic_fill_loops
+from .state import HccsState
+
+__all__ = [
+    "hc_pass_numpy",
+    "hccs_pass_numpy",
+    "coarsen_reach_numpy",
+    "symbolic_fill_numpy",
+]
+
+_EPS_DEFAULT = 1e-9
+
+
+def hc_pass_numpy(tracker, start, stop, max_accept, eps, budget=None):
+    """One HC pass over nodes ``[start, stop)`` via the batched tracker.
+
+    Evaluates every node's ``3 x P`` candidate moves with
+    ``tracker.candidate_deltas`` (read-only) and applies the first improving
+    candidate through ``tracker.apply_move`` — exactly the pre-dispatch
+    climb body.  Returns ``(accepted, moves)``.
+    """
+    P = tracker.machine.num_procs
+    accepted = 0
+    moves: list[tuple[int, int, int]] = []
+    for v in range(start, stop):
+        if max_accept >= 0 and accepted >= max_accept:
+            break
+        if budget is not None and budget.expired():
+            break
+        deltas, valid = tracker.candidate_deltas(v)
+        hit = valid & (deltas < -eps)
+        if not hit.any():
+            continue
+        # first improving candidate in the reference scan order:
+        # steps (s-1, s, s+1) major, processors 0..P-1 minor
+        flat = int(np.argmax(hit))
+        step_offset, new_proc = divmod(flat, P)
+        new_step = int(tracker.supersteps[v]) - 1 + step_offset
+        tracker.apply_move(v, new_proc, new_step)
+        accepted += 1
+        moves.append((v, new_proc, new_step))
+    return accepted, moves
+
+
+def hccs_pass_numpy(state: HccsState, start, stop, max_accept, eps, budget=None):
+    """One HCcs pass over ``state.movable[start:stop]`` (numpy row ops).
+
+    The pre-dispatch window walk: one shared removal row scan per window,
+    candidate phases scored against the maintained row maxima in one
+    vectorized expression.  Returns ``(accepted, moves)``.
+    """
+    send = state.send
+    recv = state.recv
+    comm_max = state.comm_max
+    choices = state.choices
+    accepted = 0
+    moves: list[tuple[int, int]] = []
+    for mi in range(start, stop):
+        if max_accept >= 0 and accepted >= max_accept:
+            break
+        if budget is not None and budget.expired():
+            break
+        index = int(state.movable[mi])
+        current = int(choices[index])
+        lo = int(state.earliest[index])
+        hi = int(state.latest[index])
+        volume = float(state.volumes[index])
+        p1 = int(state.srcs[index])
+        p2 = int(state.tgts[index])
+
+        # removing the transfer from its current phase: one row scan,
+        # shared by every candidate phase of the window
+        send_row = send[current].copy()
+        send_row[p1] -= volume
+        recv_row = recv[current].copy()
+        recv_row[p2] -= volume
+        removal = max(float(send_row.max()), float(recv_row.max())) - comm_max[current]
+
+        # adding it to a candidate phase only raises that row, so the
+        # new maximum needs no row scan at all
+        window_max = comm_max[lo : hi + 1]
+        raised = np.maximum(
+            window_max,
+            np.maximum(send[lo : hi + 1, p1] + volume, recv[lo : hi + 1, p2] + volume),
+        )
+        deltas = ((raised - window_max) + removal).tolist()
+
+        best_phase = current
+        best_delta = 0.0
+        for offset, delta in enumerate(deltas):
+            candidate = lo + offset
+            if candidate == current:
+                continue
+            if delta < best_delta - eps:
+                best_delta = delta
+                best_phase = candidate
+        if best_phase != current:
+            send[current, p1] -= volume
+            recv[current, p2] -= volume
+            send[best_phase, p1] += volume
+            recv[best_phase, p2] += volume
+            for s in (current, best_phase):
+                comm_max[s] = float(np.maximum(send[s], recv[s]).max())
+            choices[index] = best_phase
+            accepted += 1
+            moves.append((index, best_phase))
+    return accepted, moves
+
+
+def coarsen_reach_numpy(graph, u, v, budget):
+    """Alternative-path DFS over the flat adjacency pools.
+
+    Python-native mirror of :func:`repro.core.kernels.loops.coarsen_reach_loops`
+    — identical visit order and budget accounting (so every backend makes
+    the same contract/skip decisions), but with list/set containers, which
+    beat per-element numpy indexing by a wide margin when the loop body is
+    not compiled.
+    """
+    succ_pool = graph.succ_pool
+    succ_start = graph.succ_start
+    succ_len = graph.succ_len
+    base = int(succ_start[u])
+    stack = [w for w in succ_pool[base : base + int(succ_len[u])].tolist() if w != v]
+    seen = set(stack)
+    remaining = -1 if budget is None else budget
+    while stack:
+        x = stack.pop()
+        if remaining >= 0:
+            remaining -= 1
+            if remaining < 0:
+                return -1
+        xb = int(succ_start[x])
+        for w in succ_pool[xb : xb + int(succ_len[x])].tolist():
+            if w == v:
+                return 1
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return 0
+
+
+def symbolic_fill_numpy(indptr, indices, n):
+    """Per-column union pass of the symbolic factorisation (numpy sets).
+
+    The pre-dispatch loop: column ``j``'s structure is the ``np.unique`` of
+    ``A``'s below-diagonal column entries and the children structures minus
+    their pivot rows.  Returns the ragged structures as
+    ``(out_indptr, out_indices, parents)``.
+    """
+    parents = np.full(n, -1, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(n)]
+    structures: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    for j in range(n):
+        row = indices[indptr[j] : indptr[j + 1]]
+        pieces = [row[row > j]]
+        # a child's structure starts at its pivot row == j; drop that entry
+        pieces.extend(structures[c][1:] for c in children[j])
+        struct = (
+            np.unique(np.concatenate(pieces))
+            if len(pieces) > 1
+            else pieces[0].astype(np.int64)
+        )
+        structures[j] = struct
+        if struct.size:
+            parent = int(struct[0])
+            parents[j] = parent
+            children[parent].append(j)
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    if n:
+        np.cumsum([s.size for s in structures], out=out_indptr[1:])
+    out_indices = (
+        np.concatenate(structures) if n else np.empty(0, dtype=np.int64)
+    ).astype(np.int64, copy=False)
+    return out_indptr, out_indices, parents
+
+
+def _ignore():  # pragma: no cover - keeps the shared-code import explicit
+    return symbolic_fill_loops

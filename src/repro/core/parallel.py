@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out shared by the batched entry points.
+"""Deterministic pool fan-out (process or thread) shared by the batched entry points.
 
 Both the experiment grid (:func:`repro.analysis.experiments.run_grid`) and
 the scheduling service (:meth:`repro.api.SchedulingService.solve_many`)
@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
@@ -69,16 +69,29 @@ def parallel_map(
     payload,
     tasks: Sequence[_Task],
     workers: int | None = None,
+    executor: str = "process",
 ) -> list[_Result]:
-    """Apply ``handler(payload, task)`` to every task, optionally process-parallel.
+    """Apply ``handler(payload, task)`` to every task, optionally in parallel.
 
     ``workers=None`` reads the ``REPRO_WORKERS`` environment variable
     (default 1 = serial).  Results are returned in task order regardless of
     ``workers``; see the module docstring for the degradation contract.
+
+    ``executor`` selects the pool flavour: ``"process"`` (the default — full
+    interpreter isolation, everything crosses a pickle boundary) or
+    ``"thread"`` — shared address space, nothing is pickled, worthwhile when
+    the handler spends its time in GIL-releasing code such as the compiled
+    kernel backend (:mod:`repro.core.kernels`).  The thread path needs no
+    pickling pre-flight and cannot lose workers, so its only degradation is
+    ``workers <= 1`` serial execution.
     """
     tasks = list(tasks)
     if workers is None:
         workers = default_workers()
+    if executor not in ("process", "thread"):
+        raise ValueError(
+            f"unknown executor {executor!r}: expected 'process' or 'thread'"
+        )
 
     def serial(indices: Sequence[int] | None = None) -> list[_Result]:
         picked = range(len(tasks)) if indices is None else indices
@@ -86,6 +99,23 @@ def parallel_map(
 
     if workers <= 1 or len(tasks) <= 1:
         return serial()
+
+    if executor == "thread":
+        pool = ThreadPoolExecutor(max_workers=min(workers, len(tasks)))
+        try:
+            futures = [pool.submit(handler, payload, task) for task in tasks]
+            results = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException:
+                    # mirror the process path: a task error cancels the
+                    # remaining tasks and propagates promptly
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+        finally:
+            pool.shutdown(wait=False)
+        return results
 
     # pre-flight: prove the shared payload can cross a process boundary
     # (pickle signals this with TypeError/AttributeError/ValueError as often

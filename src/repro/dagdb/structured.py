@@ -31,6 +31,7 @@ from itertools import repeat
 
 import numpy as np
 
+from ..core import kernels
 from ..core.dag import DagBuilder
 from ..core.exceptions import DagError
 from .fine import FineGrainedResult
@@ -83,27 +84,21 @@ def symbolic_fill_structure(
     the structures of ``j``'s elimination-tree children (minus their pivot
     rows).  Returns ``(structures, parents)`` where ``parents[j]`` is the
     etree parent of column ``j`` (``-1`` for roots).
+
+    The per-column union pass runs through the kernel-dispatch layer
+    (:func:`repro.core.kernels.symbolic_fill`): the numpy backend is the
+    original ``np.unique``-per-column loop, the compiled backend a single
+    pooled sort-dedupe kernel; both emit identical sorted structures.  The
+    returned column arrays are views into one pooled index array.
     """
     sym = pattern.symmetrized()
     n = sym.size
-    parents = np.full(n, -1, dtype=_INT)
-    children: list[list[int]] = [[] for _ in range(n)]
-    structures: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-    for j in range(n):
-        row = sym.row_array(j)
-        pieces = [row[row > j]]
-        # a child's structure starts at its pivot row == j; drop that entry
-        pieces.extend(structures[c][1:] for c in children[j])
-        struct = (
-            np.unique(np.concatenate(pieces))
-            if len(pieces) > 1
-            else pieces[0].astype(_INT)
-        )
-        structures[j] = struct
-        if struct.size:
-            parent = int(struct[0])
-            parents[j] = parent
-            children[parent].append(j)
+    out_indptr, out_indices, parents = kernels.symbolic_fill(
+        sym.indptr, sym.indices, n
+    )
+    structures = [
+        out_indices[out_indptr[j] : out_indptr[j + 1]] for j in range(n)
+    ]
     return structures, parents
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core import kernels
 from ..core.comm import CommStep
 from ..core.schedule import BspSchedule
 from .base import ScheduleImprover, TimeBudget, budget_limits
@@ -106,12 +107,19 @@ class CommScheduleHillClimbing(ScheduleImprover):
         comm_max = np.maximum(send, recv).max(axis=1)
 
         # only windows with at least two feasible phases can ever move
-        movable = np.flatnonzero(latest > earliest).tolist()
-        src_list = srcs.tolist()
-        tgt_list = tgts.tolist()
-        lo_list = earliest.tolist()
-        hi_list = latest.tolist()
-        vol_list = volumes.tolist()
+        movable = np.flatnonzero(latest > earliest)
+        state = kernels.HccsState(
+            send=send,
+            recv=recv,
+            comm_max=comm_max,
+            choices=choices,
+            movable=movable,
+            srcs=srcs,
+            tgts=tgts,
+            earliest=earliest,
+            latest=latest,
+            volumes=volumes,
+        )
 
         # a unified Budget's deterministic step cap bounds the accepted
         # phase moves of this invocation (None = until convergence)
@@ -123,56 +131,16 @@ class CommScheduleHillClimbing(ScheduleImprover):
         while improved_any and passes < self.max_passes and not budget.expired():
             improved_any = False
             passes += 1
-            for index in movable:
-                if budget.expired():
-                    break
-                if max_steps is not None and accepted >= max_steps:
-                    break
-                current = int(choices[index])
-                lo = lo_list[index]
-                hi = hi_list[index]
-                volume = vol_list[index]
-                p1 = src_list[index]
-                p2 = tgt_list[index]
-
-                # removing the transfer from its current phase: one row scan,
-                # shared by every candidate phase of the window
-                send_row = send[current].copy()
-                send_row[p1] -= volume
-                recv_row = recv[current].copy()
-                recv_row[p2] -= volume
-                removal = max(float(send_row.max()), float(recv_row.max())) - comm_max[current]
-
-                # adding it to a candidate phase only raises that row, so the
-                # new maximum needs no row scan at all
-                window_max = comm_max[lo : hi + 1]
-                raised = np.maximum(
-                    window_max,
-                    np.maximum(send[lo : hi + 1, p1] + volume, recv[lo : hi + 1, p2] + volume),
-                )
-                deltas = ((raised - window_max) + removal).tolist()
-
-                best_phase = current
-                best_delta = 0.0
-                for offset, delta in enumerate(deltas):
-                    candidate = lo + offset
-                    if candidate == current:
-                        continue
-                    if delta < best_delta - _EPS:
-                        best_delta = delta
-                        best_phase = candidate
-                if best_phase != current:
-                    send[current, p1] -= volume
-                    recv[current, p2] -= volume
-                    send[best_phase, p1] += volume
-                    recv[best_phase, p2] += volume
-                    for s in (current, best_phase):
-                        comm_max[s] = float(np.maximum(send[s], recv[s]).max())
-                    choices[index] = best_phase
-                    accepted += 1
-                    improved_any = True
-                    if self.record_moves:
-                        moves.append((index, best_phase))
+            # one dispatched pass over the movable windows (numpy / numba)
+            cap = None if max_steps is None else max_steps - accepted
+            got, pass_moves = kernels.hccs_pass(
+                state, 0, movable.size, cap, _EPS, budget=budget
+            )
+            accepted += got
+            if got:
+                improved_any = True
+                if self.record_moves:
+                    moves.extend(pass_moves)
             if max_steps is not None and accepted >= max_steps:
                 break
 

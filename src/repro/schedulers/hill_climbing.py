@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.csr import NO_ENTRY, gather_rows, group_min_by_pair, group_min_table, row_max_excluding
+from ..core import kernels
+from ..core.csr import NO_ENTRY, gather_rows, group_min_by_pair, row_max_excluding
 from ..core.dag import ComputationalDAG
 from ..core.machine import BspMachine
 from ..core.schedule import BspSchedule
@@ -114,11 +115,30 @@ class LazyCostTracker:
         ]
 
     def _build(self) -> None:
-        """One grouped pass over the edge arrays fills work/send/recv."""
+        """One grouped pass over the edge arrays fills work/send/recv.
+
+        The same pass also fills the incremental first-need table:
+        ``need_min[u, q]`` is the earliest superstep any successor of ``u``
+        occupies on processor ``q`` (``NO_ENTRY`` when none does) and
+        ``need_cnt[u, q]`` counts the successors achieving that minimum.
+        :meth:`apply_move` maintains both in O(changed), which is what lets
+        :meth:`candidate_deltas` skip the per-visit ragged gather over the
+        predecessors' successor rows that earlier revisions rebuilt from
+        scratch for every node.
+        """
         dag = self.dag
         np.add.at(self.work, (self.supersteps, self.procs), dag.work_weights)
+        self.need_min = np.full(
+            (dag.num_nodes, self.machine.num_procs), NO_ENTRY, dtype=np.int64
+        )
+        self.need_cnt = np.zeros_like(self.need_min)
         src, dst = dag.edge_arrays()
         if src.size:
+            qd = self.procs[dst]
+            sd = self.supersteps[dst]
+            np.minimum.at(self.need_min, (src, qd), sd)
+            achieves = sd == self.need_min[src, qd]
+            np.add.at(self.need_cnt, (src[achieves], qd[achieves]), 1)
             cross = self.procs[src] != self.procs[dst]
             if cross.any():
                 cross_dst = dst[cross]
@@ -273,24 +293,34 @@ class LazyCostTracker:
         c_v = dag.comm(v)
         top = max(S - 1, 0)
 
-        # first superstep needing v's value on each processor
-        need_v = np.full(P, NO_ENTRY, dtype=_INT)
-        if succs.size:
-            np.minimum.at(need_v, self.procs[succs], self.supersteps[succs])
+        # first superstep needing v's value on each processor: exactly
+        # v's row of the incrementally maintained first-need table
+        need_v = self.need_min[v]
         targets_v = np.flatnonzero(need_v != NO_ENTRY)
         phases_v = need_v[targets_v] - 1
 
-        # per-predecessor "first need on each processor" table, v excluded:
-        # one ragged gather over the predecessors' successor rows
+        # per-predecessor "first need on each processor" table, v excluded.
+        # v only ever contributes the entry (p0, s0), so the maintained rows
+        # are already v-free everywhere except possibly column p0 — and
+        # there only when v is the *sole* achiever of the minimum
+        # (need == s0 with count 1), in which case that entry is rescanned
+        # from the predecessor's successor row without v.
         d = preds.size
         if d:
-            flat, offsets = gather_rows(dag.succ_indptr, dag.succ_indices, preds)
-            rows_idx = np.repeat(np.arange(d, dtype=_INT), np.diff(offsets))
-            keep = flat != v
-            flat = flat[keep]
-            table = group_min_table(
-                rows_idx[keep], self.procs[flat], self.supersteps[flat], d, P
+            table = self.need_min[preds].copy()
+            suspects = np.flatnonzero(
+                (table[:, p0] == s0) & (self.need_cnt[preds, p0] == 1)
             )
+            if suspects.size:
+                sole = preds[suspects]
+                flat, offsets = gather_rows(dag.succ_indptr, dag.succ_indices, sole)
+                rows_idx = np.repeat(
+                    np.arange(sole.size, dtype=_INT), np.diff(offsets)
+                )
+                keep = (flat != v) & (self.procs[flat] == p0)
+                col = np.full(sole.size, NO_ENTRY, dtype=_INT)
+                np.minimum.at(col, rows_idx[keep], self.supersteps[flat[keep]])
+                table[suspects, p0] = col
             pred_procs = self.procs[preds]
             pred_vols = dag.comm_weights[preds][:, None] * numa[pred_procs]  # (d, P)
         else:
@@ -467,6 +497,7 @@ class LazyCostTracker:
         # reassign and add back the recomputed transfers
         self.procs[v] = new_proc
         self.supersteps[v] = new_step
+        self._update_need(v, old_proc, old_step, new_proc, new_step)
         for u in affected:
             for phase, source, target, volume in self._transfers_of(u):
                 self.send[phase, source] += volume
@@ -482,6 +513,46 @@ class LazyCostTracker:
             + self.machine.g * self._comm_max.sum()
         )
         return float(after - before)
+
+    def _update_need(
+        self, v: int, old_proc: int, old_step: int, new_proc: int, new_step: int
+    ) -> None:
+        """Maintain the first-need (min, count) rows of ``v``'s predecessors.
+
+        Must run after ``procs[v]``/``supersteps[v]`` have been reassigned.
+        ``v``'s contribution moves from ``(old_proc, old_step)`` to
+        ``(new_proc, new_step)``: the addition is applied first (against the
+        pre-addition minima), then the removal — a predecessor whose achiever
+        count drops to zero gets its column rescanned from its successor row
+        (rare: it requires ``v`` to have been the sole achiever).  ``v``'s own
+        row is untouched — its successors did not move.
+        """
+        preds = self.dag.pred(v)
+        if preds.size == 0:
+            return
+        nm = self.need_min[preds, new_proc]
+        lower = preds[new_step < nm]
+        self.need_min[lower, new_proc] = new_step
+        self.need_cnt[lower, new_proc] = 1
+        equal = preds[new_step == nm]
+        self.need_cnt[equal, new_proc] += 1
+        dec = preds[self.need_min[preds, old_proc] == old_step]
+        self.need_cnt[dec, old_proc] -= 1
+        dead = dec[self.need_cnt[dec, old_proc] == 0]
+        if dead.size:
+            flat, offsets = gather_rows(self.dag.succ_indptr, self.dag.succ_indices, dead)
+            rows_idx = np.repeat(np.arange(dead.size, dtype=_INT), np.diff(offsets))
+            keep = self.procs[flat] == old_proc
+            col = np.full(dead.size, NO_ENTRY, dtype=_INT)
+            cnt = np.zeros(dead.size, dtype=_INT)
+            if keep.any():
+                rows_kept = rows_idx[keep]
+                steps_kept = self.supersteps[flat[keep]]
+                np.minimum.at(col, rows_kept, steps_kept)
+                achieved = steps_kept == col[rows_kept]
+                np.add.at(cnt, rows_kept[achieved], 1)
+            self.need_min[dead, old_proc] = col
+            self.need_cnt[dead, old_proc] = cnt
 
     def assignment(self) -> tuple[np.ndarray, np.ndarray]:
         """Copies of the current ``(π, τ)`` arrays."""
@@ -568,33 +639,24 @@ class HillClimbingImprover(ScheduleImprover):
             )
         moves: list[tuple[int, int, int]] = []
         self.last_moves = moves if self.record_moves else None
-        dag = tracker.dag
-        P = tracker.machine.num_procs
+        num_nodes = tracker.dag.num_nodes
         accepted = 0
         improved_any = True
         passes = 0
         while improved_any and passes < self.max_passes and not budget.expired():
             improved_any = False
             passes += 1
-            for v in dag.nodes():
-                if budget.expired():
-                    break
-                if max_steps is not None and accepted >= max_steps:
-                    break
-                deltas, valid = tracker.candidate_deltas(v)
-                hit = valid & (deltas < -_EPS)
-                if not hit.any():
-                    continue
-                # first improving candidate in the reference scan order:
-                # steps (s-1, s, s+1) major, processors 0..P-1 minor
-                flat = int(np.argmax(hit))
-                step_offset, new_proc = divmod(flat, P)
-                new_step = int(tracker.supersteps[v]) - 1 + step_offset
-                tracker.apply_move(v, new_proc, new_step)
-                accepted += 1
+            # one dispatched pass over all nodes: the active kernel backend
+            # (numpy / numba) fuses candidate evaluation and acceptance
+            cap = None if max_steps is None else max_steps - accepted
+            got, pass_moves = kernels.hc_pass(
+                tracker, 0, num_nodes, cap, _EPS, budget=budget
+            )
+            accepted += got
+            if got:
                 improved_any = True
                 if self.record_moves:
-                    moves.append((v, new_proc, new_step))
+                    moves.extend(pass_moves)
             if max_steps is not None and accepted >= max_steps:
                 break
         return accepted

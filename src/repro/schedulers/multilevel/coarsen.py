@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...core import kernels
 from ...core.csr import dedupe_edges
 from ...core.dag import ComputationalDAG
 from ...core.exceptions import DagError
@@ -175,6 +176,12 @@ class _MutableGraph:
     def num_nodes(self) -> int:
         return len(self.succ)
 
+    def node_ids(self) -> list[int]:
+        return list(self.succ)
+
+    def edge_iter(self):
+        return ((u, v) for u, targets in self.succ.items() for v in targets)
+
     def edges(self) -> list[tuple[int, int]]:
         return [(u, v) for u, targets in self.succ.items() for v in targets]
 
@@ -234,6 +241,162 @@ class _MutableGraph:
         self.comm[u] += self.comm.pop(v)
 
 
+class _FlatGraph:
+    """Flat-array working graph for the contraction loop.
+
+    The same mutable-graph contract as :class:`_MutableGraph`, but with the
+    adjacency kept as *pooled sorted rows* (``succ_pool``/``succ_start``/
+    ``succ_len`` and the predecessor mirror) instead of dict-of-sets.  The
+    flat successor arrays are exactly what the dispatched acyclicity probe
+    (:func:`repro.core.kernels.coarsen_reach`) walks — a compiled DFS over
+    int64 buffers with reusable stamp/stack scratch, no per-call Python set
+    allocation.  A contraction merges rows as sorted duplicate-free sets
+    (plain Python set-union — far cheaper than a numpy set op on the short
+    rows of bounded-degree DAGs); a merged row that outgrows its slot is
+    re-appended at the pool tail (per-row capacities, doubling pools), and
+    neighbour rows only ever *replace* the removed endpoint by the kept one,
+    which can never grow them.
+    """
+
+    def __init__(self, dag: ComputationalDAG) -> None:
+        n = dag.num_nodes
+        self.succ_pool, self.succ_start, self.succ_len = self._sorted_rows(
+            dag.succ_indptr, dag.succ_indices, n
+        )
+        self.pred_pool, self.pred_start, self.pred_len = self._sorted_rows(
+            dag.pred_indptr, dag.pred_indices, n
+        )
+        self.succ_cap = self.succ_len.copy()
+        self.pred_cap = self.pred_len.copy()
+        self._succ_used = int(self.succ_pool.size)
+        self._pred_used = int(self.pred_pool.size)
+        self.work = dag.work_weights.astype(np.float64, copy=True)
+        self.comm = dag.comm_weights.astype(np.float64, copy=True)
+        self.alive = np.ones(n, dtype=bool)
+        self._live = n
+        # reusable DFS scratch for the dispatched reachability probe
+        self.dfs_stack = np.empty(max(n, 1), dtype=np.int64)
+        self.dfs_seen = np.zeros(max(n, 1), dtype=np.int64)
+        self._stamp = 0
+
+    @staticmethod
+    def _sorted_rows(indptr, indices, n):
+        row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        order = np.lexsort((indices, row_ids))
+        pool = np.ascontiguousarray(indices[order], dtype=np.int64)
+        return pool, indptr[:-1].astype(np.int64), np.diff(indptr).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self._live
+
+    def node_ids(self) -> list[int]:
+        return np.flatnonzero(self.alive).tolist()
+
+    def succ_row(self, u: int) -> np.ndarray:
+        b = self.succ_start[u]
+        return self.succ_pool[b : b + self.succ_len[u]]
+
+    def pred_row(self, v: int) -> np.ndarray:
+        b = self.pred_start[v]
+        return self.pred_pool[b : b + self.pred_len[v]]
+
+    def edge_iter(self):
+        for u in self.node_ids():
+            for w in self.succ_row(u).tolist():
+                yield u, w
+
+    def incident_edges(self, v: int) -> set[tuple[int, int]]:
+        """All current edges with ``v`` as an endpoint."""
+        out = {(v, w) for w in self.succ_row(v).tolist()}
+        out |= {(w, v) for w in self.pred_row(v).tolist()}
+        return out
+
+    def next_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    # ------------------------------------------------------------------ #
+    def is_contractable(self, u: int, v: int, budget: int | None = None) -> bool:
+        """True when the only ``u -> v`` path is the direct edge.
+
+        Same contract as :meth:`_MutableGraph.is_contractable`: two O(1)
+        fast paths, then the dispatched DFS probe; a probe stopped by the
+        ``budget`` conservatively reports *not* contractable.
+        """
+        if self.succ_len[u] == 1:
+            return True
+        if self.pred_len[v] == 1:
+            return True
+        return kernels.coarsen_reach(self, u, v, budget) == 0
+
+    def contract(self, u: int, v: int) -> None:
+        """Merge ``v`` into ``u`` (the edge ``(u, v)`` must exist and be contractable)."""
+        su = self.succ_row(u).tolist()
+        sv = self.succ_row(v).tolist()
+        pu = self.pred_row(u).tolist()
+        pv = self.pred_row(v).tolist()
+        new_succ = sorted({w for w in su if w != v} | {w for w in sv if w != u})
+        new_pred = sorted({w for w in pu if w != v} | {w for w in pv if w != u})
+        for w in sv:
+            if w != u:
+                self._replace(self.pred_pool, self.pred_start, self.pred_len, w, v, u)
+        for w in pv:
+            if w != u:
+                self._replace(self.succ_pool, self.succ_start, self.succ_len, w, v, u)
+        self._write_row("succ", u, new_succ)
+        self._write_row("pred", u, new_pred)
+        self.succ_len[v] = 0
+        self.pred_len[v] = 0
+        self.work[u] += self.work[v]
+        self.comm[u] += self.comm[v]
+        self.alive[v] = False
+        self._live -= 1
+
+    @staticmethod
+    def _replace(pool, start, length, w, old, new) -> None:
+        """In row ``w``: drop ``old``, add ``new``, keep sorted-unique.
+
+        Removal always applies (``old`` is in the row by construction), so
+        the merged row never exceeds the old length — in-place rewrite.
+        """
+        b = start[w]
+        row = pool[b : b + length[w]].tolist()
+        merged = sorted({x for x in row if x != old} | {new})
+        pool[b : b + len(merged)] = merged
+        length[w] = len(merged)
+
+    def _write_row(self, side: str, u: int, row: list[int]) -> None:
+        pool = self.succ_pool if side == "succ" else self.pred_pool
+        start = self.succ_start if side == "succ" else self.pred_start
+        length = self.succ_len if side == "succ" else self.pred_len
+        cap = self.succ_cap if side == "succ" else self.pred_cap
+        m = len(row)
+        if m <= cap[u]:
+            b = start[u]
+            pool[b : b + m] = row
+            length[u] = m
+            return
+        used = self._succ_used if side == "succ" else self._pred_used
+        if used + m > pool.size:
+            grown = np.empty(max(pool.size * 2, used + m), dtype=np.int64)
+            grown[:used] = pool[:used]
+            pool = grown
+            if side == "succ":
+                self.succ_pool = grown
+            else:
+                self.pred_pool = grown
+        pool[used : used + m] = row
+        start[u] = used
+        cap[u] = m
+        length[u] = m
+        if side == "succ":
+            self._succ_used = used + m
+        else:
+            self._pred_used = used + m
+
+
 class _BucketQueue:
     """Bucketed lazy priority structure over the merged work weight.
 
@@ -251,16 +414,15 @@ class _BucketQueue:
     seed's full O(m log m) rescan-and-sort.
     """
 
-    def __init__(self, graph: _MutableGraph) -> None:
+    def __init__(self, graph: "_MutableGraph | _FlatGraph") -> None:
         self.graph = graph
-        self.version: dict[int, int] = dict.fromkeys(graph.succ, 0)
+        self.version: dict[int, int] = dict.fromkeys(graph.node_ids(), 0)
         self.buckets: dict[float, list[tuple]] = {}
         self.live: dict[float, int] = {}
         self.keys: list[float] = []  # ascending; may contain emptied keys
         self.total = 0
-        for u, targets in graph.succ.items():
-            for v in targets:
-                self.insert(u, v)
+        for u, v in graph.edge_iter():
+            self.insert(u, v)
 
     # ------------------------------------------------------------------ #
     def insert(self, u: int, v: int) -> None:
@@ -396,13 +558,15 @@ def coarsen_dag(
 
     ``search_budget`` bounds the per-edge acyclicity DFS; edges whose
     verification would expand more nodes are conservatively skipped (see
-    :meth:`_MutableGraph.is_contractable`).  ``None`` (the default) keeps
-    the check exact.
+    :meth:`_FlatGraph.is_contractable`).  ``None`` (the default) keeps the
+    check exact.  The DFS itself runs through the kernel-dispatch layer
+    (:func:`repro.core.kernels.coarsen_reach`) over the flat adjacency
+    pools, so the compiled backend probes without touching Python sets.
     """
     if target_nodes < 1:
         raise DagError("target_nodes must be >= 1")
     sequence = CoarseningSequence(original=dag)
-    graph = _MutableGraph(dag)
+    graph = _FlatGraph(dag)
     queue = _BucketQueue(graph)
 
     def check(u: int, v: int) -> bool:

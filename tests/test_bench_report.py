@@ -8,7 +8,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
-from bench_report import collect_trajectory, main, render_markdown  # noqa: E402
+from bench_report import (  # noqa: E402
+    collect_backends,
+    collect_trajectory,
+    main,
+    render_markdown,
+)
 
 REPO_ROOT = Path(__file__).parent.parent
 
@@ -84,18 +89,33 @@ class TestRenderMarkdown:
     def test_empty_root(self, tmp_path):
         assert "No BENCH_*.json" in render_markdown(collect_trajectory(tmp_path))
 
+    def test_backend_row(self, tmp_path):
+        _write_record(tmp_path, 1, {"a": {"speedup": 3.0}})
+        _write_record(
+            tmp_path, 2, {"a": {"kernel_backend": "numba", "speedup": 6.0}}
+        )
+        backends = collect_backends(tmp_path)
+        assert backends == {2: "numba"}  # PR 1 predates the dispatch layer
+        table = render_markdown(collect_trajectory(tmp_path), backends)
+        assert "| *(kernel backend)* | — | numba |" in table.splitlines()
+
 
 class TestRepoRecords:
-    def test_repo_trajectory_covers_bench_3_and_4(self):
-        """Acceptance: the committed records BENCH_3 and BENCH_4 both report."""
+    def test_repo_trajectory_covers_committed_records(self):
+        """Acceptance: the committed records BENCH_3/4/6 all report."""
         trajectory = collect_trajectory(REPO_ROOT)
-        assert {3, 4} <= set(trajectory)
+        assert {3, 4, 6} <= set(trajectory)
         assert trajectory[3], "BENCH_3.json contributed no speedups"
         assert trajectory[4], "BENCH_4.json contributed no speedups"
         # the tentpole record: HC refinement at 100k nodes in BENCH_4
         assert any("hc_refinement" in k and "100000" in k for k in trajectory[4])
-        table = render_markdown(trajectory)
-        assert "PR 3" in table and "PR 4" in table
+        # PR 6: the dispatched refinement plus the thread-executor batch
+        assert any("hc_refinement" in k and "100000" in k for k in trajectory[6])
+        assert any("solve_many" in k for k in trajectory[6])
+        assert collect_backends(REPO_ROOT).get(6) in ("numpy", "numba")
+        table = render_markdown(trajectory, collect_backends(REPO_ROOT))
+        assert "PR 3" in table and "PR 4" in table and "PR 6" in table
+        assert "*(kernel backend)*" in table
 
     def test_main_prints_table(self, capsys):
         assert main([str(REPO_ROOT)]) == 0
