@@ -25,7 +25,13 @@ import re
 import sys
 from pathlib import Path
 
-__all__ = ["collect_trajectory", "collect_backends", "render_markdown", "main"]
+__all__ = [
+    "collect_trajectory",
+    "collect_backends",
+    "collect_store_hit_rates",
+    "render_markdown",
+    "main",
+]
 
 #: fields (in priority order) used to label a list entry so that the same
 #: case lines up across PRs
@@ -126,15 +132,45 @@ def collect_backends(root: Path) -> dict[int, str]:
     return backends
 
 
+def collect_store_hit_rates(root: Path) -> dict[int, float]:
+    """Per-PR warm-store hit rate from every ``BENCH_*.json``.
+
+    Reads the ``store_resume`` section written by ``bench_store_resume.py``
+    (store hits over total requests on a warm re-run of the benchmark
+    grid).  PRs predating the persistent store record no rate and are
+    simply absent from the result (rendered as a dash).
+    """
+    rates: dict[int, float] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if not match:
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            continue
+        if record.get("schema_version") != 1:
+            continue
+        section = record.get("benchmarks", {}).get("store_resume")
+        if isinstance(section, dict) and isinstance(
+            section.get("hit_rate"), (int, float)
+        ):
+            rates[int(match.group(1))] = float(section["hit_rate"])
+    return rates
+
+
 def render_markdown(
     trajectory: dict[int, dict[str, float]],
     backends: dict[int, str] | None = None,
+    store_hit_rates: dict[int, float] | None = None,
 ) -> str:
     """One markdown table: kernels as rows, PRs as columns, speedups as cells.
 
     When ``backends`` is given, a leading row shows which kernel backend
     (:mod:`repro.core.kernels`) produced each PR's numbers — a numba column
-    and a numpy column are not comparable cell-for-cell.
+    and a numpy column are not comparable cell-for-cell.  When
+    ``store_hit_rates`` is given, another leading row shows the warm-store
+    hit rate per PR (anything under 100% means resume broke).
     """
     if not trajectory:
         return "No BENCH_*.json records found."
@@ -149,6 +185,12 @@ def render_markdown(
     if backends:
         cells = [backends.get(pr, "—") for pr in prs]
         lines.append("| *(kernel backend)* | " + " | ".join(cells) + " |")
+    if store_hit_rates:
+        cells = [
+            f"{store_hit_rates[pr]:.0%}" if pr in store_hit_rates else "—"
+            for pr in prs
+        ]
+        lines.append("| *(warm-store hit rate)* | " + " | ".join(cells) + " |")
     for kernel in kernels:
         cells = []
         for pr in prs:
@@ -161,7 +203,13 @@ def render_markdown(
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
-    print(render_markdown(collect_trajectory(root), collect_backends(root)))
+    print(
+        render_markdown(
+            collect_trajectory(root),
+            collect_backends(root),
+            collect_store_hit_rates(root),
+        )
+    )
     return 0
 
 

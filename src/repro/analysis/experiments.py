@@ -4,12 +4,24 @@ The harness separates three concerns:
 
 * :class:`MachineSpec` — a machine-parameter point of the evaluation grid
   (``P``, ``g``, ``ℓ`` and the optional NUMA multiplier ``Δ``);
-* :class:`ExperimentRunner` — runs the baselines and the framework pipeline
-  (optionally the multilevel scheduler) on one instance × machine point and
-  records every cost of interest in an :class:`InstanceRecord`;
+* :class:`ExperimentRunner` — turns one instance × machine point into a
+  batch of content-addressed :class:`~repro.api.ScheduleRequest`\\ s,
+  solves them through the shared :class:`~repro.api.SchedulingService`,
+  and records every cost of interest in an :class:`InstanceRecord`;
 * the ``run_*`` convenience functions — assemble the instance sets and the
   machine grids of the individual tables/figures and return the records the
   table formatters in :mod:`repro.analysis.tables` aggregate.
+
+Every driver is one :meth:`~repro.api.SchedulingService.solve_many` batch
+over the whole grid, which makes tables **resumable artifacts**: pass
+``store=`` (a :class:`repro.store.ResultStore` root) and every solved
+request persists content-addressed on disk — re-running the same grid
+skips everything already stored (``service.cache_info()['misses']`` counts
+the actual scheduler invocations) and reproduces the records, and hence
+the rendered tables, byte-for-byte.  :func:`enqueue_grid` instead submits
+the same batch to the durable work queue, to be drained by a
+``repro serve-worker`` fleet before the driver assembles the records at
+zero compute cost.
 
 All sizes default to the scaled-down ``"bench"`` datasets so the complete
 harness runs in seconds; passing ``scale="paper"`` restores the original
@@ -19,11 +31,12 @@ node-count intervals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Sequence
 
-from ..api import ScheduleRequest, SchedulerSpec, SchedulingService
+from ..api import ScheduleRequest, ScheduleResult, SchedulerSpec, SchedulingService
 from ..core.machine import MachineSpec
-from ..core.parallel import default_workers, parallel_map
+from ..core.parallel import default_workers
 from ..dagdb.datasets import DatasetInstance, build_dataset, build_training_set
 from ..schedulers.bsp_greedy import BspGreedyScheduler
 from ..schedulers.ilp import IlpInitScheduler
@@ -36,6 +49,7 @@ __all__ = [
     "InstanceRecord",
     "ExperimentRunner",
     "run_grid",
+    "enqueue_grid",
     "no_numa_machine_grid",
     "numa_machine_grid",
     "run_no_numa_grid",
@@ -113,6 +127,13 @@ class ExperimentRunner:
         driver uses this to bound refinement work deterministically instead
         of relying only on wall-clock budgets (which make parallel grids
         load-dependent).
+    store:
+        Optional persistent result store (a :class:`repro.store.ResultStore`
+        or its root path).  Every solved request is persisted there and
+        consulted before computing, making whole experiment grids
+        *resumable*: a re-run (same instances, machines, configuration and
+        seeds — i.e. the same request fingerprints) performs zero scheduler
+        invocations and reproduces the records bit-for-bit.
     """
 
     def __init__(
@@ -126,6 +147,7 @@ class ExperimentRunner:
         hc_max_passes: int | None = None,
         hc_max_steps: int | None = None,
         hccs_max_passes: int | None = None,
+        store: str | Path | None = None,
     ) -> None:
         # own copy: the overrides below must not leak into a caller-shared config
         self.config = replace(config) if config is not None else PipelineConfig()
@@ -142,6 +164,7 @@ class ExperimentRunner:
         self.include_multilevel = include_multilevel
         self.include_trivial = include_trivial
         self.seed = seed
+        self.store = store
         self._service: SchedulingService | None = None
 
     # ------------------------------------------------------------------ #
@@ -150,12 +173,13 @@ class ExperimentRunner:
         """The per-runner scheduling service (created lazily, per process).
 
         The grid never repeats an (instance, machine, scheduler) triple, so
-        the runner disables the service's result cache; everything else —
-        declarative specs, budget threading, stage traces — goes through
-        the one facade every other caller uses.
+        the runner disables the service's in-memory result cache and relies
+        on the persistent store tier (when configured) for resumability;
+        everything else — declarative specs, budget threading, stage traces
+        — goes through the one facade every other caller uses.
         """
         if self._service is None:
-            self._service = SchedulingService(cache_size=0)
+            self._service = SchedulingService(cache_size=0, store=self.store)
         return self._service
 
     def __getstate__(self) -> dict:
@@ -175,33 +199,60 @@ class ExperimentRunner:
             seed=self.seed,
         )
 
-    def run_instance(self, instance: DatasetInstance, spec: MachineSpec) -> InstanceRecord:
-        """Run every configured scheduler on one instance/machine pair."""
-        solve = self.service.solve
-        costs: dict[str, float] = {}
+    def instance_requests(
+        self, instance: DatasetInstance, spec: MachineSpec
+    ) -> list[tuple[str, ScheduleRequest]]:
+        """The keyed request batch for one instance/machine point.
 
-        costs["cilk"] = solve(self._request(instance, spec, "cilk")).cost
-        costs["hdagg"] = solve(self._request(instance, spec, "hdagg")).cost
+        This is the *definition* of a grid point: every driver — the serial
+        :meth:`run_instance`, the pool-parallel :func:`run_grid` batch and
+        the durable-queue :func:`enqueue_grid` — expands points through this
+        one method, so they all solve (and fingerprint) exactly the same
+        requests.
+        """
+        keyed = [
+            ("cilk", self._request(instance, spec, "cilk")),
+            ("hdagg", self._request(instance, spec, "hdagg")),
+        ]
         if self.include_list_baselines:
-            costs["bl_est"] = solve(self._request(instance, spec, "bl_est")).cost
-            costs["etf"] = solve(self._request(instance, spec, "etf")).cost
+            keyed.append(("bl_est", self._request(instance, spec, "bl_est")))
+            keyed.append(("etf", self._request(instance, spec, "etf")))
         if self.include_trivial:
-            costs["trivial"] = solve(self._request(instance, spec, "trivial")).cost
-
-        result = solve(
-            self._request(instance, spec, "framework", {"config": self.config})
+            keyed.append(("trivial", self._request(instance, spec, "trivial")))
+        keyed.append(
+            ("framework", self._request(instance, spec, "framework", {"config": self.config}))
         )
-        assert result.stages is not None
-        costs["init"] = result.stages.best_init
-        costs["hccs"] = result.stages.after_local_search
-        costs["ilp"] = result.stages.after_ilp_assignment
-        costs["final"] = result.stages.final
-
         if self.include_multilevel:
-            costs["multilevel"] = solve(
-                self._request(instance, spec, "multilevel", {"config": self.config})
-            ).cost
+            keyed.append(
+                (
+                    "multilevel",
+                    self._request(instance, spec, "multilevel", {"config": self.config}),
+                )
+            )
+        return keyed
 
+    def record_from_results(
+        self,
+        instance: DatasetInstance,
+        spec: MachineSpec,
+        keyed_results: Iterable[tuple[str, ScheduleResult]],
+    ) -> InstanceRecord:
+        """Assemble one :class:`InstanceRecord` from solved keyed requests.
+
+        The ``framework`` result expands into the four pipeline stage costs
+        (``init``/``hccs``/``ilp``/``final``); every other key records its
+        result's total cost under its own name.
+        """
+        costs: dict[str, float] = {}
+        for key, result in keyed_results:
+            if key == "framework":
+                assert result.stages is not None
+                costs["init"] = result.stages.best_init
+                costs["hccs"] = result.stages.after_local_search
+                costs["ilp"] = result.stages.after_ilp_assignment
+                costs["final"] = result.stages.final
+            else:
+                costs[key] = result.cost
         return InstanceRecord(
             instance=instance.name,
             dataset=instance.name.split("_", 1)[0],
@@ -209,6 +260,16 @@ class ExperimentRunner:
             num_nodes=instance.num_nodes,
             spec=spec,
             costs=costs,
+        )
+
+    def run_instance(self, instance: DatasetInstance, spec: MachineSpec) -> InstanceRecord:
+        """Run every configured scheduler on one instance/machine pair."""
+        keyed = self.instance_requests(instance, spec)
+        results = self.service.solve_many(
+            [request for _, request in keyed], workers=1
+        )
+        return self.record_from_results(
+            instance, spec, zip((key for key, _ in keyed), results)
         )
 
     def run(
@@ -226,25 +287,26 @@ class ExperimentRunner:
 
 
 # ---------------------------------------------------------------------- #
-# process-parallel grid execution (pool mechanics shared with the service
-# API's ``solve_many`` — see repro.core.parallel)
+# grid execution as one service batch (pool mechanics live behind the
+# service API's ``solve_many`` — see repro.core.parallel)
 # ---------------------------------------------------------------------- #
 def _default_workers() -> int:
     """Worker count from the ``REPRO_WORKERS`` environment knob (default 1)."""
     return default_workers()
 
 
-def _run_grid_task(
+def _grid_batches(
     runner: "ExperimentRunner",
-    task: tuple[DatasetInstance, list[MachineSpec]],
-) -> list[InstanceRecord]:
-    """Module-level pool handler for one grid task.
-
-    A task is one instance plus the machine specs to run it on, so a heavy
-    instance crosses the worker pipe once per task, not once per spec.
-    """
-    instance, specs = task
-    return [runner.run_instance(instance, spec) for spec in specs]
+    instances: Iterable[DatasetInstance],
+    specs: Iterable[MachineSpec],
+) -> list[tuple[DatasetInstance, MachineSpec, list[tuple[str, ScheduleRequest]]]]:
+    """Expand the grid into per-point keyed request batches (serial order)."""
+    specs = list(specs)
+    return [
+        (instance, spec, runner.instance_requests(instance, spec))
+        for instance in instances
+        for spec in specs
+    ]
 
 
 def run_grid(
@@ -253,11 +315,15 @@ def run_grid(
     specs: Iterable[MachineSpec],
     workers: int | None = None,
 ) -> list[InstanceRecord]:
-    """Run the ``instances × specs`` grid, optionally process-parallel.
+    """Run the ``instances × specs`` grid as one ``solve_many`` batch.
 
-    Every grid point is independent (the runner re-seeds its schedulers per
-    instance), so the grid is embarrassingly parallel.  Results always come
-    back in the deterministic serial order — instance-major, spec-minor —
+    Every request of the grid is independent and content-addressed, so the
+    whole grid flattens into a single batch against the runner's
+    :class:`~repro.api.SchedulingService`: the service deduplicates repeated
+    fingerprints, answers anything already in its persistent store
+    (``runner.store``) without computing, and fans the remaining misses out
+    over the shared process-pool machinery.  Results always come back in
+    the deterministic serial order — instance-major, spec-minor —
     regardless of ``workers``.  When the pipeline configuration is free of
     wall-clock budgets (``local_search_seconds=None`` and friends), every
     scheduler is deterministic and a parallel run reproduces the serial
@@ -267,28 +333,68 @@ def run_grid(
 
     ``workers=None`` reads the ``REPRO_WORKERS`` environment variable
     (default 1 = serial).  If the platform cannot provide a process pool
-    (no ``fork``/``spawn``, sandboxed interpreter, unpicklable runner
-    configuration), the grid gracefully falls back to serial execution with
-    a warning instead of failing; exceptions raised by the experiment
-    itself — including an individual instance that cannot be serialised —
-    cancel the remaining grid points and propagate promptly.
+    (no ``fork``/``spawn``, sandboxed interpreter, unpicklable
+    configuration), the batch gracefully falls back to serial execution
+    with a warning instead of failing; exceptions raised by the experiment
+    itself cancel the remaining grid points and propagate promptly.
     """
-    instances = list(instances)
-    specs = list(specs)
-    if workers is None:
-        workers = default_workers()
+    batches = _grid_batches(runner, instances, specs)
+    flat = [request for _, _, keyed in batches for _, request in keyed]
+    results = runner.service.solve_many(flat, workers=workers)
+    records: list[InstanceRecord] = []
+    cursor = 0
+    for instance, spec, keyed in batches:
+        chunk = results[cursor : cursor + len(keyed)]
+        cursor += len(keyed)
+        records.append(
+            runner.record_from_results(
+                instance, spec, zip((key for key, _ in keyed), chunk)
+            )
+        )
+    return records
 
-    # one task per instance when that saturates the pool (the instance then
-    # crosses the pipe once, not once per spec); otherwise one task per pair
-    if workers <= 1 or len(instances) >= workers or len(specs) == 1:
-        tasks = [(instance, specs) for instance in instances]
-    else:
-        tasks = [
-            (instance, [spec]) for instance in instances for spec in specs
-        ]
 
-    chunks = parallel_map(_run_grid_task, runner, tasks, workers)
-    return [record for chunk in chunks for record in chunk]
+def enqueue_grid(
+    runner: "ExperimentRunner",
+    instances: Iterable[DatasetInstance],
+    specs: Iterable[MachineSpec],
+    root: str | Path,
+) -> list[str]:
+    """Submit the whole ``instances × specs`` grid to a durable work queue.
+
+    Exactly the requests :func:`run_grid` would solve are enqueued under
+    ``root`` (a combined store/queue directory): each distinct DAG is
+    written once to the content-addressed ``dags/`` directory and the
+    queued request wire dicts reference it by path, so the queue stays
+    small no matter how many machine points share an instance.  Requests
+    whose fingerprint is already stored are not enqueued again.
+
+    A ``repro serve-worker --root ROOT`` fleet (any number of processes,
+    on any hosts sharing the filesystem) drains the queue into the store;
+    afterwards re-running the driver with ``store=root`` assembles the
+    records with zero scheduler invocations.  Returns the fingerprints of
+    the newly enqueued requests.
+    """
+    from ..store import ResultStore, WorkQueue
+
+    store = ResultStore(root)
+    queue = WorkQueue(root)
+    enqueued: list[str] = []
+    for _, _, keyed in _grid_batches(runner, instances, specs):
+        for _, request in keyed:
+            fingerprint = request.fingerprint()
+            if store.contains(fingerprint):
+                continue
+            dag_path = store.put_dag(request.resolve_dag())
+            wire = replace(
+                request,
+                dag=str(dag_path),
+                _resolved_dag=None,
+                _fingerprint=fingerprint,
+            ).to_dict()
+            if queue.submit(fingerprint, wire):
+                enqueued.append(fingerprint)
+    return enqueued
 
 
 # ---------------------------------------------------------------------- #
@@ -357,10 +463,14 @@ def run_no_numa_grid(
     max_instances_per_dataset: int | None = None,
     seed: int = 7,
     workers: int | None = None,
+    store: str | Path | None = None,
 ) -> list[InstanceRecord]:
     """The uniform-BSP experiment of Section 7.1 (Tables 1, 6–8; Figure 5)."""
     runner = ExperimentRunner(
-        config=config, include_list_baselines=include_list_baselines, seed=seed
+        config=config,
+        include_list_baselines=include_list_baselines,
+        seed=seed,
+        store=store,
     )
     instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
     return runner.run(
@@ -381,6 +491,7 @@ def run_numa_grid(
     max_instances_per_dataset: int | None = None,
     seed: int = 7,
     workers: int | None = None,
+    store: str | Path | None = None,
 ) -> list[InstanceRecord]:
     """The NUMA experiment of Section 7.2/7.3 (Tables 2, 3, 10, 13, 14; Figure 6)."""
     runner = ExperimentRunner(
@@ -388,6 +499,7 @@ def run_numa_grid(
         include_multilevel=include_multilevel,
         include_trivial=include_trivial,
         seed=seed,
+        store=store,
     )
     instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
     return runner.run(
@@ -405,9 +517,10 @@ def run_latency_sweep(
     max_instances: int | None = None,
     seed: int = 7,
     workers: int | None = None,
+    store: str | Path | None = None,
 ) -> list[InstanceRecord]:
     """The latency experiment of Appendix C.3 (Table 9)."""
-    runner = ExperimentRunner(config=config, seed=seed)
+    runner = ExperimentRunner(config=config, seed=seed, store=store)
     instances = _dataset_instances((dataset,), scale, seed, max_instances)
     specs = [MachineSpec(procs, g, latency) for latency in latencies]
     return runner.run(instances, specs, workers=workers)
@@ -425,6 +538,7 @@ def run_huge_experiment(
     max_instances: int | None = None,
     seed: int = 7,
     workers: int | None = None,
+    store: str | Path | None = None,
 ) -> list[InstanceRecord]:
     """The huge-dataset experiment of Appendix C.5 (Tables 11, 12; Figure 7).
 
@@ -437,7 +551,11 @@ def run_huge_experiment(
         use_ilp=False, use_comm_ilp=False, local_search_seconds=local_search_seconds
     )
     runner = ExperimentRunner(
-        config=config, heuristics_only=True, seed=seed, hc_max_steps=hc_max_steps
+        config=config,
+        heuristics_only=True,
+        seed=seed,
+        hc_max_steps=hc_max_steps,
+        store=store,
     )
     instances = _dataset_instances(("huge",), scale, seed, max_instances)
     if numa:
@@ -512,30 +630,44 @@ def run_multilevel_ratio_experiment(
     config: PipelineConfig | None = None,
     max_instances_per_dataset: int | None = None,
     seed: int = 7,
+    workers: int | None = None,
+    store: str | Path | None = None,
 ) -> list[InstanceRecord]:
     """Run the multilevel scheduler at both coarsening ratios (Tables 13–14).
 
     The returned records contain ``cilk``, ``hdagg``, the base pipeline's
     ``final`` cost and the multilevel costs ``ml_c15``, ``ml_c30`` and
     ``ml_copt`` (the better of the two), mirroring the rows of Table 13/14.
+    Like :func:`run_grid`, the whole experiment is one ``solve_many`` batch
+    — resumable against ``store=`` and pool-parallel with ``workers``.
     """
     config = config or PipelineConfig()
-    runner = ExperimentRunner(config=config, seed=seed)
+    runner = ExperimentRunner(config=config, seed=seed, store=store)
     instances = _dataset_instances(datasets, scale, seed, max_instances_per_dataset)
-    records: list[InstanceRecord] = []
-    for instance in instances:
-        for spec in numa_machine_grid(procs, deltas, g, latency):
-            record = runner.run_instance(instance, spec)
-            for key, ratio in (("ml_c15", 0.15), ("ml_c30", 0.3)):
-                ml = runner.service.solve(
+    batches = _grid_batches(runner, instances, numa_machine_grid(procs, deltas, g, latency))
+    for instance, spec, keyed in batches:
+        for key, ratio in (("ml_c15", 0.15), ("ml_c30", 0.3)):
+            keyed.append(
+                (
+                    key,
                     runner._request(
                         instance,
                         spec,
                         "multilevel",
                         {"config": config, "coarsening_ratios": [ratio]},
-                    )
+                    ),
                 )
-                record.costs[key] = ml.cost
-            record.costs["ml_copt"] = min(record.costs["ml_c15"], record.costs["ml_c30"])
-            records.append(record)
+            )
+    flat = [request for _, _, keyed in batches for _, request in keyed]
+    results = runner.service.solve_many(flat, workers=workers)
+    records: list[InstanceRecord] = []
+    cursor = 0
+    for instance, spec, keyed in batches:
+        chunk = results[cursor : cursor + len(keyed)]
+        cursor += len(keyed)
+        record = runner.record_from_results(
+            instance, spec, zip((key for key, _ in keyed), chunk)
+        )
+        record.costs["ml_copt"] = min(record.costs["ml_c15"], record.costs["ml_c30"])
+        records.append(record)
     return records

@@ -4,7 +4,10 @@ A :class:`ScheduleRequest` bundles everything one ``solve`` needs:
 
 * the DAG — an in-memory :class:`~repro.core.dag.ComputationalDAG`, an
   inline wire dict (:func:`~repro.core.serialization.dag_to_dict` form), or
-  a path reference to a hyperDAG file;
+  a path reference to a hyperDAG file (``.json`` paths load as stored
+  ``dag_to_dict`` payloads — the content-addressed store's ``dags/``
+  entries — so queued requests can reference a shared DAG instead of
+  embedding it);
 * the machine — a declarative :class:`~repro.core.machine.MachineSpec` or a
   fully materialised :class:`~repro.core.machine.BspMachine`;
 * the scheduler — a :class:`~repro.api.SchedulerSpec`;
@@ -114,9 +117,18 @@ class ScheduleRequest:
             elif isinstance(self.dag, dict):
                 self._resolved_dag = dag_from_dict(self.dag)
             elif isinstance(self.dag, (str, Path)):
-                from ..io.hyperdag import read_hyperdag
+                path = Path(self.dag)
+                if path.suffix == ".json":
+                    # a stored DAG payload (the content-addressed store's
+                    # dags/ entries are dag_to_dict JSON — lossless, unlike
+                    # the %g-formatted hyperDAG text weights)
+                    self._resolved_dag = dag_from_dict(
+                        json.loads(path.read_text(encoding="utf-8"))
+                    )
+                else:
+                    from ..io.hyperdag import read_hyperdag
 
-                self._resolved_dag = read_hyperdag(self.dag)
+                    self._resolved_dag = read_hyperdag(self.dag)
             else:
                 raise ReproError(
                     f"unsupported DAG reference of type {type(self.dag).__name__}"

@@ -16,12 +16,27 @@ strips the volatile metadata; it is the payload two runs of the same
 deterministic-budget request must agree on bit-for-bit (what the
 ``solve_many`` parallel == serial guarantee and the content-addressed cache
 compare).
+
+dag_ref mode
+------------
+The schedule payload normally embeds its whole instance
+(:func:`~repro.core.serialization.schedule_to_dict`).  When DAGs live in
+shared storage — the content-addressed store's ``dags/`` directory, or an
+in-memory table on the other side of a worker pipe — a result can instead
+carry a **reference**: :meth:`with_dag_ref` swaps the embedded ``"dag"``
+sub-dict for a ``"dag_ref"`` string, and a *dag resolver* (a callable
+``ref -> dag wire dict``, e.g. :meth:`repro.store.ResultStore
+.load_dag_dict`) passed to :meth:`from_dict` makes the round trip lossless:
+:meth:`to_dict`, :meth:`canonical_dict` and :meth:`to_schedule` all resolve
+the reference transparently, so a store-loaded result is bit-identical to a
+freshly computed one.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from ..core.exceptions import ReproError
 from ..core.schedule import BspSchedule
@@ -45,6 +60,9 @@ class ScheduleResult:
     cache_hit: bool = False
     _schedule_dict: dict | None = field(default=None, repr=False)
     _schedule: BspSchedule | None = field(default=None, repr=False, compare=False)
+    _dag_resolver: Callable[[str], dict] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -87,12 +105,56 @@ class ScheduleResult:
     def to_schedule(self) -> BspSchedule:
         """The materialised (re-validated) :class:`BspSchedule`."""
         if self._schedule is None:
-            self._schedule = schedule_from_dict(self.schedule_dict())
+            self._schedule = schedule_from_dict(
+                self.schedule_dict(), dag_resolver=self._dag_resolver
+            )
         return self._schedule
 
     # ------------------------------------------------------------------ #
+    # dag_ref mode
+    # ------------------------------------------------------------------ #
+    def with_dag_ref(
+        self, ref: str, resolver: Callable[[str], dict] | None = None
+    ) -> "ScheduleResult":
+        """A copy whose schedule payload references its DAG instead of embedding it.
+
+        The live schedule object is dropped (it would re-embed the DAG on
+        pickling); ``resolver`` — when given — keeps the copy losslessly
+        materialisable.
+        """
+        payload = {k: v for k, v in self.schedule_dict().items() if k != "dag"}
+        payload["dag_ref"] = str(ref)
+        return replace(
+            self, _schedule_dict=payload, _schedule=None, _dag_resolver=resolver
+        )
+
+    def embedded_schedule_dict(self) -> dict:
+        """The schedule payload with its DAG embedded (refs resolved)."""
+        payload = self.schedule_dict()
+        if "dag" in payload:
+            return payload
+        ref = payload.get("dag_ref")
+        if ref is None:
+            raise ReproError("schedule payload carries neither a DAG nor a dag_ref")
+        if self._dag_resolver is None:
+            raise ReproError(
+                f"schedule payload references DAG {ref!r} but no resolver is "
+                "attached; load the result through its store"
+            )
+        embedded = {k: v for k, v in payload.items() if k != "dag_ref"}
+        embedded["dag"] = self._dag_resolver(str(ref))
+        # memoize: the resolved payload *is* the schedule payload from now
+        # on, so repeated to_dict()/canonical_dict() calls resolve once
+        self._schedule_dict = embedded
+        return embedded
+
+    # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """JSON-compatible wire form (inverse of :meth:`from_dict`)."""
+        """JSON-compatible, self-contained wire form (inverse of :meth:`from_dict`).
+
+        A ``dag_ref`` payload is resolved (embedded) here, so the emitted
+        dict never depends on an external store being reachable later.
+        """
         return {
             "schema": 1,
             "scheduler": self.scheduler,
@@ -100,7 +162,7 @@ class ScheduleResult:
             "cost": float(self.cost),
             "breakdown": {k: float(v) for k, v in self.breakdown.items()},
             "num_supersteps": int(self.num_supersteps),
-            "schedule": self.schedule_dict(),
+            "schedule": self.embedded_schedule_dict(),
             "stages": None if self.stages is None else self.stages.to_dict(),
             "timings": {k: float(v) for k, v in self.timings.items()},
             "cache_hit": bool(self.cache_hit),
@@ -114,8 +176,15 @@ class ScheduleResult:
         return data
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ScheduleResult":
-        """Rebuild a result from :meth:`to_dict` output."""
+    def from_dict(
+        cls, data: dict, dag_resolver: Callable[[str], dict] | None = None
+    ) -> "ScheduleResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``dag_resolver`` is required to *materialise* payloads stored in
+        dag_ref mode (see the module docstring); costs, stage traces and
+        provenance are available without it.
+        """
         try:
             stages_data = data.get("stages")
             return cls(
@@ -134,6 +203,7 @@ class ScheduleResult:
                 },
                 cache_hit=bool(data.get("cache_hit", False)),
                 _schedule_dict=dict(data["schedule"]),
+                _dag_resolver=dag_resolver,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed schedule result: {exc}") from exc

@@ -29,10 +29,26 @@ Three subcommands cover the common workflows:
 
         python -m repro kernels
 
+``queue``
+    Inspect and manage a durable work queue (:mod:`repro.store`): show
+    status, submit a request JSON file, expire abandoned leases, list
+    terminal failures, or requeue them::
+
+        python -m repro queue --root ./results status
+
+``serve-worker``
+    Drain a durable work queue into its content-addressed result store —
+    run any number of these (concurrently, on any hosts sharing the
+    filesystem) to form a worker fleet; killed workers lose nothing::
+
+        python -m repro serve-worker --root ./results --workers 4
+
 Both scheduling commands run through :class:`repro.api.SchedulingService`:
 the argparse namespace becomes a declarative :class:`ScheduleRequest` and
 ``schedule --output`` writes the :class:`ScheduleResult` JSON wire format
 (validated round-trippable by ``repro.api.ScheduleResult.from_json``).
+``--store DIR`` on ``schedule``/``compare`` attaches the persistent result
+store, so repeated invocations answer from disk instead of recomputing.
 """
 
 from __future__ import annotations
@@ -92,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     schedule = subparsers.add_parser("schedule", help="schedule a hyperDAG file")
     _add_machine_arguments(schedule)
+    _add_store_argument(schedule)
     schedule.add_argument("input", help="hyperDAG file to schedule")
     schedule.add_argument(
         "--scheduler",
@@ -105,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = subparsers.add_parser("compare", help="compare several schedulers on one instance")
     _add_machine_arguments(compare)
+    _add_store_argument(compare)
     compare.add_argument("input", help="hyperDAG file to schedule")
     compare.add_argument(
         "--schedulers",
@@ -123,7 +141,103 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force-compile the active backend's kernels and report the time",
     )
+
+    queue = subparsers.add_parser(
+        "queue", help="inspect and manage a durable work queue"
+    )
+    queue.add_argument(
+        "--root", required=True, help="store root (results, DAGs and queue live under it)"
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    queue_sub.add_parser("status", help="entry counts per state and store size")
+    queue_submit = queue_sub.add_parser(
+        "submit", help="enqueue a ScheduleRequest JSON file"
+    )
+    queue_submit.add_argument("request", help="request JSON file (ScheduleRequest.to_json)")
+    queue_expire = queue_sub.add_parser(
+        "expire", help="requeue leases abandoned by dead workers"
+    )
+    queue_expire.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=300.0,
+        help="lease duration assumed for entries without a lease stamp",
+    )
+    queue_expire.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts before an expired entry fails terminally",
+    )
+    queue_sub.add_parser("failures", help="list terminal failures")
+    queue_sub.add_parser("retry", help="requeue every terminal failure")
+
+    serve = subparsers.add_parser(
+        "serve-worker",
+        help="drain a durable work queue into its result store",
+    )
+    serve.add_argument(
+        "--root", required=True, help="store root (results, DAGs and queue live under it)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool width per batch (default: the REPRO_WORKERS environment knob)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="pool flavour for the per-batch fan-out",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=300.0,
+        help="lease duration per claimed batch",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="lease attempts before an entry fails terminally",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="entries claimed per cycle (default: 4 x the worker count)",
+    )
+    serve.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=1.0,
+        help="sleep between idle cycles while other workers hold leases",
+    )
+    serve.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop after this many lease cycles (default: run until empty)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="run a single expire/lease/solve/settle cycle and exit",
+    )
     return parser
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "content-addressed result store directory: answers repeated "
+            "requests from disk and persists every computed result"
+        ),
+    )
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -211,13 +325,15 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_schedule(args: argparse.Namespace) -> int:
     request = _request_from_args(args, args.scheduler)
-    result = SchedulingService().solve(request)
+    result = SchedulingService(store=args.store).solve(request)
     machine = request.build_machine()
     breakdown = result.breakdown
+    cached = " [from store]" if result.cache_hit else ""
     print(
         f"{args.scheduler} on {machine.describe()}: cost {breakdown['total']:.2f} "
         f"(work {breakdown['work']:.2f}, comm {breakdown['comm']:.2f}, "
         f"latency {breakdown['latency']:.2f}, {result.num_supersteps} supersteps)"
+        f"{cached}"
     )
     if args.render:
         print(render_schedule_text(result.to_schedule()))
@@ -228,7 +344,7 @@ def _command_schedule(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    service = SchedulingService()
+    service = SchedulingService(store=args.store)
     # resolve the instance once and share the DAG (and its fingerprint
     # memo) across the whole batch instead of re-reading the file per
     # scheduler
@@ -280,6 +396,75 @@ def _command_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_queue(args: argparse.Namespace) -> int:
+    from .store import ResultStore, WorkQueue
+
+    queue = WorkQueue(args.root)
+    if args.queue_command == "status":
+        stats = queue.stats()
+        store = ResultStore(args.root)
+        print(f"store:   {len(store)} result(s) under {store.root}")
+        print(f"pending: {stats['pending']}")
+        print(f"leased:  {stats['leased']}")
+        print(f"failed:  {stats['failed']}")
+        return 0
+    if args.queue_command == "submit":
+        request = ScheduleRequest.from_json(
+            Path(args.request).read_text(encoding="utf-8")
+        )
+        fingerprint = request.fingerprint()
+        if ResultStore(args.root).contains(fingerprint):
+            print(f"{fingerprint} already stored; not enqueued")
+            return 0
+        if queue.submit(fingerprint, request.to_dict()):
+            print(f"enqueued {fingerprint}")
+            return 0
+        print(f"{fingerprint} already queued or terminally failed; not enqueued")
+        return 1
+    if args.queue_command == "expire":
+        requeued, failed = queue.expire_leases(
+            max_attempts=args.max_attempts, lease_seconds=args.lease_seconds
+        )
+        print(f"requeued {len(requeued)}, terminally failed {len(failed)}")
+        return 0
+    if args.queue_command == "failures":
+        failures = queue.failures()
+        for fingerprint, error in failures.items():
+            print(f"{fingerprint}: {error}")
+        print(f"{len(failures)} terminal failure(s)")
+        return 0
+    retried = queue.retry_failed()  # "retry"
+    print(f"requeued {len(retried)} failed entries")
+    return 0
+
+
+def _command_serve_worker(args: argparse.Namespace) -> int:
+    from .store import Dispatcher
+
+    dispatcher = Dispatcher(
+        args.root,
+        workers=args.workers,
+        executor=args.executor,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        batch_size=args.batch_size,
+    )
+    if args.once:
+        report = dispatcher.run_once()
+    else:
+        report = dispatcher.drain(
+            poll_seconds=args.poll_seconds, max_batches=args.max_batches
+        )
+    print(
+        f"worker {dispatcher.owner}: {len(report.completed)} completed, "
+        f"{len(report.skipped)} already stored, {len(report.failed)} failed, "
+        f"{len(report.requeued)} requeued over {report.batches} batch(es)"
+    )
+    for fingerprint, error in sorted(report.failed.items()):
+        print(f"  failed {fingerprint}: {error}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -289,6 +474,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "schedule": _command_schedule,
         "compare": _command_compare,
         "kernels": _command_kernels,
+        "queue": _command_queue,
+        "serve-worker": _command_serve_worker,
     }
     return commands[args.command](args)
 

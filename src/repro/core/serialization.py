@@ -91,10 +91,17 @@ def machine_from_dict(data: dict[str, Any]) -> BspMachine:
         raise ReproError(f"malformed machine dictionary: {exc}") from exc
 
 
-def schedule_to_dict(schedule: BspSchedule) -> dict[str, Any]:
-    """JSON-compatible representation of a schedule (with its instance)."""
-    payload: dict[str, Any] = {
-        "dag": dag_to_dict(schedule.dag),
+def schedule_to_dict(schedule: BspSchedule, include_dag: bool = True) -> dict[str, Any]:
+    """JSON-compatible representation of a schedule (with its instance).
+
+    ``include_dag=False`` omits the instance payload — for callers that
+    store or ship the DAG separately (dag_ref mode); building the DAG dict
+    dominates serialisation cost on large instances.
+    """
+    payload: dict[str, Any] = {}
+    if include_dag:
+        payload["dag"] = dag_to_dict(schedule.dag)
+    payload |= {
         "machine": machine_to_dict(schedule.machine),
         "procs": [int(p) for p in schedule.procs],
         "supersteps": [int(s) for s in schedule.supersteps],
@@ -108,9 +115,26 @@ def schedule_to_dict(schedule: BspSchedule) -> dict[str, Any]:
     return payload
 
 
-def schedule_from_dict(data: dict[str, Any]) -> BspSchedule:
-    """Rebuild (and re-validate) a schedule from :func:`schedule_to_dict` output."""
-    dag = dag_from_dict(data["dag"])
+def schedule_from_dict(data: dict[str, Any], dag_resolver=None) -> BspSchedule:
+    """Rebuild (and re-validate) a schedule from :func:`schedule_to_dict` output.
+
+    Payloads in *dag_ref mode* (a ``"dag_ref"`` string instead of an
+    embedded ``"dag"`` sub-dict — what the content-addressed store writes)
+    need ``dag_resolver``, a callable mapping the reference to the DAG wire
+    dict (e.g. :meth:`repro.store.ResultStore.load_dag_dict`).
+    """
+    if "dag" in data:
+        dag_dict = data["dag"]
+    elif "dag_ref" in data:
+        if dag_resolver is None:
+            raise ReproError(
+                f"schedule payload references DAG {data['dag_ref']!r}; pass a "
+                "dag_resolver (or load via the result store) to materialise it"
+            )
+        dag_dict = dag_resolver(str(data["dag_ref"]))
+    else:
+        raise ReproError("schedule payload carries neither 'dag' nor 'dag_ref'")
+    dag = dag_from_dict(dag_dict)
     machine = machine_from_dict(data["machine"])
     comm = None
     if "comm_schedule" in data:
@@ -128,14 +152,37 @@ def save_schedule(schedule: BspSchedule, path: str | Path) -> None:
     )
 
 
-def load_schedule(path: str | Path) -> BspSchedule:
+def load_schedule(path: str | Path, store: str | Path | None = None) -> BspSchedule:
     """Load a schedule previously written by :func:`save_schedule`.
 
-    Also accepts the service API's :class:`repro.api.ScheduleResult` wire
-    format (what ``repro schedule --output`` emits), in which the schedule
-    payload is nested under a ``"schedule"`` key.
+    Reads every format ever emitted: the plain :func:`save_schedule`
+    payload, the service API's :class:`repro.api.ScheduleResult` wire
+    format (what ``repro schedule --output`` emits — the schedule payload
+    nested under a ``"schedule"`` key), and dag_ref-mode payloads (what the
+    content-addressed store writes).  For dag_ref payloads the reference is
+    resolved against ``store`` (a store root directory) when given, else
+    against the nearest ancestor of ``path`` that contains a ``dags/``
+    directory — which is exactly where a file read out of a store sits.
     """
-    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
     if "schedule" in data and "procs" not in data:
         data = data["schedule"]
-    return schedule_from_dict(data)
+    dag_resolver = None
+    if "dag" not in data and "dag_ref" in data:
+        root = _discover_store_root(path, store)
+        if root is not None:
+            from ..store.results import ResultStore
+
+            dag_resolver = ResultStore(root).load_dag_dict
+    return schedule_from_dict(data, dag_resolver=dag_resolver)
+
+
+def _discover_store_root(path: Path, store: str | Path | None) -> Path | None:
+    """The store root to resolve ``dag_ref``\\ s against (explicit or inferred)."""
+    if store is not None:
+        return Path(store)
+    for ancestor in path.resolve().parents:
+        if (ancestor / "dags").is_dir():
+            return ancestor
+    return None

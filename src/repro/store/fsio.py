@@ -1,0 +1,82 @@
+"""Crash-safe filesystem primitives shared by the store and the queue.
+
+Every durable artifact in :mod:`repro.store` is one JSON file, and every
+write follows the same two rules:
+
+* **atomic publish** — content is written to a temporary sibling and
+  ``os.replace``-d into place, so a reader (or a concurrent worker) never
+  observes a half-written file and a crash mid-write leaves at most a
+  stale ``*.tmp`` orphan, never a corrupt published file;
+* **tolerant reads** — a file that is missing, truncated, or not valid
+  JSON reads as *absent* (``None``) rather than raising, so one corrupt
+  entry costs a recompute instead of wedging the store.
+
+The queue's mutual-exclusion primitive is :func:`claim_rename`: on POSIX a
+``rename`` within one filesystem is atomic, so when several dispatchers
+race to claim the same pending entry exactly one rename succeeds and the
+losers observe ``FileNotFoundError``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "claim_rename",
+    "read_json_tolerant",
+]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically (tmp sibling + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # unique tmp name: concurrent writers of the same path must not trample
+    # each other's in-flight temporaries
+    tmp = path.parent / f".{path.name}.{uuid.uuid4().hex}.tmp"
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed before the rename: drop the orphan
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def atomic_write_json(path: Path, payload: Any, indent: int | None = None) -> None:
+    """Publish a JSON payload at ``path`` atomically (sorted keys, stable bytes)."""
+    atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+
+
+def read_json_tolerant(path: Path) -> Any | None:
+    """Read a JSON file; missing/truncated/corrupt files read as ``None``."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        return None
+
+
+def claim_rename(source: Path, target: Path) -> bool:
+    """Atomically move ``source`` to ``target``; ``False`` if someone else won.
+
+    The rename either transfers the whole file or fails — there is no
+    partial state — so a set of racing claimants ends with exactly one
+    owner of ``target``.
+    """
+    target.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        os.rename(source, target)
+    except FileNotFoundError:
+        return False
+    return True

@@ -1,0 +1,320 @@
+"""Durable, crash-safe work queue of pending schedule requests.
+
+The queue lives under the store root and is nothing but three directories
+of single-entry JSON files, which makes every transition an atomic
+filesystem operation::
+
+    <root>/queue/
+      pending/<fingerprint>.json   submitted, waiting for a worker
+      leased/<fingerprint>.json    claimed by a worker (owner + deadline inside)
+      failed/<fingerprint>.json    terminally failed (error recorded)
+
+Lifecycle
+---------
+``submit`` publishes a pending entry (the full request wire dict plus an
+attempt counter).  ``lease`` claims entries by *renaming* them from
+``pending/`` into ``leased/`` — on POSIX a rename is atomic, so of several
+racing workers exactly one wins each entry — then stamps the lease (owner
+id, expiry deadline, incremented attempt counter) into the claimed file.
+A healthy worker ``renew``-s its lease while working and ``complete``-s the
+entry when the result is in the store; a worker that dies simply stops
+renewing.  ``expire_leases`` (run by any dispatcher) returns expired
+entries to ``pending/`` for retry, or — once ``max_attempts`` is exhausted
+— records a terminal failure in ``failed/`` instead of retrying forever.
+``fail`` records a genuine task error (a request whose solve raises)
+terminally without wedging the rest of the batch.
+
+Because results are content-addressed, the crash-recovery races are all
+benign: re-running a requeued request that a dead worker had in fact
+finished is detected by the dispatcher's store check (completed without
+recompute), and two workers that do solve the same fingerprint write the
+identical file.
+
+The clock is injectable (``clock=`` — epoch seconds) so tests can simulate
+worker death and lease expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.exceptions import ReproError
+from .fsio import atomic_write_json, claim_rename, read_json_tolerant
+
+__all__ = ["LeasedTask", "WorkQueue"]
+
+
+@dataclass(frozen=True)
+class LeasedTask:
+    """One claimed queue entry: the request wire dict plus lease bookkeeping."""
+
+    fingerprint: str
+    request: dict
+    attempts: int
+    owner: str
+    expires_at: float
+
+
+class WorkQueue:
+    """File-backed queue of request fingerprints with lease semantics.
+
+    Parameters
+    ----------
+    root:
+        The store root; the queue lives under ``<root>/queue/``.
+    clock:
+        Epoch-seconds time source (default :func:`time.time`); injectable
+        for deterministic lease-expiry tests.
+    """
+
+    def __init__(self, root: str | Path, clock: Callable[[], float] | None = None) -> None:
+        self.root = Path(root)
+        base = self.root / "queue"
+        self.pending_dir = base / "pending"
+        self.leased_dir = base / "leased"
+        self.failed_dir = base / "failed"
+        self._clock = clock if clock is not None else time.time
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, fingerprint: str, request_dict: dict) -> bool:
+        """Enqueue one request; ``False`` if already pending/leased/failed.
+
+        ``request_dict`` is the :meth:`ScheduleRequest.to_dict` wire form —
+        self-contained or carrying a ``dag_ref`` into the store's ``dags/``
+        directory (see :meth:`ResultStore.put_dag`).
+        """
+        if (
+            (self.pending_dir / f"{fingerprint}.json").exists()
+            or (self.leased_dir / f"{fingerprint}.json").exists()
+            or (self.failed_dir / f"{fingerprint}.json").exists()
+        ):
+            return False
+        entry = {
+            "fingerprint": fingerprint,
+            "request": request_dict,
+            "attempts": 0,
+            "enqueued_at": float(self._clock()),
+        }
+        atomic_write_json(self.pending_dir / f"{fingerprint}.json", entry)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # leasing
+    # ------------------------------------------------------------------ #
+    def lease(
+        self, owner: str, limit: int | None = None, lease_seconds: float = 300.0
+    ) -> list[LeasedTask]:
+        """Claim up to ``limit`` pending entries for ``owner``.
+
+        Claims are atomic renames, so concurrent dispatchers partition the
+        pending set without coordination; an entry contested and lost is
+        simply skipped.  Each claimed entry gets its attempt counter
+        incremented and a lease stamp ``{owner, expires_at}`` written back.
+        """
+        if not self.pending_dir.is_dir():
+            return []
+        tasks: list[LeasedTask] = []
+        for path in sorted(self.pending_dir.glob("*.json")):
+            if limit is not None and len(tasks) >= limit:
+                break
+            fingerprint = path.stem
+            target = self.leased_dir / path.name
+            if target.exists():
+                # stale duplicate: an expiry requeue that crashed between
+                # publishing the pending copy and unlinking the leased one.
+                # The leased copy is authoritative; drop the duplicate.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            if not claim_rename(path, target):
+                continue  # another worker won this entry
+            entry = read_json_tolerant(target)
+            if not isinstance(entry, dict) or "request" not in entry:
+                # unreadable entry: record it terminally rather than letting
+                # it bounce between pending and leased forever
+                self._record_failure(
+                    fingerprint,
+                    entry if isinstance(entry, dict) else {"fingerprint": fingerprint},
+                    "unreadable queue entry",
+                )
+                try:
+                    target.unlink()
+                except OSError:
+                    pass
+                continue
+            entry["attempts"] = int(entry.get("attempts", 0)) + 1
+            expires_at = float(self._clock()) + float(lease_seconds)
+            entry["lease"] = {"owner": owner, "expires_at": expires_at}
+            atomic_write_json(target, entry)
+            tasks.append(
+                LeasedTask(
+                    fingerprint=fingerprint,
+                    request=entry["request"],
+                    attempts=entry["attempts"],
+                    owner=owner,
+                    expires_at=expires_at,
+                )
+            )
+        return tasks
+
+    def renew(self, fingerprint: str, owner: str, lease_seconds: float = 300.0) -> bool:
+        """Extend a held lease; ``False`` if it is no longer held by ``owner``."""
+        path = self.leased_dir / f"{fingerprint}.json"
+        entry = read_json_tolerant(path)
+        if not isinstance(entry, dict):
+            return False
+        lease = entry.get("lease") or {}
+        if lease.get("owner") != owner:
+            return False
+        entry["lease"] = {
+            "owner": owner,
+            "expires_at": float(self._clock()) + float(lease_seconds),
+        }
+        atomic_write_json(path, entry)
+        return True
+
+    def expire_leases(
+        self, max_attempts: int = 3, lease_seconds: float = 300.0
+    ) -> tuple[list[str], list[str]]:
+        """Requeue expired leases; terminally fail ones out of attempts.
+
+        Returns ``(requeued, failed)`` fingerprint lists.  An entry whose
+        lease stamp is missing (the claimant died between the claim rename
+        and the stamp write) is treated as expiring ``lease_seconds`` after
+        the file's mtime.
+        """
+        if not self.leased_dir.is_dir():
+            return [], []
+        now = float(self._clock())
+        requeued: list[str] = []
+        failed: list[str] = []
+        for path in sorted(self.leased_dir.glob("*.json")):
+            entry = read_json_tolerant(path)
+            if not isinstance(entry, dict):
+                continue  # mid-write by a live worker; next sweep decides
+            lease = entry.get("lease")
+            if isinstance(lease, dict) and "expires_at" in lease:
+                expires_at = float(lease["expires_at"])
+            else:
+                try:
+                    expires_at = path.stat().st_mtime + float(lease_seconds)
+                except OSError:
+                    continue
+            if expires_at > now:
+                continue
+            fingerprint = path.stem
+            if int(entry.get("attempts", 0)) >= max_attempts:
+                self._record_failure(
+                    fingerprint,
+                    entry,
+                    f"lease expired after {entry.get('attempts', 0)} attempt(s); "
+                    "worker presumed dead",
+                )
+                failed.append(fingerprint)
+            else:
+                entry.pop("lease", None)
+                # publish the pending copy before dropping the lease: a crash
+                # in between leaves a benign duplicate that lease() cleans up
+                atomic_write_json(self.pending_dir / path.name, entry)
+                requeued.append(fingerprint)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return requeued, failed
+
+    # ------------------------------------------------------------------ #
+    # terminal transitions
+    # ------------------------------------------------------------------ #
+    def complete(self, fingerprint: str) -> None:
+        """Drop a finished entry (its result now lives in the store)."""
+        for directory in (self.leased_dir, self.pending_dir):
+            try:
+                (directory / f"{fingerprint}.json").unlink()
+            except OSError:
+                pass
+
+    def fail(self, fingerprint: str, error: str) -> None:
+        """Record a terminal failure for a leased entry and drop the lease."""
+        path = self.leased_dir / f"{fingerprint}.json"
+        entry = read_json_tolerant(path)
+        if not isinstance(entry, dict):
+            entry = {"fingerprint": fingerprint}
+        self._record_failure(fingerprint, entry, error)
+        self.complete(fingerprint)
+
+    def _record_failure(self, fingerprint: str, entry: dict, error: str) -> None:
+        record = dict(entry)
+        record.pop("lease", None)
+        record["error"] = error
+        record["failed_at"] = float(self._clock())
+        atomic_write_json(self.failed_dir / f"{fingerprint}.json", record)
+
+    def retry_failed(self) -> list[str]:
+        """Move every terminal failure back to pending (attempts reset)."""
+        if not self.failed_dir.is_dir():
+            return []
+        retried: list[str] = []
+        for path in sorted(self.failed_dir.glob("*.json")):
+            entry = read_json_tolerant(path)
+            if not isinstance(entry, dict) or "request" not in entry:
+                continue
+            entry.pop("error", None)
+            entry.pop("failed_at", None)
+            entry["attempts"] = 0
+            atomic_write_json(self.pending_dir / path.name, entry)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            retried.append(path.stem)
+        return retried
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def _fingerprints(self, directory: Path) -> list[str]:
+        if not directory.is_dir():
+            return []
+        return sorted(path.stem for path in directory.glob("*.json"))
+
+    def pending(self) -> list[str]:
+        """Pending fingerprints (sorted)."""
+        return self._fingerprints(self.pending_dir)
+
+    def leased(self) -> list[str]:
+        """Currently leased fingerprints (sorted)."""
+        return self._fingerprints(self.leased_dir)
+
+    def failures(self) -> dict[str, str]:
+        """Terminal failures: ``{fingerprint: error message}``."""
+        out: dict[str, str] = {}
+        for fingerprint in self._fingerprints(self.failed_dir):
+            entry = read_json_tolerant(self.failed_dir / f"{fingerprint}.json")
+            out[fingerprint] = (
+                str(entry.get("error", "unknown")) if isinstance(entry, dict) else "unknown"
+            )
+        return out
+
+    def stats(self) -> dict[str, int]:
+        """Entry counts per state."""
+        return {
+            "pending": len(self.pending()),
+            "leased": len(self.leased()),
+            "failed": len(self._fingerprints(self.failed_dir)),
+        }
+
+    def request_dict(self, fingerprint: str) -> dict:
+        """The wire request of any queue entry (pending, leased or failed)."""
+        for directory in (self.pending_dir, self.leased_dir, self.failed_dir):
+            entry = read_json_tolerant(directory / f"{fingerprint}.json")
+            if isinstance(entry, dict) and "request" in entry:
+                return entry["request"]
+        raise ReproError(f"fingerprint {fingerprint!r} is not in the queue")

@@ -1,0 +1,170 @@
+"""Content-addressed on-disk result store.
+
+The store is a plain directory tree shared by every process that points at
+it (CLI runs, experiment harnesses, worker fleets, CI jobs)::
+
+    <root>/
+      results/<request-fingerprint>.json   one ScheduleResult per solved request
+      dags/<dag-fingerprint>.json          deduplicated DAG payloads (dag_to_dict)
+      queue/...                            the durable work queue (see queue.py)
+
+* **Content-addressed**: a result file is named by the fingerprint of the
+  :class:`~repro.api.ScheduleRequest` that produced it (DAG content +
+  machine + spec + budget + seed), so any process that can rebuild the
+  request can look its answer up — no coordination, no index.
+* **Small payloads**: the schedule's instance is factored out on write —
+  the DAG payload is stored once under ``dags/`` and the result file holds
+  a ``dag_ref`` (the :ref:`dag_ref mode <ScheduleResult>` of the wire
+  format).  A grid of thousands of requests over a handful of DAGs stores
+  each DAG once.
+* **Crash-safe**: writes are atomic (tmp + rename — see
+  :mod:`repro.store.fsio`), concurrent writers of the same fingerprint are
+  idempotent (content-addressing makes the race benign), and corrupt or
+  truncated files read as *missing* and are overwritten by the next
+  recompute instead of wedging the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from ..api.result import ScheduleResult
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import ReproError
+from ..core.serialization import dag_to_dict
+from .fsio import atomic_write_json, read_json_tolerant
+
+__all__ = ["ResultStore", "dag_dict_fingerprint"]
+
+
+def dag_dict_fingerprint(dag_dict: dict) -> str:
+    """Stable content hash of a DAG wire dict (the ``dags/`` file name).
+
+    Hashes the canonical JSON rendering of the :func:`dag_to_dict` payload,
+    so the same DAG content produces the same reference whether it arrives
+    as a live object or as an already-serialised dict.
+    """
+    canonical = json.dumps(dag_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(b"repro-dagdict-v1" + canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Directory-backed, content-addressed map ``request fingerprint -> result``.
+
+    Parameters
+    ----------
+    root:
+        The store root directory (created on first write).  Several
+        processes may share one root concurrently; all operations are
+        atomic at the single-entry level.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.dags_dir = self.root / "dags"
+
+    # ------------------------------------------------------------------ #
+    # result entries
+    # ------------------------------------------------------------------ #
+    def result_path(self, fingerprint: str) -> Path:
+        """The on-disk location of one result entry."""
+        return self.results_dir / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> ScheduleResult | None:
+        """The stored result, or ``None`` (missing *or* unreadable/corrupt).
+
+        The returned result resolves its ``dag_ref`` lazily against this
+        store's ``dags/`` directory; costs, stage traces and metadata are
+        available without touching the DAG payload at all.
+        """
+        payload = read_json_tolerant(self.result_path(fingerprint))
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return ScheduleResult.from_dict(payload, dag_resolver=self.load_dag_dict)
+        except ReproError:
+            # structurally broken entry (e.g. a partial write predating the
+            # atomic-rename discipline): treat as missing, let the caller
+            # recompute and overwrite
+            return None
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a *readable* result is stored for ``fingerprint``."""
+        return self.get(fingerprint) is not None
+
+    def put(self, fingerprint: str, result: ScheduleResult) -> bool:
+        """Store a result under ``fingerprint``; ``False`` if already present.
+
+        The DAG payload is factored out into ``dags/`` (written once per
+        distinct DAG) and the result file keeps only a ``dag_ref``.  An
+        existing *readable* entry is kept untouched — content-addressing
+        makes re-putting the same fingerprint idempotent — while a corrupt
+        one is overwritten.
+        """
+        if self.contains(fingerprint):
+            return False
+        data = result.to_dict()
+        schedule = dict(data["schedule"])
+        dag_dict = schedule.pop("dag")
+        ref = dag_dict_fingerprint(dag_dict)
+        dag_path = self.dags_dir / f"{ref}.json"
+        if not dag_path.exists():
+            atomic_write_json(dag_path, dag_dict)
+        schedule["dag_ref"] = ref
+        data["schedule"] = schedule
+        # volatile per-run flags are not part of the stored answer
+        data["cache_hit"] = False
+        atomic_write_json(self.result_path(fingerprint), data)
+        return True
+
+    def fingerprints(self) -> list[str]:
+        """Every stored fingerprint (sorted; readability not verified)."""
+        if not self.results_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.results_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    # ------------------------------------------------------------------ #
+    # DAG payloads
+    # ------------------------------------------------------------------ #
+    def dag_path(self, ref: str) -> Path:
+        """The on-disk location of one DAG payload."""
+        return self.dags_dir / f"{ref}.json"
+
+    def put_dag(self, dag: ComputationalDAG | dict) -> Path:
+        """Store a DAG payload (deduplicated) and return its file path.
+
+        Used by the queue submission path: a request can then carry a
+        ``dag_ref`` to this file instead of embedding the DAG, so a grid of
+        requests over one instance stores and ships it once.
+        """
+        dag_dict = dag if isinstance(dag, dict) else dag_to_dict(dag)
+        ref = dag_dict_fingerprint(dag_dict)
+        path = self.dag_path(ref)
+        if not path.exists():
+            atomic_write_json(path, dag_dict)
+        return path
+
+    def load_dag_dict(self, ref: str) -> dict:
+        """Resolve a ``dag_ref`` to its stored wire dict (raises if absent)."""
+        payload = read_json_tolerant(self.dag_path(ref))
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"dag_ref {ref!r} does not resolve to a readable DAG payload "
+                f"under {self.dags_dir}"
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Entry counts (results and deduplicated DAG payloads)."""
+        num_dags = (
+            len(list(self.dags_dir.glob("*.json"))) if self.dags_dir.is_dir() else 0
+        )
+        return {"results": len(self), "dags": num_dags}

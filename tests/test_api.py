@@ -152,6 +152,29 @@ class TestWireFormat:
             == SchedulingService(cache_size=0).solve(inline).canonical_dict()
         )
 
+    def test_dag_ref_mode_roundtrip(self):
+        from repro.core.serialization import dag_to_dict
+
+        result = SchedulingService(cache_size=0).solve(_request_dict("hdagg"))
+        dag_dict = result.schedule_dict()["dag"]
+        table = {"ref-1": dag_dict}
+        stripped = result.with_dag_ref("ref-1", resolver=table.__getitem__)
+        assert stripped.schedule_dict()["dag_ref"] == "ref-1"
+        assert "dag" not in stripped.schedule_dict()
+        # resolution is transparent and lossless
+        assert stripped.canonical_dict() == result.canonical_dict()
+        assert stripped.to_schedule().is_valid()
+        assert dag_to_dict(stripped.to_schedule().dag) == dag_dict
+
+    def test_dag_ref_without_resolver_raises(self):
+        from repro.core import ReproError
+
+        result = SchedulingService(cache_size=0).solve(_request_dict("hdagg"))
+        orphan = result.with_dag_ref("nowhere")
+        assert orphan.cost == result.cost  # metadata stays available
+        with pytest.raises(ReproError, match="no resolver"):
+            orphan.to_dict()
+
     def test_explicit_machine_roundtrip(self):
         machine = MachineSpec(4, 2, 3, numa_delta=3).build()
         request = ScheduleRequest(

@@ -10,6 +10,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
 from bench_report import (  # noqa: E402
     collect_backends,
+    collect_store_hit_rates,
     collect_trajectory,
     main,
     render_markdown,
@@ -99,12 +100,31 @@ class TestRenderMarkdown:
         table = render_markdown(collect_trajectory(tmp_path), backends)
         assert "| *(kernel backend)* | — | numba |" in table.splitlines()
 
+    def test_store_hit_rate_row(self, tmp_path):
+        _write_record(tmp_path, 1, {"a": {"speedup": 3.0}})
+        _write_record(
+            tmp_path,
+            2,
+            {
+                "a": {"speedup": 6.0},
+                "store_resume": {"speedup": 40.0, "hit_rate": 1.0},
+            },
+        )
+        rates = collect_store_hit_rates(tmp_path)
+        assert rates == {2: 1.0}  # PR 1 predates the persistent store
+        table = render_markdown(
+            collect_trajectory(tmp_path), store_hit_rates=rates
+        )
+        assert "| *(warm-store hit rate)* | — | 100% |" in table.splitlines()
+        # the resume speedup itself is an ordinary trajectory row
+        assert "| store_resume | — | 40.0x |" in table.splitlines()
+
 
 class TestRepoRecords:
     def test_repo_trajectory_covers_committed_records(self):
-        """Acceptance: the committed records BENCH_3/4/6 all report."""
+        """Acceptance: the committed records BENCH_3/4/6/7 all report."""
         trajectory = collect_trajectory(REPO_ROOT)
-        assert {3, 4, 6} <= set(trajectory)
+        assert {3, 4, 6, 7} <= set(trajectory)
         assert trajectory[3], "BENCH_3.json contributed no speedups"
         assert trajectory[4], "BENCH_4.json contributed no speedups"
         # the tentpole record: HC refinement at 100k nodes in BENCH_4
@@ -113,9 +133,15 @@ class TestRepoRecords:
         assert any("hc_refinement" in k and "100000" in k for k in trajectory[6])
         assert any("solve_many" in k for k in trajectory[6])
         assert collect_backends(REPO_ROOT).get(6) in ("numpy", "numba")
-        table = render_markdown(trajectory, collect_backends(REPO_ROOT))
+        # PR 7: the persistent-store resume record (100% warm hit rate)
+        assert any("store_resume" in k for k in trajectory[7])
+        assert collect_store_hit_rates(REPO_ROOT).get(7) == 1.0
+        table = render_markdown(
+            trajectory, collect_backends(REPO_ROOT), collect_store_hit_rates(REPO_ROOT)
+        )
         assert "PR 3" in table and "PR 4" in table and "PR 6" in table
         assert "*(kernel backend)*" in table
+        assert "*(warm-store hit rate)*" in table
 
     def test_main_prints_table(self, capsys):
         assert main([str(REPO_ROOT)]) == 0
