@@ -4,10 +4,11 @@ A :class:`ScheduleRequest` bundles everything one ``solve`` needs:
 
 * the DAG — an in-memory :class:`~repro.core.dag.ComputationalDAG`, an
   inline wire dict (:func:`~repro.core.serialization.dag_to_dict` form), or
-  a path reference to a hyperDAG file (``.json`` paths load as stored
-  ``dag_to_dict`` payloads — the content-addressed store's ``dags/``
-  entries — so queued requests can reference a shared DAG instead of
-  embedding it);
+  a path reference to a DAG file in any on-disk format: hyperDAG text,
+  memory-mapped ``.hdagb`` binary (loaded zero-copy, fingerprint read from
+  the header), or ``.json`` stored ``dag_to_dict`` payloads — the
+  content-addressed store's ``dags/`` entries — so queued requests can
+  reference a shared DAG instead of embedding it;
 * the machine — a declarative :class:`~repro.core.machine.MachineSpec` or a
   fully materialised :class:`~repro.core.machine.BspMachine`;
 * the scheduler — a :class:`~repro.api.SchedulerSpec`;
@@ -117,18 +118,16 @@ class ScheduleRequest:
             elif isinstance(self.dag, dict):
                 self._resolved_dag = dag_from_dict(self.dag)
             elif isinstance(self.dag, (str, Path)):
-                path = Path(self.dag)
-                if path.suffix == ".json":
-                    # a stored DAG payload (the content-addressed store's
-                    # dags/ entries are dag_to_dict JSON — lossless, unlike
-                    # the %g-formatted hyperDAG text weights)
-                    self._resolved_dag = dag_from_dict(
-                        json.loads(path.read_text(encoding="utf-8"))
-                    )
-                else:
-                    from ..io.hyperdag import read_hyperdag
+                # extension dispatch with a magic-bytes fallback: .hdagb
+                # binary (zero-copy mapped load — the fingerprint comes
+                # straight from the header, so file-reference requests
+                # never touch the payload), .json stored dag_to_dict
+                # payloads (the content-addressed store's dags/ entries —
+                # lossless, unlike the %g-formatted hyperDAG text
+                # weights), anything else hyperDAG text
+                from ..io.hdagb import load_dag
 
-                    self._resolved_dag = read_hyperdag(self.dag)
+                self._resolved_dag = load_dag(self.dag)
             else:
                 raise ReproError(
                     f"unsupported DAG reference of type {type(self.dag).__name__}"

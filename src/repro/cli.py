@@ -4,10 +4,17 @@ Three subcommands cover the common workflows:
 
 ``generate``
     Create a computational DAG with one of the database generators and write
-    it as a hyperDAG file, e.g.::
+    it as a hyperDAG text file or a memory-mapped ``.hdagb`` binary, e.g.::
 
         python -m repro generate --generator cg --size 8 --density 0.3 \\
             --iterations 3 --output cg.hdag
+
+    With ``--stream`` (structured families only) the DAG is emitted straight
+    to disk with bounded peak memory — the way to produce the 10^6..10^7-node
+    instances::
+
+        python -m repro generate --generator stencil2d --size 1000 \\
+            --iterations 9 --stream --output stencil.hdagb
 
 ``schedule``
     Schedule a hyperDAG file (or a freshly generated instance) with one of
@@ -32,9 +39,16 @@ Three subcommands cover the common workflows:
 ``queue``
     Inspect and manage a durable work queue (:mod:`repro.store`): show
     status, submit a request JSON file, expire abandoned leases, list
-    terminal failures, or requeue them::
+    terminal failures, requeue them, or garbage-collect the store::
 
         python -m repro queue --root ./results status
+
+``store``
+    Maintain a content-addressed result store; currently one subcommand,
+    ``gc`` (also reachable as ``queue gc``), which removes dangling
+    results, orphaned DAG payloads and stale write temporaries::
+
+        python -m repro store --root ./results gc
 
 ``serve-worker``
     Drain a durable work queue into its content-addressed result store —
@@ -63,15 +77,22 @@ from .core import ComputationalDAG, ConfigurationError
 from .dagdb import (
     COARSE_GENERATORS,
     FINE_GENERATORS,
+    STREAM_GENERATORS,
     STRUCTURED_GENERATORS,
     SparseMatrixPattern,
-    build_elimination_dag,
     build_fft_dag,
     build_stencil2d_dag,
     build_stencil3d_dag,
     build_stencil_dag,
+    stream_generate,
 )
-from .io import read_hyperdag, render_cost_table, render_schedule_text, write_hyperdag
+from .io import (
+    load_dag,
+    render_cost_table,
+    render_schedule_text,
+    write_hdagb,
+    write_hyperdag,
+)
 from .schedulers import available_schedulers
 
 __all__ = ["main", "build_parser"]
@@ -104,12 +125,29 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--density", type=float, default=0.3, help="nonzero density for fine-grained generators")
     generate.add_argument("--iterations", type=int, default=3, help="iteration count")
     generate.add_argument("--seed", type=int, default=0, help="random seed for the matrix pattern")
-    generate.add_argument("--output", required=True, help="output hyperDAG file path")
+    generate.add_argument("--output", required=True, help="output DAG file path")
+    generate.add_argument(
+        "--out-format",
+        choices=("auto", "hdag", "hdagb"),
+        default="auto",
+        help=(
+            "output format: hyperDAG text or memory-mapped .hdagb binary "
+            "(default: by output extension, text otherwise)"
+        ),
+    )
+    generate.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "emit straight to a .hdagb file with bounded peak memory "
+            "(structured generators only; implies --out-format hdagb)"
+        ),
+    )
 
     schedule = subparsers.add_parser("schedule", help="schedule a hyperDAG file")
     _add_machine_arguments(schedule)
     _add_store_argument(schedule)
-    schedule.add_argument("input", help="hyperDAG file to schedule")
+    schedule.add_argument("input", help="DAG file to schedule (.hdag text, .hdagb binary, or stored .json)")
     schedule.add_argument(
         "--scheduler",
         default="framework",
@@ -123,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="compare several schedulers on one instance")
     _add_machine_arguments(compare)
     _add_store_argument(compare)
-    compare.add_argument("input", help="hyperDAG file to schedule")
+    compare.add_argument("input", help="DAG file to schedule (.hdag text, .hdagb binary, or stored .json)")
     compare.add_argument(
         "--schedulers",
         nargs="+",
@@ -171,6 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     queue_sub.add_parser("failures", help="list terminal failures")
     queue_sub.add_parser("retry", help="requeue every terminal failure")
+    _add_gc_arguments(
+        queue_sub.add_parser(
+            "gc", help="garbage-collect the store this queue lives in"
+        )
+    )
+
+    store_cmd = subparsers.add_parser(
+        "store", help="maintain a content-addressed result store"
+    )
+    store_cmd.add_argument(
+        "--root", required=True, help="store root (results, DAGs and queue live under it)"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    _add_gc_arguments(
+        store_sub.add_parser(
+            "gc",
+            help=(
+                "remove dangling results, orphaned DAG payloads and stale "
+                "write temporaries"
+            ),
+        )
+    )
 
     serve = subparsers.add_parser(
         "serve-worker",
@@ -227,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a single expire/lease/solve/settle cycle and exit",
     )
     return parser
+
+
+def _add_gc_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tmp-grace-seconds",
+        type=float,
+        default=3600.0,
+        help=(
+            "only remove write temporaries older than this (protects "
+            "in-flight writes of live processes)"
+        ),
+    )
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -287,10 +359,11 @@ def _generate_dag(args: argparse.Namespace) -> ComputationalDAG:
             pattern = SparseMatrixPattern.random(
                 args.size, args.density, seed=args.seed, ensure_diagonal=True
             )
-            ordering = {"cholesky_rcm": "rcm", "cholesky_amd": "amd"}.get(
-                args.generator, "natural"
-            )
-            return build_elimination_dag(pattern, ordering=ordering).dag
+            # the registry builders, not build_elimination_dag(ordering=...):
+            # they encode the ordering in the DAG name, which the streaming
+            # path (--stream) reproduces for byte-identical files
+            builder = STRUCTURED_GENERATORS[args.generator]
+            return builder(pattern).dag
         if args.generator == "fft":
             points = 1 << max(1, args.size - 1).bit_length()  # round up to 2^k
             return build_fft_dag(points).dag
@@ -313,9 +386,63 @@ def _generate_dag(args: argparse.Namespace) -> ComputationalDAG:
     return COARSE_GENERATORS[args.generator](args.iterations)
 
 
+def _stream_params(args: argparse.Namespace) -> dict:
+    """Streaming-emitter parameters from the argparse namespace.
+
+    Mirrors the size adapters of :func:`_generate_dag` exactly, so a
+    streamed file is byte-identical to writing the in-memory generator's
+    DAG for the same CLI arguments.
+    """
+    if args.generator in ("cholesky", "cholesky_rcm", "cholesky_amd"):
+        pattern = SparseMatrixPattern.random(
+            args.size, args.density, seed=args.seed, ensure_diagonal=True
+        )
+        return {"pattern": pattern}
+    if args.generator == "fft":
+        return {"points": 1 << max(1, args.size - 1).bit_length()}
+    if args.generator == "fft4":
+        points = 4
+        while points < args.size:
+            points *= 4
+        return {"points": points}
+    if args.generator == "stencil2d":
+        return {"side": args.size, "steps": args.iterations}
+    if args.generator == "stencil2d_rect":
+        return {
+            "width": max(2, args.size),
+            "height": max(2, args.size // 2),
+            "steps": args.iterations,
+        }
+    return {"side": args.size, "steps": args.iterations}  # stencil3d
+
+
 def _command_generate(args: argparse.Namespace) -> int:
+    out_format = args.out_format
+    if out_format == "auto":
+        if args.stream or args.output.endswith(".hdagb"):
+            out_format = "hdagb"
+        else:
+            out_format = "hdag"
+    if args.stream:
+        if out_format != "hdagb":
+            raise ConfigurationError("--stream writes .hdagb files; use --out-format hdagb")
+        if args.generator not in STREAM_GENERATORS:
+            raise ConfigurationError(
+                f"generator {args.generator!r} has no streaming emitter; "
+                f"available: {', '.join(sorted(STREAM_GENERATORS))}"
+            )
+        stream_generate(args.output, args.generator, **_stream_params(args))
+        mapped = load_dag(args.output)
+        print(
+            f"wrote {args.output}: {mapped.num_nodes} nodes, "
+            f"{mapped.num_edges} edges (streamed)"
+        )
+        return 0
     dag = _generate_dag(args)
-    write_hyperdag(dag, args.output)
+    if out_format == "hdagb":
+        write_hdagb(dag, args.output)
+    else:
+        write_hyperdag(dag, args.output)
     print(
         f"wrote {args.output}: {dag.num_nodes} nodes, {dag.num_edges} edges, "
         f"depth {dag.depth()}"
@@ -347,8 +474,9 @@ def _command_compare(args: argparse.Namespace) -> int:
     service = SchedulingService(store=args.store)
     # resolve the instance once and share the DAG (and its fingerprint
     # memo) across the whole batch instead of re-reading the file per
-    # scheduler
-    dag = read_hyperdag(args.input)
+    # scheduler; load_dag dispatches on format (.hdagb binary, stored
+    # .json payloads, hyperDAG text)
+    dag = load_dag(args.input)
     machine_spec = _machine_spec_from_args(args)
     requests = [
         ScheduleRequest(
@@ -433,9 +561,28 @@ def _command_queue(args: argparse.Namespace) -> int:
             print(f"{fingerprint}: {error}")
         print(f"{len(failures)} terminal failure(s)")
         return 0
+    if args.queue_command == "gc":
+        return _run_store_gc(args)
     retried = queue.retry_failed()  # "retry"
     print(f"requeued {len(retried)} failed entries")
     return 0
+
+
+def _run_store_gc(args: argparse.Namespace) -> int:
+    from .store import ResultStore
+
+    report = ResultStore(args.root).gc(tmp_grace_seconds=args.tmp_grace_seconds)
+    print(
+        f"gc {args.root}: removed {len(report['removed_results'])} dangling "
+        f"result(s), {len(report['removed_dags'])} orphaned DAG payload(s), "
+        f"{len(report['removed_tmp'])} stale temporar"
+        f"{'y' if len(report['removed_tmp']) == 1 else 'ies'}"
+    )
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    return _run_store_gc(args)  # "gc" is the only store subcommand
 
 
 def _command_serve_worker(args: argparse.Namespace) -> int:
@@ -475,6 +622,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _command_compare,
         "kernels": _command_kernels,
         "queue": _command_queue,
+        "store": _command_store,
         "serve-worker": _command_serve_worker,
     }
     return commands[args.command](args)

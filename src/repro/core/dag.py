@@ -346,11 +346,25 @@ class ComputationalDAG:
         """Communication weight ``c(v)``."""
         return float(self._comm[v])
 
+    def _ensure_writable_weights(self) -> None:
+        """Copy-on-write hook: detach memory-mapped weight buffers before a write.
+
+        In-memory DAGs always own writable weight buffers, so this is a
+        flag check; a DAG loaded zero-copy from a ``.hdagb`` mapping (see
+        :mod:`repro.io.hdagb`) carries read-only views and the first weight
+        mutation silently replaces them with private copies.
+        """
+        if not self._work.flags.writeable:
+            self._work = np.array(self._work, dtype=np.float64)
+        if not self._comm.flags.writeable:
+            self._comm = np.array(self._comm, dtype=np.float64)
+
     def set_work(self, v: int, value: float) -> None:
         """Set ``w(v)``."""
         if value < 0:
             raise DagError("work weight must be non-negative")
         self._check_node(v)
+        self._ensure_writable_weights()
         self._work[v] = value
         self._bottom_level_cache = None
         self._content_fingerprint = None
@@ -360,18 +374,23 @@ class ComputationalDAG:
         if value < 0:
             raise DagError("communication weight must be non-negative")
         self._check_node(v)
+        self._ensure_writable_weights()
         self._comm[v] = value
         self._content_fingerprint = None
 
     def set_work_weights(self, values: Sequence[float]) -> None:
         """Replace the whole work weight vector in one vectorized assignment."""
-        self._work[: self._n] = self._init_weights(values, self._n, "work_weights")
+        weights = self._init_weights(values, self._n, "work_weights")
+        self._ensure_writable_weights()
+        self._work[: self._n] = weights
         self._bottom_level_cache = None
         self._content_fingerprint = None
 
     def set_comm_weights(self, values: Sequence[float]) -> None:
         """Replace the whole communication weight vector."""
-        self._comm[: self._n] = self._init_weights(values, self._n, "comm_weights")
+        weights = self._init_weights(values, self._n, "comm_weights")
+        self._ensure_writable_weights()
+        self._comm[: self._n] = weights
         self._content_fingerprint = None
 
     @property

@@ -45,6 +45,7 @@ __all__ = [
     "hccs_pass",
     "coarsen_reach",
     "symbolic_fill",
+    "symbolic_fill_quotient",
 ]
 
 #: Environment knob selecting the kernel backend.
@@ -293,6 +294,29 @@ def symbolic_fill(indptr, indices, n):
     if backend == "numpy":
         return numpy_impl.symbolic_fill_numpy(indptr, indices, n)
     fn = _loop_fn("symbolic_fill_jit", loops.symbolic_fill_loops)
+    return fn(
+        np.ascontiguousarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(indices, dtype=np.int64),
+        n,
+    )
+
+
+def symbolic_fill_quotient(indptr, indices, n):
+    """Row-merge-tree symbolic factorisation (the fifth dispatched kernel).
+
+    Same contract and bit-identical output as :func:`symbolic_fill`
+    (sorted below-diagonal column structures of ``L`` plus the elimination
+    tree), computed via Liu's path-compressed etree and marked row-subtree
+    traversals instead of per-column unions — ``O(|A| · α + |L|)`` total,
+    which is what makes million-column elimination DAGs constructible.
+    The numpy backend runs the walks over plain Python lists
+    (:func:`~repro.core.kernels.numpy_impl.symbolic_fill_quotient_numpy`);
+    the compiled backend jits the identical loop body.
+    """
+    backend = get_backend()
+    if backend == "numpy":
+        return numpy_impl.symbolic_fill_quotient_numpy(indptr, indices, n)
+    fn = _loop_fn("symbolic_fill_quotient_jit", loops.symbolic_fill_quotient_loops)
     return fn(
         np.ascontiguousarray(indptr, dtype=np.int64),
         np.ascontiguousarray(indices, dtype=np.int64),

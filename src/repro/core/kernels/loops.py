@@ -30,6 +30,7 @@ __all__ = [
     "hccs_pass_loops",
     "coarsen_reach_loops",
     "symbolic_fill_loops",
+    "symbolic_fill_quotient_loops",
 ]
 
 #: Sentinel for "no entry" in first-need tables (== repro.core.csr.NO_ENTRY,
@@ -556,3 +557,67 @@ def symbolic_fill_loops(indptr, indices, n):
             next_sibling[j] = first_child[parent]
             first_child[parent] = j
     return out_indptr, out[:used], parents
+
+
+def symbolic_fill_quotient_loops(indptr, indices, n):
+    """Row-merge-tree symbolic factorisation over a sorted CSR pattern.
+
+    The asymptotic replacement for :func:`symbolic_fill_loops`: instead of
+    unioning child structures per column (which re-sorts every candidate
+    set), compute the elimination tree first (Liu's ancestor walk with path
+    compression), then obtain each row ``i``'s structure as the union of
+    the etree paths ``j -> i`` for every entry ``A[i, j]`` with ``j < i``
+    — a marked traversal that touches every output entry exactly once, so
+    the whole pass is ``O(|A| · α + |L|)``.  Rows are visited in increasing
+    ``i``, so each column's structure is emitted sorted and duplicate-free:
+    the output is bit-identical to the up-looking kernels.  Returns the
+    ragged below-diagonal column structures as ``(out_indptr, out_indices,
+    parents)`` with ``parents`` the elimination tree.
+    """
+    parents = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        for k in range(indptr[j], indptr[j + 1]):
+            i = indices[k]
+            if i >= j:
+                continue
+            # climb i's compressed ancestor chain, re-pointing it at j
+            while ancestor[i] != -1 and ancestor[i] != j:
+                nxt = ancestor[i]
+                ancestor[i] = j
+                i = nxt
+            if ancestor[i] == -1:
+                ancestor[i] = j
+                parents[i] = j
+    counts = np.zeros(n, dtype=np.int64)
+    mark = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        mark[i] = i
+        for k in range(indptr[i], indptr[i + 1]):
+            j = indices[k]
+            if j >= i:
+                continue
+            # walk the row subtree: j, parent(j), ... until already marked
+            while mark[j] != i:
+                counts[j] += 1
+                mark[j] = i
+                j = parents[j]
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    for j in range(n):
+        out_indptr[j + 1] = out_indptr[j] + counts[j]
+    out_indices = np.empty(out_indptr[n], dtype=np.int64)
+    cursor = out_indptr[:n].copy()
+    for j in range(n):
+        mark[j] = -1
+    for i in range(n):
+        mark[i] = i
+        for k in range(indptr[i], indptr[i + 1]):
+            j = indices[k]
+            if j >= i:
+                continue
+            while mark[j] != i:
+                out_indices[cursor[j]] = i
+                cursor[j] += 1
+                mark[j] = i
+                j = parents[j]
+    return out_indptr, out_indices, parents

@@ -30,12 +30,14 @@ __all__ = [
     "hccs_pass_jit",
     "coarsen_reach_jit",
     "symbolic_fill_jit",
+    "symbolic_fill_quotient_jit",
 ]
 
 hc_pass_jit = None
 hccs_pass_jit = None
 coarsen_reach_jit = None
 symbolic_fill_jit = None
+symbolic_fill_quotient_jit = None
 
 _available = False
 _reason: str | None = None
@@ -52,6 +54,7 @@ else:  # pragma: no cover - exercised only on numba installs (CI matrix leg)
         hccs_pass_jit = _jit(loops.hccs_pass_loops)
         coarsen_reach_jit = _jit(loops.coarsen_reach_loops)
         symbolic_fill_jit = _jit(loops.symbolic_fill_loops)
+        symbolic_fill_quotient_jit = _jit(loops.symbolic_fill_quotient_loops)
         _version = getattr(_numba, "__version__", "unknown")
         _available = True
     except Exception as exc:
@@ -140,6 +143,11 @@ def warmup() -> float:  # pragma: no cover - exercised on numba installs only
         1,
     )
     symbolic_fill_jit(
+        np.array([0, 1], dtype=i64),
+        np.array([0], dtype=i64),
+        1,
+    )
+    symbolic_fill_quotient_jit(
         np.array([0, 1], dtype=i64),
         np.array([0], dtype=i64),
         1,

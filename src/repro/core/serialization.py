@@ -121,7 +121,10 @@ def schedule_from_dict(data: dict[str, Any], dag_resolver=None) -> BspSchedule:
     Payloads in *dag_ref mode* (a ``"dag_ref"`` string instead of an
     embedded ``"dag"`` sub-dict — what the content-addressed store writes)
     need ``dag_resolver``, a callable mapping the reference to the DAG wire
-    dict (e.g. :meth:`repro.store.ResultStore.load_dag_dict`).
+    dict (e.g. :meth:`repro.store.ResultStore.load_dag_dict`) or directly
+    to a :class:`ComputationalDAG` (e.g. a file loader — this skips the
+    dict round-trip for formats with a faster native path such as the
+    memory-mapped ``.hdagb`` binary).
     """
     if "dag" in data:
         dag_dict = data["dag"]
@@ -134,7 +137,7 @@ def schedule_from_dict(data: dict[str, Any], dag_resolver=None) -> BspSchedule:
         dag_dict = dag_resolver(str(data["dag_ref"]))
     else:
         raise ReproError("schedule payload carries neither 'dag' nor 'dag_ref'")
-    dag = dag_from_dict(dag_dict)
+    dag = dag_dict if isinstance(dag_dict, ComputationalDAG) else dag_from_dict(dag_dict)
     machine = machine_from_dict(data["machine"])
     comm = None
     if "comm_schedule" in data:
@@ -162,7 +165,11 @@ def load_schedule(path: str | Path, store: str | Path | None = None) -> BspSched
     content-addressed store writes).  For dag_ref payloads the reference is
     resolved against ``store`` (a store root directory) when given, else
     against the nearest ancestor of ``path`` that contains a ``dags/``
-    directory — which is exactly where a file read out of a store sits.
+    directory — which is exactly where a file read out of a store sits; a
+    reference that is not a store entry but *is* a DAG file path (hyperDAG
+    text, ``.hdagb`` binary, stored ``.json`` — what a file-reference
+    :meth:`ScheduleRequest.to_dict` emits) is loaded from that file, tried
+    absolute and then relative to the schedule file's directory.
     """
     path = Path(path)
     data = json.loads(path.read_text(encoding="utf-8"))
@@ -171,10 +178,25 @@ def load_schedule(path: str | Path, store: str | Path | None = None) -> BspSched
     dag_resolver = None
     if "dag" not in data and "dag_ref" in data:
         root = _discover_store_root(path, store)
-        if root is not None:
-            from ..store.results import ResultStore
 
-            dag_resolver = ResultStore(root).load_dag_dict
+        def dag_resolver(ref: str):
+            if root is not None:
+                from ..store.results import ResultStore
+
+                result_store = ResultStore(root)
+                if result_store.dag_path(ref).is_file():
+                    return result_store.load_dag_dict(ref)
+            from ..io.hdagb import load_dag
+
+            for candidate in (Path(ref), path.parent / ref):
+                if candidate.is_file():
+                    return load_dag(candidate)
+            raise ReproError(
+                f"dag_ref {ref!r} is neither a store entry"
+                f"{f' under {root}' if root is not None else ''} nor a "
+                "readable DAG file"
+            )
+
     return schedule_from_dict(data, dag_resolver=dag_resolver)
 
 

@@ -1,0 +1,286 @@
+"""Streaming DAG generation: structured families emitted straight to disk.
+
+The in-memory generators materialise the whole DAG before anything is
+written; at ``10^6``–``10^7`` nodes that means hundreds of megabytes of
+edge buffers plus the CSR arrays just to produce a file.  The functions
+here emit the *same* node/edge blocks — shared emission templates in
+:mod:`repro.dagdb.structured` guarantee the order — into a
+:class:`~repro.io.hdagb.StreamingDagWriter`, which spills blocks to disk
+and finalises into a ``.hdagb`` file with O(n + block) peak memory.
+
+Weight models are supported without a second pass: the degree-based models
+(``paper``, ``indegree``) only need the in-degree vector, which the
+emission loop accumulates with one ``bincount`` per edge block, and the
+writer applies the finalize-time weight vectors while assembling the file.
+The streamed file is byte-identical to ``write_hdagb`` of the in-memory
+generator's DAG for the same parameters — same fingerprint, same payload.
+
+Entry points: :func:`stream_generate` (by generator name, mirroring the
+CLI's ``generate`` parameters) and the per-family ``stream_*`` emitters
+for callers holding their own writer.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError, DagError
+from ..io.hdagb import StreamingDagWriter
+from .sparsegen import SparseMatrixPattern
+from .structured import (
+    _check_stencil_params,
+    _fft_stage_blocks,
+    _fft_stages,
+    _stencil_template,
+    amd_ordering,
+    fft_dag_name,
+    rcm_ordering,
+    stencil_dag_name,
+    symbolic_fill_csr,
+)
+
+__all__ = [
+    "STREAM_GENERATORS",
+    "stream_elimination_dag",
+    "stream_fft_dag",
+    "stream_generate",
+    "stream_stencil_dag",
+]
+
+_INT = np.int64
+
+
+class _DegreeTracker:
+    """In-degree accumulation alongside a writer's edge emission."""
+
+    def __init__(self, writer: StreamingDagWriter) -> None:
+        self._writer = writer
+        self._indeg = np.zeros(0, dtype=_INT)
+
+    def add_edges(self, sources: np.ndarray, targets: np.ndarray) -> None:
+        self._writer.add_edges_array(sources, targets)
+        if self._indeg.shape[0] < self._writer.num_nodes:
+            grown = np.zeros(self._writer.num_nodes, dtype=_INT)
+            grown[: self._indeg.shape[0]] = self._indeg
+            self._indeg = grown
+        block = np.bincount(np.asarray(targets, dtype=_INT))
+        self._indeg[: block.shape[0]] += block
+
+    def in_degrees(self) -> np.ndarray:
+        out = np.zeros(self._writer.num_nodes, dtype=_INT)
+        out[: self._indeg.shape[0]] = self._indeg
+        return out
+
+
+def _model_weights(
+    model: str, indeg: np.ndarray
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Finalize-time ``(work, comm)`` vectors of a registered weight model.
+
+    Mirrors :mod:`repro.dagdb.weights` exactly, but computed from the
+    accumulated in-degree vector instead of a materialised DAG.  ``unit``
+    returns ``(None, None)`` — the writer's spilled all-ones weights are
+    already the unit model.
+    """
+    if model == "unit":
+        return None, None
+    if model == "paper":
+        work = np.where(
+            indeg == 0, 1.0, np.maximum(indeg - 1, 1).astype(np.float64)
+        )
+        return work, np.ones(indeg.shape[0], dtype=np.float64)
+    if model == "indegree":
+        return (
+            np.maximum(indeg, 1).astype(np.float64),
+            np.ones(indeg.shape[0], dtype=np.float64),
+        )
+    raise ConfigurationError(
+        f"unknown weight model {model!r}; available: indegree, paper, unit"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# per-family emitters
+# ---------------------------------------------------------------------- #
+def stream_fft_dag(
+    writer: StreamingDagWriter, points: int, radix: int = 2
+) -> np.ndarray:
+    """Emit the radix-``radix`` butterfly DAG over ``points`` inputs.
+
+    Same blocks as :func:`repro.dagdb.structured.build_fft_dag`; returns
+    the accumulated in-degree vector for weight-model application.
+    """
+    stages = _fft_stages(points, radix)
+    writer.add_node_block(points * (stages + 1))
+    tracker = _DegreeTracker(writer)
+    for sources, targets in _fft_stage_blocks(points, radix, stages):
+        tracker.add_edges(sources, targets)
+    return tracker.in_degrees()
+
+
+def stream_stencil_dag(
+    writer: StreamingDagWriter, shape: tuple[int, ...], steps: int
+) -> np.ndarray:
+    """Emit the space-time star-stencil DAG over a 2D/3D grid.
+
+    Same per-layer blocks as :func:`repro.dagdb.structured.build_stencil_dag`
+    but one time layer at a time, so peak memory is one layer's template
+    regardless of ``steps``.  Returns the in-degree vector.
+    """
+    shape = _check_stencil_params(shape, steps)
+    cells = math.prod(shape)
+    src0, dst0 = _stencil_template(shape)
+    writer.add_node_block(cells * (steps + 1))
+    tracker = _DegreeTracker(writer)
+    for t in range(steps):
+        tracker.add_edges(t * cells + src0, (t + 1) * cells + dst0)
+    return tracker.in_degrees()
+
+
+def stream_elimination_dag(
+    writer: StreamingDagWriter,
+    pattern: SparseMatrixPattern,
+    ordering: str = "natural",
+    *,
+    row_chunk: int = 1 << 20,
+) -> np.ndarray:
+    """Emit the column-task elimination DAG of ``pattern``'s fill graph.
+
+    The symbolic fill itself runs in memory (its output is the edge list,
+    ``O(|L|)``, computed by the quotient-graph kernel), but the edges are
+    handed to the writer in row chunks of at most ``row_chunk`` entries,
+    so the writer never sees — and the file assembly never needs — the
+    full repeated source array at once.  Returns the in-degree vector.
+    """
+    if ordering not in ("natural", "rcm", "amd"):
+        raise DagError(
+            f"unknown elimination ordering {ordering!r} (use 'natural', 'rcm' or 'amd')"
+        )
+    if ordering == "rcm":
+        pattern = pattern.permuted(rcm_ordering(pattern))
+    elif ordering == "amd":
+        pattern = pattern.permuted(amd_ordering(pattern))
+    n = pattern.size
+    out_indptr, out_indices, _ = symbolic_fill_csr(pattern)
+    writer.add_node_block(n)
+    tracker = _DegreeTracker(writer)
+    row = 0
+    while row < n:
+        # widest row span whose pooled entries fit in one chunk
+        stop = int(
+            np.searchsorted(out_indptr, out_indptr[row] + max(row_chunk, 1), "right")
+        ) - 1
+        stop = min(max(stop, row + 1), n)
+        counts = np.diff(out_indptr[row : stop + 1]).astype(_INT, copy=False)
+        sources = np.repeat(np.arange(row, stop, dtype=_INT), counts)
+        if sources.size:
+            tracker.add_edges(
+                sources, out_indices[out_indptr[row] : out_indptr[stop]]
+            )
+        row = stop
+    return tracker.in_degrees()
+
+
+# ---------------------------------------------------------------------- #
+# by-name entry point (CLI / datasets glue)
+# ---------------------------------------------------------------------- #
+def _emit_cholesky(writer, *, pattern, ordering="natural", **_):
+    return stream_elimination_dag(writer, pattern, ordering=ordering)
+
+
+def _emit_fft(writer, *, points, **_):
+    return stream_fft_dag(writer, points, radix=2)
+
+
+def _emit_fft4(writer, *, points, **_):
+    return stream_fft_dag(writer, points, radix=4)
+
+
+def _emit_stencil2d(writer, *, side, steps, **_):
+    return stream_stencil_dag(writer, (side, side), steps)
+
+
+def _emit_stencil2d_rect(writer, *, width, height, steps, **_):
+    return stream_stencil_dag(writer, (width, height), steps)
+
+
+def _emit_stencil3d(writer, *, side, steps, **_):
+    return stream_stencil_dag(writer, (side, side, side), steps)
+
+
+#: Streamable generator families: name -> (emitter, default-name function).
+STREAM_GENERATORS = {
+    "cholesky": _emit_cholesky,
+    "cholesky_rcm": _emit_cholesky,
+    "cholesky_amd": _emit_cholesky,
+    "fft": _emit_fft,
+    "fft4": _emit_fft4,
+    "stencil2d": _emit_stencil2d,
+    "stencil2d_rect": _emit_stencil2d_rect,
+    "stencil3d": _emit_stencil3d,
+}
+
+
+def _default_name(generator: str, params: dict) -> str:
+    if generator.startswith("cholesky"):
+        suffix = {"cholesky_rcm": "_rcm", "cholesky_amd": "_amd"}.get(generator, "")
+        return f"cholesky{suffix}_n{params['pattern'].size}"
+    if generator == "fft":
+        return fft_dag_name(params["points"], 2)
+    if generator == "fft4":
+        return fft_dag_name(params["points"], 4)
+    if generator == "stencil2d":
+        return stencil_dag_name((params["side"], params["side"]), params["steps"])
+    if generator == "stencil2d_rect":
+        return stencil_dag_name(
+            (params["width"], params["height"]), params["steps"]
+        )
+    return stencil_dag_name(
+        (params["side"], params["side"], params["side"]), params["steps"]
+    )
+
+
+def stream_generate(
+    path: str | Path,
+    generator: str,
+    *,
+    name: str | None = None,
+    weight_model: str = "paper",
+    block_edges: int = 1 << 20,
+    tmp_dir: str | Path | None = None,
+    **params,
+) -> str:
+    """Generate a structured DAG straight into a ``.hdagb`` file.
+
+    ``generator`` is a :data:`STREAM_GENERATORS` key; ``params`` are that
+    family's parameters (``points`` for the FFTs, ``side``/``width``/
+    ``height`` and ``steps`` for the stencils, ``pattern`` — a
+    :class:`~repro.dagdb.sparsegen.SparseMatrixPattern` — for the
+    elimination families).  Peak memory stays O(n + block); the default
+    DAG name matches the in-memory builder's, so the resulting file is
+    byte-identical to writing the in-memory DAG.  Returns the content
+    fingerprint of the generated DAG.
+    """
+    try:
+        emit = STREAM_GENERATORS[generator]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"generator {generator!r} has no streaming emitter; "
+            f"available: {', '.join(sorted(STREAM_GENERATORS))}"
+        ) from exc
+    if generator == "cholesky_rcm":
+        params.setdefault("ordering", "rcm")
+    elif generator == "cholesky_amd":
+        params.setdefault("ordering", "amd")
+    with StreamingDagWriter(
+        path,
+        name=name or _default_name(generator, params),
+        block_edges=block_edges,
+        tmp_dir=tmp_dir,
+    ) as writer:
+        indeg = emit(writer, **params)
+        work, comm = _model_weights(weight_model, indeg)
+        return writer.finalize(work=work, comm=comm)

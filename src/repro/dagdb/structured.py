@@ -49,7 +49,10 @@ __all__ = [
     "build_stencil2d_dag",
     "build_stencil2d_rect_dag",
     "build_stencil3d_dag",
+    "fft_dag_name",
     "rcm_ordering",
+    "stencil_dag_name",
+    "symbolic_fill_csr",
     "symbolic_fill_structure",
     "STRUCTURED_GENERATORS",
 ]
@@ -74,28 +77,56 @@ def _finish(
 # ---------------------------------------------------------------------- #
 # sparse elimination DAGs
 # ---------------------------------------------------------------------- #
+def symbolic_fill_csr(
+    pattern: SparseMatrixPattern,
+    method: str = "quotient",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Below-diagonal structure of ``L`` for ``A ∪ Aᵀ`` as pooled CSR arrays.
+
+    Returns ``(out_indptr, out_indices, parents)`` — column ``j``'s sorted
+    structure is ``out_indices[out_indptr[j]:out_indptr[j + 1]]`` and
+    ``parents`` is the elimination tree (``-1`` for roots).  ``method``
+    selects the kernel, both dispatched through
+    :mod:`repro.core.kernels` and bit-identical:
+
+    * ``"quotient"`` (default) — the row-merge-tree pass
+      (:func:`repro.core.kernels.symbolic_fill_quotient`): Liu's
+      path-compressed elimination tree plus marked row-subtree traversals,
+      ``O(|A| · α + |L|)``, which is what makes million-column elimination
+      DAGs constructible.
+    * ``"uplooking"`` — the historical per-column union pass
+      (:func:`repro.core.kernels.symbolic_fill`), retained as the pinned
+      differential reference.
+    """
+    if method not in ("quotient", "uplooking"):
+        raise DagError(
+            f"unknown symbolic fill method {method!r} (use 'quotient' or 'uplooking')"
+        )
+    sym = pattern.symmetrized()
+    fill = (
+        kernels.symbolic_fill_quotient
+        if method == "quotient"
+        else kernels.symbolic_fill
+    )
+    return fill(sym.indptr, sym.indices, sym.size)
+
+
 def symbolic_fill_structure(
     pattern: SparseMatrixPattern,
+    method: str = "quotient",
 ) -> tuple[list[np.ndarray], np.ndarray]:
     """Below-diagonal column structures of ``L`` for ``A ∪ Aᵀ``, plus the etree.
 
-    Standard up-looking symbolic factorisation: the structure of column
-    ``j`` is the below-diagonal pattern of ``A``'s column ``j`` united with
-    the structures of ``j``'s elimination-tree children (minus their pivot
-    rows).  Returns ``(structures, parents)`` where ``parents[j]`` is the
-    etree parent of column ``j`` (``-1`` for roots).
-
-    The per-column union pass runs through the kernel-dispatch layer
-    (:func:`repro.core.kernels.symbolic_fill`): the numpy backend is the
-    original ``np.unique``-per-column loop, the compiled backend a single
-    pooled sort-dedupe kernel; both emit identical sorted structures.  The
-    returned column arrays are views into one pooled index array.
+    The per-column view of :func:`symbolic_fill_csr`: returns
+    ``(structures, parents)`` where ``structures[j]`` is column ``j``'s
+    sorted below-diagonal fill pattern (a view into one pooled index
+    array) and ``parents[j]`` is the etree parent of column ``j`` (``-1``
+    for roots).  Callers that can consume the pooled CSR arrays directly
+    (like :func:`build_elimination_dag`) should use
+    :func:`symbolic_fill_csr` and skip the ``n`` view allocations.
     """
-    sym = pattern.symmetrized()
-    n = sym.size
-    out_indptr, out_indices, parents = kernels.symbolic_fill(
-        sym.indptr, sym.indices, n
-    )
+    out_indptr, out_indices, parents = symbolic_fill_csr(pattern, method=method)
+    n = pattern.size
     structures = [
         out_indices[out_indptr[j] : out_indptr[j + 1]] for j in range(n)
     ]
@@ -212,14 +243,13 @@ def build_elimination_dag(
     elif ordering == "amd":
         pattern = pattern.permuted(amd_ordering(pattern))
     n = pattern.size
-    structures, _ = symbolic_fill_structure(pattern)
+    out_indptr, out_indices, _ = symbolic_fill_csr(pattern)
     builder = DagBuilder(name=name or f"{kind}_n{n}")
     builder.add_node_block(n)
-    counts = np.fromiter((s.size for s in structures), dtype=_INT, count=n)
-    if n and counts.sum():
+    if out_indices.size:
+        counts = np.diff(out_indptr).astype(_INT, copy=False)
         sources = np.repeat(np.arange(n, dtype=_INT), counts)
-        targets = np.concatenate([s for s in structures if s.size])
-        builder.add_edges_array(sources, targets)
+        builder.add_edges_array(sources, out_indices)
     chunks = [(np.arange(n, dtype=_INT), f"eliminate:{kind}")]
     return _finish(builder, chunks, weight_model, track_roles)
 
@@ -275,6 +305,26 @@ def build_fft_dag(
     except digit ``t-1`` — half the stage count at four-way fan-in, a
     structurally different (wider, shallower) scheduling workload.
     """
+    stages = _fft_stages(points, radix)
+    builder = DagBuilder(name=name or fft_dag_name(points, radix))
+    builder.add_node_block(points * (stages + 1))
+    for sources, targets in _fft_stage_blocks(points, radix, stages):
+        builder.add_edges_array(sources, targets)
+    lanes = np.arange(points, dtype=_INT)
+    chunks = [
+        (lanes, "input:x"),
+        (points + np.arange(points * stages, dtype=_INT), "butterfly"),
+    ]
+    return _finish(builder, chunks, weight_model, track_roles)
+
+
+def fft_dag_name(points: int, radix: int = 2) -> str:
+    """The default DAG name of :func:`build_fft_dag` for these parameters."""
+    return f"fft{radix if radix != 2 else ''}_n{points}"
+
+
+def _fft_stages(points: int, radix: int) -> int:
+    """Validate FFT parameters; return the stage count ``log_radix(points)``."""
     if radix not in (2, 4):
         raise DagError(f"radix must be 2 or 4, got {radix}")
     stages = 0
@@ -286,25 +336,28 @@ def build_fft_dag(
         raise DagError(
             f"points must be a power of {radix} >= {radix}, got {points}"
         )
-    builder = DagBuilder(name=name or f"fft{radix if radix != 2 else ''}_n{points}")
-    builder.add_node_block(points * (stages + 1))
+    return stages
+
+
+def _fft_stage_blocks(points: int, radix: int, stages: int):
+    """Yield the butterfly edge blocks in canonical emission order.
+
+    Shared by the in-memory builder and the streaming generator
+    (:mod:`repro.dagdb.stream`), so both emit bit-identical DAGs: per
+    stage the own-lane block first, then the partners in ascending digit
+    order — the radix-2 case reproduces the historical
+    ``(previous, partner)`` order.
+    """
     lanes = np.arange(points, dtype=_INT)
     for t in range(1, stages + 1):
         current = t * points + lanes
         stride = radix ** (t - 1)
-        # own lane first, then the partners in ascending digit order — the
-        # radix-2 case reproduces the historical (previous, partner) order
-        builder.add_edges_array((t - 1) * points + lanes, current)
+        yield (t - 1) * points + lanes, current
         digit = (lanes // stride) % radix
         base = lanes - digit * stride
         for d in range(1, radix):
             partner = base + ((digit + d) % radix) * stride
-            builder.add_edges_array((t - 1) * points + partner, current)
-    chunks = [
-        (lanes, "input:x"),
-        (points + np.arange(points * stages, dtype=_INT), "butterfly"),
-    ]
-    return _finish(builder, chunks, weight_model, track_roles)
+            yield (t - 1) * points + partner, current
 
 
 def build_fft4_dag(points: int, name: str | None = None, **kwargs) -> FineGrainedResult:
@@ -328,6 +381,31 @@ def build_stencil_dag(
     neighbours in layer ``t - 1`` (5-point stencil in 2D, 7-point in 3D).
     Layer 0 holds the grid's initial values as source nodes.
     """
+    shape = _check_stencil_params(shape, steps)
+    cells = math.prod(shape)
+    src0, dst0 = _stencil_template(shape)
+    flat = np.arange(cells, dtype=_INT)
+
+    builder = DagBuilder(name=name or stencil_dag_name(shape, steps))
+    builder.add_node_block(cells * (steps + 1))
+    t = np.arange(steps, dtype=_INT)[:, None]
+    sources = (t * cells + src0[None, :]).ravel()
+    targets = ((t + 1) * cells + dst0[None, :]).ravel()
+    builder.add_edges_array(sources, targets)
+    chunks = [
+        (flat, "input:grid"),
+        (cells + np.arange(cells * steps, dtype=_INT), "stencil"),
+    ]
+    return _finish(builder, chunks, weight_model, track_roles)
+
+
+def stencil_dag_name(shape: tuple[int, ...], steps: int) -> str:
+    """The default DAG name of :func:`build_stencil_dag` for these parameters."""
+    return f"stencil{len(shape)}d_{'x'.join(map(str, shape))}_t{steps}"
+
+
+def _check_stencil_params(shape: tuple[int, ...], steps: int) -> tuple[int, ...]:
+    """Validate stencil parameters; return the normalised shape tuple."""
     shape = tuple(int(s) for s in shape)
     if len(shape) not in (2, 3):
         raise DagError(f"stencil grids must be 2D or 3D, got shape {shape}")
@@ -335,12 +413,19 @@ def build_stencil_dag(
         raise DagError(f"grid extents must be positive, got {shape}")
     if steps < 1:
         raise DagError("steps must be >= 1")
+    return shape
+
+
+def _stencil_template(shape: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
+    """One layer's ``(relative source cell, destination cell)`` edge template.
+
+    The self edge first, then -1/+1 along each axis.  Shared by the
+    in-memory builder and the streaming generator
+    (:mod:`repro.dagdb.stream`), so both emit bit-identical DAGs.
+    """
     cells = math.prod(shape)
     coords = np.indices(shape).reshape(len(shape), cells)
     flat = np.arange(cells, dtype=_INT)
-
-    # one template of (relative source cell, destination cell) per layer:
-    # the self edge first, then -1/+1 along each axis
     template_src = [flat]
     template_dst = [flat]
     for axis in range(len(shape)):
@@ -355,20 +440,7 @@ def build_stencil_dag(
                 ).astype(_INT)
             )
             template_dst.append(flat[valid])
-    src0 = np.concatenate(template_src)
-    dst0 = np.concatenate(template_dst)
-
-    builder = DagBuilder(name=name or f"stencil{len(shape)}d_{'x'.join(map(str, shape))}_t{steps}")
-    builder.add_node_block(cells * (steps + 1))
-    t = np.arange(steps, dtype=_INT)[:, None]
-    sources = (t * cells + src0[None, :]).ravel()
-    targets = ((t + 1) * cells + dst0[None, :]).ravel()
-    builder.add_edges_array(sources, targets)
-    chunks = [
-        (flat, "input:grid"),
-        (cells + np.arange(cells * steps, dtype=_INT), "stencil"),
-    ]
-    return _finish(builder, chunks, weight_model, track_roles)
+    return np.concatenate(template_src), np.concatenate(template_dst)
 
 
 def build_stencil2d_dag(

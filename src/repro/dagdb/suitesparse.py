@@ -1,0 +1,159 @@
+"""Curated SuiteSparse matrices: real-world inputs for elimination DAGs.
+
+The paper's fine-grained generators accept real matrix patterns (Appendix
+B.2), and :mod:`repro.io.mtx` reads the MatrixMarket exchange format the
+SuiteSparse collection ships.  This module adds the *recipe* on top: a
+curated list of symmetric positive-definite matrices spanning four orders
+of magnitude in column count — the standard Cholesky benchmark set — plus
+the glue that turns a downloaded ``.mtx`` file into an elimination DAG,
+in memory for the small entries or streamed straight to a ``.hdagb`` file
+(bounded peak memory) for the million-column ones.
+
+Nothing here touches the network: :func:`matrix_url` renders the download
+address for a human (or a CI fetch step), and the loaders work off local
+files in any of the layouts a SuiteSparse tarball extracts to.  Matrices
+were chosen symmetric (so the pattern is a valid Cholesky input as-is),
+and the size/nnz figures are the collection's published values — used for
+sanity checks and ordering, never trusted over the file contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.exceptions import ConfigurationError
+from .sparsegen import SparseMatrixPattern
+
+__all__ = [
+    "SUITESPARSE_RECIPE",
+    "SuiteSparseMatrix",
+    "build_suitesparse_elimination",
+    "find_suitesparse_matrix",
+    "load_suitesparse_pattern",
+    "locate_matrix_file",
+    "matrix_url",
+]
+
+_MM_BASE = "https://suitesparse-collection-website.herokuapp.com/MM"
+
+
+@dataclass(frozen=True)
+class SuiteSparseMatrix:
+    """One curated collection entry (published size figures, not parsed ones)."""
+
+    group: str
+    name: str
+    size: int
+    nnz: int
+    kind: str
+
+
+#: The curated set, smallest to largest: classic SPD structural/PDE matrices
+#: used throughout the sparse Cholesky literature, 10^4 to 10^6 columns.
+SUITESPARSE_RECIPE: tuple[SuiteSparseMatrix, ...] = (
+    SuiteSparseMatrix("HB", "bcsstk17", 10_974, 428_650, "structural"),
+    SuiteSparseMatrix("Nasa", "nasasrb", 54_870, 2_677_324, "structural"),
+    SuiteSparseMatrix("Boeing", "pwtk", 217_918, 11_524_432, "structural"),
+    SuiteSparseMatrix(
+        "Wissgott", "parabolic_fem", 525_825, 3_674_625, "computational fluid dynamics"
+    ),
+    SuiteSparseMatrix("GHS_psdef", "apache2", 715_176, 4_817_870, "structural"),
+    SuiteSparseMatrix("GHS_psdef", "ldoor", 952_203, 42_493_817, "structural"),
+    SuiteSparseMatrix("McRae", "ecology2", 999_999, 4_995_991, "2D/3D problem"),
+    SuiteSparseMatrix("Schmid", "thermal2", 1_228_045, 8_580_313, "thermal"),
+)
+
+
+def find_suitesparse_matrix(name: str) -> SuiteSparseMatrix:
+    """Look a recipe entry up by ``name`` or ``group/name``."""
+    for entry in SUITESPARSE_RECIPE:
+        if name in (entry.name, f"{entry.group}/{entry.name}"):
+            return entry
+    known = ", ".join(f"{e.group}/{e.name}" for e in SUITESPARSE_RECIPE)
+    raise ConfigurationError(f"unknown SuiteSparse recipe entry {name!r}; known: {known}")
+
+
+def matrix_url(entry: SuiteSparseMatrix | str) -> str:
+    """The collection's MatrixMarket tarball URL for a recipe entry."""
+    if isinstance(entry, str):
+        entry = find_suitesparse_matrix(entry)
+    return f"{_MM_BASE}/{entry.group}/{entry.name}.tar.gz"
+
+
+def locate_matrix_file(root: str | Path, entry: SuiteSparseMatrix | str) -> Path:
+    """Find the ``.mtx`` file of a recipe entry under a download directory.
+
+    Tries every layout a SuiteSparse tarball is commonly extracted to:
+    ``<root>/<name>.mtx``, ``<root>/<name>/<name>.mtx`` (the tarball's own
+    directory) and ``<root>/<group>/<name>/<name>.mtx``.
+    """
+    if isinstance(entry, str):
+        entry = find_suitesparse_matrix(entry)
+    root = Path(root)
+    candidates = (
+        root / f"{entry.name}.mtx",
+        root / entry.name / f"{entry.name}.mtx",
+        root / entry.group / entry.name / f"{entry.name}.mtx",
+    )
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    raise ConfigurationError(
+        f"matrix {entry.group}/{entry.name} not found under {root} "
+        f"(tried {', '.join(str(c) for c in candidates)}); download it from "
+        f"{matrix_url(entry)}"
+    )
+
+
+def load_suitesparse_pattern(source: str | Path, name: str | None = None) -> SparseMatrixPattern:
+    """Load a recipe matrix's nonzero pattern from a file or download dir.
+
+    ``source`` is either the ``.mtx`` file itself or a directory that
+    :func:`locate_matrix_file` can search (then ``name`` selects the recipe
+    entry).  Symmetric files come back expanded; see :mod:`repro.io.mtx`.
+    """
+    from ..io.mtx import read_matrix_market_pattern
+
+    source = Path(source)
+    if source.is_dir():
+        if name is None:
+            raise ConfigurationError(
+                f"{source} is a directory; pass name= to select a recipe entry"
+            )
+        source = locate_matrix_file(source, name)
+    return read_matrix_market_pattern(source)
+
+
+def build_suitesparse_elimination(
+    source: str | Path,
+    name: str | None = None,
+    *,
+    ordering: str = "natural",
+    out: str | Path | None = None,
+    weight_model: str = "paper",
+):
+    """Elimination DAG of a recipe matrix; streamed to ``.hdagb`` if ``out`` is set.
+
+    Without ``out`` this returns the in-memory
+    :class:`~repro.dagdb.structured.EliminationDagResult` — fine up to
+    ~10^5 columns.  With ``out`` (a ``.hdagb`` path) the DAG is emitted
+    through the streaming writer instead — the symbolic fill runs on the
+    quotient-graph kernel and the edges never exist as one array — and the
+    content fingerprint of the written file is returned.
+    """
+    pattern = load_suitesparse_pattern(source, name)
+    label = (name or Path(source).stem).rsplit("/", 1)[-1]
+    if out is None:
+        from .structured import build_elimination_dag
+
+        return build_elimination_dag(
+            pattern, ordering=ordering, name=f"suitesparse_{label}"
+        )
+    from ..io.hdagb import StreamingDagWriter
+    from .stream import _model_weights, stream_elimination_dag
+
+    with StreamingDagWriter(out, name=f"suitesparse_{label}") as writer:
+        indeg = stream_elimination_dag(writer, pattern, ordering=ordering)
+        work, comm = _model_weights(weight_model, indeg)
+        return writer.finalize(work=work, comm=comm)

@@ -16,8 +16,11 @@ freely between processes, machines with a common filesystem, and CI runs:
 * :class:`Dispatcher` — leases batches to a worker fleet (process or
   thread executors via :func:`repro.core.parallel.parallel_map`); workers
   persist results *before* queue entries are completed, so worker death
-  anywhere loses nothing.  ``repro serve-worker`` wraps
-  :meth:`Dispatcher.drain`.
+  anywhere loses nothing, and renew their leases mid-solve via
+  :class:`LeaseHeartbeat`, so long solves by healthy workers are never
+  expired and duplicated.  ``repro serve-worker`` wraps
+  :meth:`Dispatcher.drain`; ``ResultStore.gc`` sweeps dangling results,
+  orphaned DAG payloads and stale write temporaries.
 
 Resume is a consequence rather than a feature: the experiment drivers in
 :mod:`repro.analysis.experiments` build content-addressed request batches,
@@ -26,12 +29,14 @@ invocations and reproduces the tables byte-for-byte.
 """
 
 from .dispatcher import DispatchReport, Dispatcher
+from .heartbeat import LeaseHeartbeat
 from .queue import LeasedTask, WorkQueue
 from .results import ResultStore, dag_dict_fingerprint
 
 __all__ = [
     "DispatchReport",
     "Dispatcher",
+    "LeaseHeartbeat",
     "LeasedTask",
     "ResultStore",
     "WorkQueue",

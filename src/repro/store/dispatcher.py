@@ -12,7 +12,10 @@ store.  One :meth:`Dispatcher.run_once` cycle:
 4. **solve** — the remainder fan out over :func:`repro.core.parallel
    .parallel_map` (process or thread executors); each pool worker runs a
    store-backed :class:`~repro.api.SchedulingService`, so results are
-   persisted *in the worker*, before the queue entry is touched;
+   persisted *in the worker*, before the queue entry is touched, and a
+   :class:`~repro.store.heartbeat.LeaseHeartbeat` renews the entry's
+   lease while the solve runs, so long solves by healthy workers are not
+   expired and duplicated;
 5. **settle** — solved entries are completed, genuine task errors are
    recorded terminally (the rest of the batch is unaffected).
 
@@ -59,23 +62,39 @@ def _worker_service(store_root: str):
     return service
 
 
-def _dispatch_task(store_root: str, request_dict: dict) -> tuple[str, str | None]:
+def _dispatch_task(payload: dict, task: tuple[str, dict]) -> tuple[str, str | None]:
     """Module-level pool handler: solve one queued request into the store.
 
-    Returns ``(fingerprint, error)`` — ``error`` is ``None`` on success.
-    Exceptions are captured here (not propagated) so one poisoned request
-    cannot cancel the rest of the batch.
+    ``payload`` carries the store root plus the dispatcher's lease identity
+    (owner, lease duration); ``task`` is ``(queue fingerprint, request wire
+    dict)``.  Returns ``(fingerprint, error)`` — ``error`` is ``None`` on
+    success.  Exceptions are captured here (not propagated) so one poisoned
+    request cannot cancel the rest of the batch.
+
+    While the solve runs, a :class:`~repro.store.heartbeat.LeaseHeartbeat`
+    renews the entry's lease in the background, so a solve longer than one
+    lease period is not requeued under a perfectly healthy worker.
     """
     from ..api.request import ScheduleRequest
+    from .heartbeat import LeaseHeartbeat
 
+    store_root = str(payload["root"])
+    queue_fingerprint, request_dict = task
     service = _worker_service(store_root)
     try:
         request = ScheduleRequest.from_dict(request_dict)
         fingerprint = request.fingerprint()
     except Exception as exc:  # malformed request: terminal, nothing to retry
-        return (str(request_dict.get("fingerprint", "?")), f"{type(exc).__name__}: {exc}")
+        return (queue_fingerprint, f"{type(exc).__name__}: {exc}")
+    heartbeat = LeaseHeartbeat(
+        WorkQueue(store_root),
+        queue_fingerprint,
+        str(payload["owner"]),
+        lease_seconds=float(payload["lease_seconds"]),
+    )
     try:
-        service.solve(request)  # store-backed: persists before returning
+        with heartbeat:
+            service.solve(request)  # store-backed: persists before returning
         return (fingerprint, None)
     except Exception as exc:
         return (fingerprint, f"{type(exc).__name__}: {exc}")
@@ -178,8 +197,12 @@ class Dispatcher:
             return report
         outcomes = parallel_map(
             _dispatch_task,
-            str(self.store.root),
-            [task.request for task in ready],
+            {
+                "root": str(self.store.root),
+                "owner": self.owner,
+                "lease_seconds": self.lease_seconds,
+            },
+            [(task.fingerprint, task.request) for task in ready],
             self.workers,
             executor=self.executor,
             return_errors=True,

@@ -1,0 +1,155 @@
+"""Worker lease heartbeat: keep a queue lease alive through a long solve.
+
+A dispatcher stamps each claimed entry with a lease deadline
+(:meth:`~repro.store.queue.WorkQueue.lease`); a solve that outlives that
+deadline gets its entry requeued under a still-working worker and solved
+twice — benign for correctness (results are content-addressed) but a pure
+waste of compute at the scales this repo targets.  :class:`LeaseHeartbeat`
+closes the gap: the worker renews its lease periodically while the solve
+runs, so only a worker that actually *stops* renewing (i.e. died) expires.
+
+Two operating modes share one bookkeeping core:
+
+* **threaded** (``with LeaseHeartbeat(...)``): a daemon thread renews every
+  ``interval`` seconds until the context exits — what the dispatch pool
+  uses around a blocking ``service.solve``;
+* **manual** (``start_thread=False`` + :meth:`maybe_beat` calls): the owner
+  of an incremental loop beats from its own iteration; with an injected
+  clock this is fully deterministic, which is how the tests drive it.
+
+A renewal that fails (lease expired and was re-claimed, entry completed by
+someone else) flips :attr:`lost` and stops further renewals — the worker
+can check it to abandon duplicated work early.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .queue import WorkQueue
+
+__all__ = ["LeaseHeartbeat"]
+
+
+class LeaseHeartbeat:
+    """Periodic lease renewal for one claimed queue entry.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`~repro.store.queue.WorkQueue` holding the lease.
+    fingerprint / owner:
+        The claimed entry and the owner id it was leased under; renewals
+        are refused for any other owner (see :meth:`WorkQueue.renew`).
+    lease_seconds:
+        Extension granted by each renewal (should match the dispatcher's
+        lease duration).
+    interval:
+        Seconds between renewals; defaults to a third of ``lease_seconds``
+        so two consecutive beats may be lost before the lease expires.
+    clock:
+        Injectable epoch-seconds time source for deterministic tests; the
+        *threaded* mode additionally uses real time to pace its loop.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        fingerprint: str,
+        owner: str,
+        *,
+        lease_seconds: float = 300.0,
+        interval: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.queue = queue
+        self.fingerprint = fingerprint
+        self.owner = owner
+        self.lease_seconds = float(lease_seconds)
+        self.interval = (
+            float(interval) if interval is not None else self.lease_seconds / 3.0
+        )
+        if self.interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {self.interval}")
+        self._clock = clock if clock is not None else time.time
+        self._last_beat = float(self._clock())
+        self._renewals = 0
+        self._lost = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def renewals(self) -> int:
+        """Successful renewals so far."""
+        return self._renewals
+
+    @property
+    def lost(self) -> bool:
+        """Whether a renewal was refused (lease no longer held by owner)."""
+        return self._lost
+
+    def beat(self) -> bool:
+        """Renew the lease now; records and returns success."""
+        if self._lost:
+            return False
+        ok = self.queue.renew(
+            self.fingerprint, self.owner, lease_seconds=self.lease_seconds
+        )
+        self._last_beat = float(self._clock())
+        if ok:
+            self._renewals += 1
+        else:
+            self._lost = True
+        return ok
+
+    def maybe_beat(self) -> bool:
+        """Renew only if ``interval`` has elapsed since the last beat.
+
+        Cheap enough to call from every iteration of a solve loop; returns
+        whether the lease is still considered held.
+        """
+        if self._lost:
+            return False
+        if float(self._clock()) - self._last_beat < self.interval:
+            return True
+        return self.beat()
+
+    # ------------------------------------------------------------------ #
+    # threaded mode
+    # ------------------------------------------------------------------ #
+    def start(self) -> "LeaseHeartbeat":
+        """Start the background renewal thread (idempotent)."""
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run,
+                name=f"lease-heartbeat-{self.fingerprint[:12]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the renewal thread and wait for it to exit."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        # real-time pacing: wait() doubles as the stop signal, so shutdown
+        # is immediate rather than delayed by up to one interval
+        while not self._stop.wait(self.interval):
+            if not self.beat():
+                return
+
+    def __enter__(self) -> "LeaseHeartbeat":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from ..api.result import ScheduleResult
 from ..core.dag import ComputationalDAG
@@ -160,6 +161,106 @@ class ResultStore:
                 f"under {self.dags_dir}"
             )
         return payload
+
+    # ------------------------------------------------------------------ #
+    # garbage collection
+    # ------------------------------------------------------------------ #
+    def gc(
+        self,
+        *,
+        tmp_grace_seconds: float = 3600.0,
+        clock: Callable[[], float] | None = None,
+    ) -> dict[str, list[str]]:
+        """Collect store garbage; returns what was removed, by category.
+
+        Three kinds of debris accumulate in a long-lived store and nothing
+        in the normal write path ever removes them:
+
+        * **dangling results** — result entries whose ``dag_ref`` no longer
+          resolves to a readable ``dags/`` payload (e.g. a payload deleted
+          by hand, or a partial copy of a store).  Such an entry can never
+          reproduce its schedule, so it is dropped and the next solve
+          recomputes it;
+        * **orphaned DAG payloads** — ``dags/`` entries referenced by no
+          result *and no queue entry* (queued requests may carry a
+          ``dag_ref`` path into ``dags/``, so a payload whose results were
+          never written — or were gc'd — but whose request is still
+          pending must survive);
+        * **stale temporaries** — ``.{name}.{uuid}.tmp`` siblings orphaned
+          by writers that died between creating the temporary and the
+          atomic rename (see :mod:`repro.store.fsio`).  Only temporaries
+          older than ``tmp_grace_seconds`` are touched, so in-flight writes
+          of live processes are never raced.
+
+        The clock is injectable (epoch seconds, default :func:`time.time`)
+        for deterministic grace-period tests.  Results with inline DAGs,
+        corrupt-but-present entries (``put`` overwrites those) and queue
+        state are never removed.
+        """
+        now = float((clock if clock is not None else time.time)())
+        removed_results: list[str] = []
+        referenced: set[str] = set()
+        for fingerprint in self.fingerprints():
+            payload = read_json_tolerant(self.result_path(fingerprint))
+            schedule = payload.get("schedule") if isinstance(payload, dict) else None
+            ref = schedule.get("dag_ref") if isinstance(schedule, dict) else None
+            if ref is None:
+                continue  # inline DAG or unreadable entry: nothing to resolve
+            if self.dag_path(str(ref)).is_file():
+                referenced.add(str(ref))
+                continue
+            try:
+                self.result_path(fingerprint).unlink()
+            except OSError:
+                continue
+            removed_results.append(fingerprint)
+        # queued requests keep their payloads alive: collect dag_refs out of
+        # every queue state (pending, leased and failed entries alike —
+        # failures may be retried)
+        queue_base = self.root / "queue"
+        for state in ("pending", "leased", "failed"):
+            directory = queue_base / state
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.json"):
+                entry = read_json_tolerant(path)
+                request = entry.get("request") if isinstance(entry, dict) else None
+                ref = request.get("dag_ref") if isinstance(request, dict) else None
+                if ref is None:
+                    continue
+                referenced.add(str(ref))
+                name = Path(str(ref)).name
+                if name.endswith(".json"):
+                    referenced.add(name[: -len(".json")])
+        removed_dags: list[str] = []
+        if self.dags_dir.is_dir():
+            for path in sorted(self.dags_dir.glob("*.json")):
+                if path.stem in referenced:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed_dags.append(path.stem)
+        removed_tmp: list[str] = []
+        if self.root.is_dir():
+            for path in sorted(self.root.rglob(".*.tmp")):
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age < float(tmp_grace_seconds):
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed_tmp.append(str(path.relative_to(self.root)))
+        return {
+            "removed_results": removed_results,
+            "removed_dags": removed_dags,
+            "removed_tmp": removed_tmp,
+        }
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:

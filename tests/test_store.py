@@ -15,6 +15,7 @@ guarantees:
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 import pytest
@@ -460,3 +461,195 @@ class TestResumableExperiments:
         stored = set(ResultStore(tmp_path).fingerprints())
         assert stored.isdisjoint(fingerprints)
         assert len(fingerprints) > 0
+
+
+# ---------------------------------------------------------------------- #
+# lease heartbeat
+# ---------------------------------------------------------------------- #
+class TestLeaseHeartbeat:
+    def _leased_queue(self, tmp_path, clock, lease_seconds=100.0):
+        queue = WorkQueue(tmp_path, clock=clock)
+        queue.submit("fp", {"x": 1})
+        tasks = queue.lease("w1", lease_seconds=lease_seconds)
+        assert [t.fingerprint for t in tasks] == ["fp"]
+        return queue
+
+    def test_renewal_keeps_long_solve_leased(self, tmp_path):
+        from repro.store import LeaseHeartbeat
+
+        clock = FakeClock()
+        queue = self._leased_queue(tmp_path, clock)
+        heartbeat = LeaseHeartbeat(
+            queue, "fp", "w1", lease_seconds=100.0, interval=30.0, clock=clock
+        )
+        # a solve running well past the original deadline, beating as it goes
+        for _ in range(6):
+            clock.advance(40.0)
+            assert heartbeat.maybe_beat()
+        requeued, failed = queue.expire_leases(lease_seconds=100.0)
+        assert requeued == [] and failed == []
+        assert heartbeat.renewals == 6
+        assert queue.leased() == ["fp"]
+
+    def test_interval_gates_renewals(self, tmp_path):
+        from repro.store import LeaseHeartbeat
+
+        clock = FakeClock()
+        queue = self._leased_queue(tmp_path, clock)
+        heartbeat = LeaseHeartbeat(
+            queue, "fp", "w1", lease_seconds=100.0, interval=30.0, clock=clock
+        )
+        clock.advance(10.0)
+        assert heartbeat.maybe_beat() and heartbeat.renewals == 0  # too soon
+        clock.advance(25.0)
+        assert heartbeat.maybe_beat() and heartbeat.renewals == 1
+
+    def test_without_heartbeat_the_lease_expires(self, tmp_path):
+        clock = FakeClock()
+        queue = self._leased_queue(tmp_path, clock)
+        clock.advance(150.0)
+        requeued, _ = queue.expire_leases(lease_seconds=100.0)
+        assert requeued == ["fp"]
+
+    def test_lost_lease_detected_and_renewals_stop(self, tmp_path):
+        from repro.store import LeaseHeartbeat
+
+        clock = FakeClock()
+        queue = self._leased_queue(tmp_path, clock)
+        # the worker goes silent; another dispatcher expires and re-claims
+        clock.advance(150.0)
+        queue.expire_leases(lease_seconds=100.0)
+        queue.lease("w2", lease_seconds=100.0)
+        heartbeat = LeaseHeartbeat(
+            queue, "fp", "w1", lease_seconds=100.0, interval=1.0, clock=clock
+        )
+        clock.advance(5.0)
+        assert not heartbeat.maybe_beat()
+        assert heartbeat.lost and heartbeat.renewals == 0
+        clock.advance(5.0)
+        assert not heartbeat.maybe_beat()  # stays lost, no further attempts
+
+    def test_threaded_mode_renews_in_real_time(self, tmp_path):
+        from repro.store import LeaseHeartbeat
+
+        queue = WorkQueue(tmp_path)
+        queue.submit("fp", {"x": 1})
+        queue.lease("w1", lease_seconds=60.0)
+        with LeaseHeartbeat(
+            queue, "fp", "w1", lease_seconds=60.0, interval=0.02
+        ) as heartbeat:
+            deadline = time.time() + 5.0
+            while heartbeat.renewals == 0 and time.time() < deadline:
+                time.sleep(0.01)
+        assert heartbeat.renewals >= 1 and not heartbeat.lost
+
+    def test_dispatcher_long_solve_is_not_requeued(self, tmp_path, monkeypatch):
+        """A solve longer than the lease completes exactly once under heartbeat."""
+        import repro.store.dispatcher as dispatcher_mod
+
+        request = make_request(scheduler="cilk")
+        queue = WorkQueue(tmp_path)
+        queue.submit(request.fingerprint(), request.to_dict())
+
+        original = dispatcher_mod._worker_service
+
+        class SlowService:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def solve(self, req):
+                time.sleep(0.3)  # several lease periods long
+                return self._inner.solve(req)
+
+        monkeypatch.setattr(
+            dispatcher_mod,
+            "_worker_service",
+            lambda root: SlowService(original(root)),
+        )
+        dispatcher = Dispatcher(
+            tmp_path, workers=1, executor="thread", lease_seconds=0.1
+        )
+        report = dispatcher.run_once()
+        assert report.completed == [request.fingerprint()]
+        # the heartbeat kept the lease: nothing left to expire or requeue
+        requeued, failed = queue.expire_leases(lease_seconds=0.1)
+        assert requeued == [] and failed == []
+        assert queue.stats() == {"pending": 0, "leased": 0, "failed": 0}
+
+
+# ---------------------------------------------------------------------- #
+# store garbage collection
+# ---------------------------------------------------------------------- #
+class TestStoreGc:
+    def _stored(self, tmp_path, **kwargs):
+        request = make_request(**kwargs)
+        SchedulingService(cache_size=0, store=tmp_path).solve(request)
+        return ResultStore(tmp_path), request.fingerprint()
+
+    def test_clean_store_is_untouched(self, tmp_path):
+        store, fingerprint = self._stored(tmp_path)
+        report = store.gc()
+        assert report == {
+            "removed_results": [],
+            "removed_dags": [],
+            "removed_tmp": [],
+        }
+        assert store.contains(fingerprint)
+
+    def test_dangling_result_removed(self, tmp_path):
+        store, fingerprint = self._stored(tmp_path)
+        payload = read_json_tolerant(store.result_path(fingerprint))
+        ref = payload["schedule"]["dag_ref"]
+        store.dag_path(ref).unlink()  # simulate a hand-pruned payload
+        report = store.gc()
+        assert report["removed_results"] == [fingerprint]
+        assert not store.result_path(fingerprint).exists()
+
+    def test_orphaned_dag_payload_removed(self, tmp_path):
+        store, fingerprint = self._stored(tmp_path)
+        orphan = store.put_dag({"orphan": True})
+        report = store.gc()
+        assert report["removed_dags"] == [orphan.stem]
+        assert not orphan.exists()
+        assert store.contains(fingerprint)  # live entry and its DAG survive
+
+    def test_queued_request_keeps_its_dag_payload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put_dag({"queued": True})
+        WorkQueue(tmp_path).submit("fp", {"dag_ref": str(path), "machine": {}})
+        assert store.gc()["removed_dags"] == []
+        assert path.exists()
+
+    def test_tmp_grace_period(self, tmp_path):
+        import os
+
+        store, _ = self._stored(tmp_path)
+        clock = FakeClock(now=10_000.0)
+        stale = store.results_dir / ".a.json.deadbeef.tmp"
+        fresh = store.dags_dir / ".b.json.cafebabe.tmp"
+        for path, age in ((stale, 7200.0), (fresh, 60.0)):
+            path.write_text("partial")
+            os.utime(path, (clock.now - age, clock.now - age))
+        report = store.gc(tmp_grace_seconds=3600.0, clock=clock)
+        assert report["removed_tmp"] == ["results/.a.json.deadbeef.tmp"]
+        assert fresh.exists() and not stale.exists()
+
+    def test_cli_gc_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store, _ = self._stored(tmp_path)
+        orphan = store.put_dag({"orphan": True})
+        assert main(["store", "--root", str(tmp_path), "gc"]) == 0
+        assert not orphan.exists()
+        assert "1 orphaned DAG payload" in capsys.readouterr().out
+        assert main(["queue", "--root", str(tmp_path), "gc"]) == 0
+
+    def test_gc_then_resolve_recomputes(self, tmp_path):
+        """A gc'd dangling entry is simply recomputed by the next solve."""
+        store, fingerprint = self._stored(tmp_path)
+        payload = read_json_tolerant(store.result_path(fingerprint))
+        store.dag_path(payload["schedule"]["dag_ref"]).unlink()
+        store.gc()
+        result = SchedulingService(cache_size=0, store=tmp_path).solve(make_request())
+        assert result.cache_hit is False
+        assert store.contains(fingerprint)
