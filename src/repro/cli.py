@@ -68,6 +68,7 @@ store, so repeated invocations answer from disk instead of recomputing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -93,7 +94,7 @@ from .io import (
     write_hdagb,
     write_hyperdag,
 )
-from .schedulers import available_schedulers
+from .schedulers import ENV_INIT_WORKERS, available_schedulers
 
 __all__ = ["main", "build_parser"]
 
@@ -157,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--render", action="store_true", help="print the full superstep-by-superstep schedule")
     schedule.add_argument("--output", help="write the schedule (JSON) to this path")
     schedule.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+    _add_init_workers_argument(schedule)
 
     compare = subparsers.add_parser("compare", help="compare several schedulers on one instance")
     _add_machine_arguments(compare)
@@ -170,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedulers to compare",
     )
     compare.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+    _add_init_workers_argument(compare)
 
     kernels_cmd = subparsers.add_parser(
         "kernels", help="show the active kernel backend (numpy / numba)"
@@ -299,6 +302,31 @@ def _add_gc_arguments(parser: argparse.ArgumentParser) -> None:
             "in-flight writes of live processes)"
         ),
     )
+
+
+def _add_init_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--init-workers",
+        type=int,
+        default=None,
+        help=(
+            "thread fan-out width for the pipeline initialiser runs "
+            "(sets REPRO_INIT_WORKERS; the schedule is identical at any "
+            "width, only wall-clock changes)"
+        ),
+    )
+
+
+def _apply_init_workers(args: argparse.Namespace) -> None:
+    """Publish ``--init-workers`` through the environment knob.
+
+    The environment variable is the one path that reaches every pipeline
+    factory — including the no-argument registry factories such as
+    ``framework_heuristics`` that never see a :class:`PipelineConfig`.
+    """
+    value = getattr(args, "init_workers", None)
+    if value is not None:
+        os.environ[ENV_INIT_WORKERS] = str(max(int(value), 1))
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -451,6 +479,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_schedule(args: argparse.Namespace) -> int:
+    _apply_init_workers(args)
     request = _request_from_args(args, args.scheduler)
     result = SchedulingService(store=args.store).solve(request)
     machine = request.build_machine()
@@ -471,6 +500,7 @@ def _command_schedule(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    _apply_init_workers(args)
     service = SchedulingService(store=args.store)
     # resolve the instance once and share the DAG (and its fingerprint
     # memo) across the whole batch instead of re-reading the file per
@@ -518,6 +548,10 @@ def _command_kernels(args: argparse.Namespace) -> int:
             "extra (pip install repro-bsp-scheduling[speed]) to enable the "
             "compiled backend"
         )
+    print("kernels:")
+    width = max(len(name) for name in kernels.KERNELS)
+    for name in sorted(kernels.KERNELS):
+        print(f"  {name:<{width}}  {kernels.KERNELS[name]}")
     if args.warmup:
         seconds = kernels.warmup()
         print(f"warmup:            {seconds:.2f} s")

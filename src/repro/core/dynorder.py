@@ -1,0 +1,122 @@
+"""Dynamic topological order for incrementally grown DAGs (Pearce–Kelly).
+
+:class:`DynamicTopologicalOrder` maintains a valid topological position
+array under edge insertions with the PK1 algorithm of Pearce & Kelly
+("A dynamic topological sort algorithm for directed acyclic graphs",
+JEA 2007): an insertion ``u -> v`` that already satisfies
+``ord[u] < ord[v]`` costs O(1); a violating insertion discovers only the
+*affected region* — forward from ``v`` and backward from ``u``, both
+bounded by the violated position interval — and permutes the region's
+existing positions, so the cost is O(affected region), not O(V + E).
+
+This is the pure-Python twin of the ``pk_order`` kernel in
+:mod:`repro.core.kernels` (which serves the coarsener's flat-array working
+graphs); here the structure backs ``ComputationalDAG.add_edge(
+check_cycle=True)``, replacing the previous full-CSR-rebuild-plus-BFS per
+checked insertion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .exceptions import CycleError
+
+__all__ = ["DynamicTopologicalOrder"]
+
+
+class DynamicTopologicalOrder:
+    """Adjacency lists plus a topological position array kept valid online.
+
+    ``order[x] < order[y]`` holds for every recorded edge ``x -> y``.
+    Positions are arbitrary distinct integers (holes are fine); only their
+    relative order carries meaning.
+    """
+
+    __slots__ = ("succ", "pred", "order")
+
+    def __init__(self, num_nodes: int) -> None:
+        self.succ: list[list[int]] = [[] for _ in range(num_nodes)]
+        self.pred: list[list[int]] = [[] for _ in range(num_nodes)]
+        self.order: list[int] = list(range(num_nodes))
+
+    @classmethod
+    def from_edges(cls, num_nodes: int, edges) -> "DynamicTopologicalOrder":
+        """Build from an existing edge set in one Kahn pass.
+
+        Raises :class:`CycleError` when the edges contain a directed cycle
+        (there is no topological order to maintain).
+        """
+        self = cls(num_nodes)
+        succ = self.succ
+        indegree = [0] * num_nodes
+        for u, v in edges:
+            succ[u].append(v)
+            self.pred[v].append(u)
+            indegree[v] += 1
+        queue = deque(x for x in range(num_nodes) if indegree[x] == 0)
+        position = 0
+        while queue:
+            x = queue.popleft()
+            self.order[x] = position
+            position += 1
+            for w in succ[x]:
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    queue.append(w)
+        if position != num_nodes:
+            raise CycleError("edge set contains a directed cycle")
+        return self
+
+    def add_node(self, count: int = 1) -> None:
+        """Append ``count`` fresh nodes after every existing position."""
+        top = (max(self.order) if self.order else -1) + 1
+        for i in range(count):
+            self.succ.append([])
+            self.pred.append([])
+            self.order.append(top + i)
+
+    def add_edge(self, source: int, target: int) -> bool:
+        """Record edge ``source -> target``; False if it would close a cycle.
+
+        On False the structure is unchanged (the edge is *not* recorded).
+        """
+        order = self.order
+        if order[source] > order[target]:
+            lb = order[target]
+            ub = order[source]
+            # forward region: closure of target under "successor in strip"
+            forward = [target]
+            seen_f = {target}
+            stack = [target]
+            while stack:
+                x = stack.pop()
+                for w in self.succ[x]:
+                    if w == source:
+                        return False
+                    if order[w] <= ub and w not in seen_f:
+                        seen_f.add(w)
+                        forward.append(w)
+                        stack.append(w)
+            # backward region: closure of source under "predecessor in strip"
+            backward = [source]
+            seen_b = {source}
+            stack = [source]
+            while stack:
+                x = stack.pop()
+                for w in self.pred[x]:
+                    if order[w] >= lb and w not in seen_b:
+                        seen_b.add(w)
+                        backward.append(w)
+                        stack.append(w)
+            # permute the region's own positions: backward block first,
+            # forward block second, old relative order preserved in each
+            backward.sort(key=order.__getitem__)
+            forward.sort(key=order.__getitem__)
+            region = backward + forward
+            positions = sorted(order[x] for x in region)
+            for x, pos in zip(region, positions):
+                order[x] = pos
+        self.succ[source].append(target)
+        self.pred[target].append(source)
+        return True

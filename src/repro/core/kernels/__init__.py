@@ -1,8 +1,12 @@
 """Kernel-dispatch layer for the refinement/coarsening/symbolic hot loops.
 
-Two interchangeable backends implement the four hot loops of the pipeline
-(HC refinement pass, HCcs window walk, coarsening acyclicity probe,
-symbolic factorisation):
+Two interchangeable backends implement the hot loops of the pipeline —
+the HC refinement pass, the HCcs window walk (serial and batched-front
+flavours), the coarsening acyclicity probe and its Pearce–Kelly
+dynamic-order replacement, and the two symbolic factorisations.  The
+:data:`KERNELS` registry lists every dispatched kernel with a one-line
+summary; the ``repro kernels`` CLI prints it, so a new kernel only needs
+the :func:`_dispatched` decorator to show up everywhere:
 
 * ``numpy`` — the vectorized reference implementation, extracted unchanged
   from the scheduler/dagdb modules.  Always available.
@@ -35,6 +39,7 @@ from .state import HccsState
 
 __all__ = [
     "ENV_VAR",
+    "KERNELS",
     "KernelBackendError",
     "HccsState",
     "available_backends",
@@ -43,7 +48,9 @@ __all__ = [
     "warmup",
     "hc_pass",
     "hccs_pass",
+    "hccs_pass_fronts",
     "coarsen_reach",
+    "pk_order",
     "symbolic_fill",
     "symbolic_fill_quotient",
 ]
@@ -132,6 +139,18 @@ def warmup() -> float:
 # ---------------------------------------------------------------------- #
 # dispatched kernels
 # ---------------------------------------------------------------------- #
+#: Registry of every dispatched kernel: name -> one-line summary.  Filled
+#: by the ``_dispatched`` decorator, so the ``repro kernels`` listing (and
+#: anything else enumerating the kernel surface) can never fall behind.
+KERNELS: dict[str, str] = {}
+
+
+def _dispatched(fn):
+    """Register a dispatch function in :data:`KERNELS` (summary = doc line 1)."""
+    KERNELS[fn.__name__] = (fn.__doc__ or "").strip().splitlines()[0].rstrip(".")
+    return fn
+
+
 def _loop_fn(numba_name: str, loops_fn):
     """The compiled kernel for the active backend ('numba' vs 'loops')."""
     backend = get_backend()
@@ -140,6 +159,7 @@ def _loop_fn(numba_name: str, loops_fn):
     return loops_fn
 
 
+@_dispatched
 def hc_pass(tracker, start, stop, max_accept=-1, eps=_EPS, budget=None):
     """One HC refinement pass over nodes ``[start, stop)`` of a tracker.
 
@@ -203,6 +223,7 @@ def hc_pass(tracker, start, stop, max_accept=-1, eps=_EPS, budget=None):
     return accepted, moves
 
 
+@_dispatched
 def hccs_pass(state: HccsState, start, stop, max_accept=-1, eps=_EPS, budget=None):
     """One HCcs pass over ``state.movable[start:stop]``.
 
@@ -252,6 +273,7 @@ def hccs_pass(state: HccsState, start, stop, max_accept=-1, eps=_EPS, budget=Non
     return accepted, moves
 
 
+@_dispatched
 def coarsen_reach(graph, u, v, budget=None):
     """Alternative-path probe for the coarsener's acyclicity check.
 
@@ -283,6 +305,155 @@ def coarsen_reach(graph, u, v, budget=None):
     )
 
 
+@_dispatched
+def pk_order(graph, op, u, v):
+    """Pearce–Kelly dynamic topological order: contraction probe / edge insert.
+
+    ``graph`` is a flat-adjacency working graph carrying an ``order`` array
+    (node -> position; dead nodes leave permanent holes) plus the shared DFS
+    scratch.  ``op == 0`` answers "does an alternative ``u -> v`` path
+    exist?" for an existing edge by a DFS pruned to ``order < order[v]`` —
+    exact because a valid order confines every alternative path to that
+    strip.  ``op == 1`` inserts edge ``u -> v``: the affected region
+    (forward from ``v``, backward from ``u``, both bounded by the violated
+    position interval) is discovered and reassigned in place, touching
+    ``O(affected region)`` nodes instead of the whole graph.  Returns ``1``
+    for "alternative path" / "would close a cycle", else ``0``.
+    """
+    backend = get_backend()
+    if backend == "numpy":
+        return numpy_impl.pk_order_numpy(graph, op, u, v)
+    fn = _loop_fn("pk_order_jit", loops.pk_order_loops)
+    return int(
+        fn(
+            graph.succ_pool,
+            graph.succ_start,
+            graph.succ_len,
+            graph.pred_pool,
+            graph.pred_start,
+            graph.pred_len,
+            graph.order,
+            op,
+            u,
+            v,
+            graph.dfs_stack,
+            graph.f_buf,
+            graph.b_buf,
+            graph.dfs_seen,
+            graph.next_stamp(),
+        )
+    )
+
+
+#: Fronts smaller than this finish the pass serially: the batched sweep's
+#: fixed overhead (concatenated-interval bookkeeping or a compiled call)
+#: is not worth paying for a handful of windows.
+_FRONT_SERIAL_TAIL = 8
+
+#: A front must also cover at least this fraction of the remaining windows
+#: to keep batching.  When many windows contend for few traffic rows the
+#: scan-order-greedy disjoint front degenerates (down to size one), and the
+#: per-round conflict scan would make the pass *slower* than the serial
+#: walk; falling back keeps fronts a strict no-regression optimisation.
+_FRONT_MIN_FRACTION = 64
+
+
+@_dispatched
+def hccs_pass_fronts(state: HccsState, eps=_EPS, budget=None):
+    """One HCcs pass over all movable windows in batched row-disjoint fronts.
+
+    Repeatedly extracts the scan-order-greedy maximal set of windows with
+    pairwise-disjoint feasible phase intervals (one vectorized conflict
+    scan), evaluates and applies the whole front in one batched kernel
+    call, and defers the conflicting windows to the next front.  A window
+    only ever joins a front once every lower-scan-position window sharing
+    any of its rows has been applied, so each window observes exactly the
+    row state the serial walk would — under the exact (integer/dyadic)
+    weight regime the accepted moves are identical to
+    ``hccs_pass(state, 0, n, -1, eps)``, and they are returned in that
+    serial scan order.  Returns ``(accepted, moves)``.
+    """
+    movable = state.movable
+    n = int(movable.size)
+    if n == 0:
+        return 0, []
+    lo_all = state.earliest[movable]
+    hi_all = state.latest[movable]
+    num_rows = state.send.shape[0]
+    backend = get_backend()
+    remaining = np.arange(n, dtype=np.int64)  # scan positions, ascending
+    accepted = 0
+    tagged: list[tuple[int, int, int]] = []
+    while remaining.size:
+        if budget is not None and budget.expired():
+            break
+        mask = numpy_impl.hccs_front_mask(
+            lo_all[remaining], hi_all[remaining], num_rows
+        )
+        front_pos = remaining[mask]
+        small = front_pos.size <= max(
+            _FRONT_SERIAL_TAIL, remaining.size // _FRONT_MIN_FRACTION
+        )
+        if small and front_pos.size < remaining.size:
+            # the front is too small (absolutely, or relative to the
+            # remaining windows) to amortise the batching overhead: the
+            # remaining suffix in scan order *is* the serial completion
+            sub = HccsState(
+                send=state.send,
+                recv=state.recv,
+                comm_max=state.comm_max,
+                choices=state.choices,
+                movable=movable[remaining],
+                srcs=state.srcs,
+                tgts=state.tgts,
+                earliest=state.earliest,
+                latest=state.latest,
+                volumes=state.volumes,
+            )
+            got, pass_moves = hccs_pass(sub, 0, remaining.size, -1, eps, budget)
+            pos_of = dict(zip(movable[remaining].tolist(), remaining.tolist()))
+            for index, phase in pass_moves:
+                tagged.append((pos_of[index], index, phase))
+            accepted += got
+            break
+        front = movable[front_pos]
+        if backend == "numpy":
+            got, front_moves = numpy_impl.hccs_front_numpy(state, front, eps)
+        else:
+            fn = _loop_fn("hccs_pass_jit", loops.hccs_pass_loops)
+            moves_out = np.empty((max(front.size, 1), 2), dtype=np.int64)
+            got = int(
+                fn(
+                    state.send,
+                    state.recv,
+                    state.comm_max,
+                    state.choices,
+                    front,
+                    state.srcs,
+                    state.tgts,
+                    state.earliest,
+                    state.latest,
+                    state.volumes,
+                    0,
+                    front.size,
+                    -1,
+                    eps,
+                    moves_out,
+                )
+            )
+            front_moves = [
+                (int(moves_out[k, 0]), int(moves_out[k, 1])) for k in range(got)
+            ]
+        pos_of = dict(zip(front.tolist(), front_pos.tolist()))
+        for index, phase in front_moves:
+            tagged.append((pos_of[index], index, phase))
+        accepted += int(got)
+        remaining = remaining[~mask]
+    tagged.sort()
+    return accepted, [(index, phase) for _, index, phase in tagged]
+
+
+@_dispatched
 def symbolic_fill(indptr, indices, n):
     """Per-column structure union of the up-looking symbolic factorisation.
 
@@ -301,8 +472,9 @@ def symbolic_fill(indptr, indices, n):
     )
 
 
+@_dispatched
 def symbolic_fill_quotient(indptr, indices, n):
-    """Row-merge-tree symbolic factorisation (the fifth dispatched kernel).
+    """Row-merge-tree symbolic factorisation (quotient-graph algorithm).
 
     Same contract and bit-identical output as :func:`symbolic_fill`
     (sorted below-diagonal column structures of ``L`` plus the elimination

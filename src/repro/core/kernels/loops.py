@@ -29,6 +29,7 @@ __all__ = [
     "hc_pass_loops",
     "hccs_pass_loops",
     "coarsen_reach_loops",
+    "pk_order_loops",
     "symbolic_fill_loops",
     "symbolic_fill_quotient_loops",
 ]
@@ -493,6 +494,132 @@ def coarsen_reach_loops(
                 seen[w] = stamp
                 stack[top] = w
                 top += 1
+    return 0
+
+
+def pk_order_loops(
+    succ_pool,
+    succ_start,
+    succ_len,
+    pred_pool,
+    pred_start,
+    pred_len,
+    order,
+    op,
+    u,
+    v,
+    stack,
+    f_buf,
+    b_buf,
+    visited,
+    stamp,
+):
+    """Pearce–Kelly dynamic topological order over pooled adjacency rows.
+
+    ``order`` maps node -> position; positions of dead nodes are permanent
+    holes (only relative order matters).  Two operations share the scratch
+    buffers (``visited`` uses ``+stamp`` marks forward and ``-stamp``
+    backward, so the array can be shared with ``coarsen_reach``):
+
+    ``op == 0`` — contraction probe for an existing edge ``(u, v)``: DFS
+    from ``u``'s other successors expanding only nodes with
+    ``order < order[v]``.  Because the order is valid, every intermediate
+    of an alternative ``u -> v`` path lies strictly inside that bound, so
+    the pruned search is exact.  Returns ``1`` when an alternative path
+    exists (not contractable), else ``0``.
+
+    ``op == 1`` — insert edge ``u -> v`` (make the order consistent with
+    it): when ``order[u] < order[v]`` nothing to do; otherwise discover
+    the affected region — ``F`` forward from ``v`` bounded by
+    ``order <= order[u]``, ``B`` backward from ``u`` bounded by
+    ``order >= order[v]`` — and reassign the sorted union of their old
+    positions, ``B`` first then ``F``, each in old relative order.
+    Returns ``1`` (order untouched) if the forward search reaches ``u``,
+    i.e. the edge closes a cycle.
+    """
+    if op == 0:
+        limit = order[v]
+        top = 0
+        base = succ_start[u]
+        for k in range(succ_len[u]):
+            w = succ_pool[base + k]
+            if w != v and order[w] < limit and visited[w] != stamp:
+                visited[w] = stamp
+                stack[top] = w
+                top += 1
+        while top > 0:
+            top -= 1
+            x = stack[top]
+            xb = succ_start[x]
+            for k in range(succ_len[x]):
+                w = succ_pool[xb + k]
+                if w == v:
+                    return 1
+                if order[w] < limit and visited[w] != stamp:
+                    visited[w] = stamp
+                    stack[top] = w
+                    top += 1
+        return 0
+
+    lb = order[v]
+    ub = order[u]
+    if ub < lb:
+        return 0
+    # forward discovery: F = closure of v under "successor with order <= ub"
+    nf = 0
+    top = 0
+    visited[v] = stamp
+    stack[top] = v
+    top += 1
+    while top > 0:
+        top -= 1
+        x = stack[top]
+        f_buf[nf] = x
+        nf += 1
+        xb = succ_start[x]
+        for k in range(succ_len[x]):
+            w = succ_pool[xb + k]
+            if w == u:
+                return 1
+            if order[w] <= ub and visited[w] != stamp:
+                visited[w] = stamp
+                stack[top] = w
+                top += 1
+    # backward discovery: B = closure of u under "predecessor with order >= lb"
+    nb = 0
+    top = 0
+    visited[u] = -stamp
+    stack[top] = u
+    top += 1
+    while top > 0:
+        top -= 1
+        x = stack[top]
+        b_buf[nb] = x
+        nb += 1
+        xb = pred_start[x]
+        for k in range(pred_len[x]):
+            w = pred_pool[xb + k]
+            if order[w] >= lb and visited[w] != -stamp:
+                visited[w] = -stamp
+                stack[top] = w
+                top += 1
+    # reallocate the union of old positions: B then F, old order preserved
+    keys_b = np.empty(nb, dtype=np.int64)
+    keys_f = np.empty(nf, dtype=np.int64)
+    pool = np.empty(nb + nf, dtype=np.int64)
+    for i in range(nb):
+        keys_b[i] = order[b_buf[i]]
+        pool[i] = keys_b[i]
+    for i in range(nf):
+        keys_f[i] = order[f_buf[i]]
+        pool[nb + i] = keys_f[i]
+    pool = np.sort(pool)
+    rank_b = np.argsort(keys_b)
+    rank_f = np.argsort(keys_f)
+    for i in range(nb):
+        order[b_buf[rank_b[i]]] = pool[i]
+    for i in range(nf):
+        order[f_buf[rank_f[i]]] = pool[nb + i]
     return 0
 
 

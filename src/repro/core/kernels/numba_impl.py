@@ -29,6 +29,7 @@ __all__ = [
     "hc_pass_jit",
     "hccs_pass_jit",
     "coarsen_reach_jit",
+    "pk_order_jit",
     "symbolic_fill_jit",
     "symbolic_fill_quotient_jit",
 ]
@@ -36,6 +37,7 @@ __all__ = [
 hc_pass_jit = None
 hccs_pass_jit = None
 coarsen_reach_jit = None
+pk_order_jit = None
 symbolic_fill_jit = None
 symbolic_fill_quotient_jit = None
 
@@ -53,6 +55,7 @@ else:  # pragma: no cover - exercised only on numba installs (CI matrix leg)
         hc_pass_jit = _jit(loops.hc_pass_loops)
         hccs_pass_jit = _jit(loops.hccs_pass_loops)
         coarsen_reach_jit = _jit(loops.coarsen_reach_loops)
+        pk_order_jit = _jit(loops.pk_order_loops)
         symbolic_fill_jit = _jit(loops.symbolic_fill_loops)
         symbolic_fill_quotient_jit = _jit(loops.symbolic_fill_quotient_loops)
         _version = getattr(_numba, "__version__", "unknown")
@@ -141,6 +144,42 @@ def warmup() -> float:  # pragma: no cover - exercised on numba installs only
         np.zeros(2, dtype=i64),
         np.zeros(2, dtype=i64),
         1,
+    )
+    # 2-node edge 0->1: op=0 probe, then op=1 with an inverted order so the
+    # region-reorder branch (np.sort/np.argsort) compiles too
+    pk_order_jit(
+        np.array([1], dtype=i64),
+        np.array([0, 1], dtype=i64),
+        np.array([1, 0], dtype=i64),
+        np.array([0], dtype=i64),
+        np.array([1, 0], dtype=i64),
+        np.array([0, 1], dtype=i64),
+        np.array([0, 1], dtype=i64),
+        0,
+        0,
+        1,
+        np.zeros(2, dtype=i64),
+        np.zeros(2, dtype=i64),
+        np.zeros(2, dtype=i64),
+        np.zeros(2, dtype=i64),
+        1,
+    )
+    pk_order_jit(
+        np.array([1], dtype=i64),
+        np.array([0, 1], dtype=i64),
+        np.array([1, 0], dtype=i64),
+        np.array([0], dtype=i64),
+        np.array([1, 0], dtype=i64),
+        np.array([0, 1], dtype=i64),
+        np.array([1, 0], dtype=i64),
+        1,
+        0,
+        1,
+        np.zeros(2, dtype=i64),
+        np.zeros(2, dtype=i64),
+        np.zeros(2, dtype=i64),
+        np.zeros(2, dtype=i64),
+        2,
     )
     symbolic_fill_jit(
         np.array([0, 1], dtype=i64),

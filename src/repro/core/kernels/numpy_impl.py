@@ -17,8 +17,11 @@ from .state import HccsState
 
 __all__ = [
     "hc_pass_numpy",
+    "hccs_front_mask",
+    "hccs_front_numpy",
     "hccs_pass_numpy",
     "coarsen_reach_numpy",
+    "pk_order_numpy",
     "symbolic_fill_numpy",
     "symbolic_fill_quotient_numpy",
 ]
@@ -152,6 +155,180 @@ def coarsen_reach_numpy(graph, u, v, budget):
                 seen.add(w)
                 stack.append(w)
     return 0
+
+
+def pk_order_numpy(graph, op, u, v):
+    """Pearce–Kelly order maintenance over the flat adjacency pools.
+
+    Python-native mirror of :func:`repro.core.kernels.loops.pk_order_loops`.
+    The discovered regions are *traversal-order independent* (each is the
+    closure of a seed under one bounded step relation), and the reassignment
+    sorts by the old positions, which are distinct — so every backend leaves
+    ``graph.order`` in the bit-identical state.
+    """
+    succ_pool = graph.succ_pool
+    succ_start = graph.succ_start
+    succ_len = graph.succ_len
+    order = graph.order
+    if op == 0:
+        limit = int(order[v])
+        base = int(succ_start[u])
+        stack = [
+            w
+            for w in succ_pool[base : base + int(succ_len[u])].tolist()
+            if w != v and order[w] < limit
+        ]
+        seen = set(stack)
+        while stack:
+            x = stack.pop()
+            xb = int(succ_start[x])
+            for w in succ_pool[xb : xb + int(succ_len[x])].tolist():
+                if w == v:
+                    return 1
+                if order[w] < limit and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return 0
+
+    lb = int(order[v])
+    ub = int(order[u])
+    if ub < lb:
+        return 0
+    forward = [v]
+    seen_f = {v}
+    stack = [v]
+    while stack:
+        x = stack.pop()
+        xb = int(succ_start[x])
+        for w in succ_pool[xb : xb + int(succ_len[x])].tolist():
+            if w == u:
+                return 1
+            if order[w] <= ub and w not in seen_f:
+                seen_f.add(w)
+                forward.append(w)
+                stack.append(w)
+    pred_pool = graph.pred_pool
+    pred_start = graph.pred_start
+    pred_len = graph.pred_len
+    backward = [u]
+    seen_b = {u}
+    stack = [u]
+    while stack:
+        x = stack.pop()
+        xb = int(pred_start[x])
+        for w in pred_pool[xb : xb + int(pred_len[x])].tolist():
+            if order[w] >= lb and w not in seen_b:
+                seen_b.add(w)
+                backward.append(w)
+                stack.append(w)
+    backward.sort(key=lambda node: order[node])
+    forward.sort(key=lambda node: order[node])
+    region = backward + forward
+    positions = sorted(int(order[node]) for node in region)
+    for node, pos in zip(region, positions):
+        order[node] = pos
+    return 0
+
+
+def hccs_front_mask(lo, hi, num_rows):
+    """Scan-order greedy maximal set of row-disjoint HCcs windows.
+
+    One vectorized conflict scan: window ``k`` (interval ``[lo[k], hi[k]]``)
+    joins the front iff no earlier-scanned window's interval intersects it —
+    *earlier-scanned*, not *earlier-accepted*, so a deferred window still
+    claims its rows and the serial equivalence argument below holds.  Each
+    phase row remembers the first window covering it (``np.minimum.at``);
+    a window is kept iff it is its own interval-wide minimum.
+    """
+    k = lo.shape[0]
+    widths = hi - lo + 1
+    offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(widths, out=offsets[1:])
+    total = int(offsets[-1])
+    rows = np.repeat(lo, widths) + (
+        np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], widths)
+    )
+    scan = np.repeat(np.arange(k, dtype=np.int64), widths)
+    first = np.full(num_rows, k, dtype=np.int64)
+    np.minimum.at(first, rows, scan)
+    return np.minimum.reduceat(first[rows], offsets[:-1]) == np.arange(
+        k, dtype=np.int64
+    )
+
+
+def hccs_front_numpy(state: HccsState, front, eps):
+    """Evaluate and apply one row-disjoint window front in a batched sweep.
+
+    ``front`` holds window indices whose feasible phase intervals are
+    pairwise disjoint, so every window sees the same row maxima a serial
+    walk would and the accepted moves scatter without conflicts.  The
+    first-exact-argmin phase choice equals the serial eps-guarded ascending
+    scan under the exact (integer/dyadic) weight regime, where distinct
+    deltas differ by at least one volume unit >> eps.  Returns
+    ``(accepted, moves)`` with moves in front order.
+    """
+    send = state.send
+    recv = state.recv
+    comm_max = state.comm_max
+    choices = state.choices
+    k = front.shape[0]
+    cur = choices[front]
+    lo = state.earliest[front]
+    hi = state.latest[front]
+    vol = state.volumes[front]
+    p1 = state.srcs[front]
+    p2 = state.tgts[front]
+
+    # removal terms: one gathered row block, the moving volume subtracted
+    send_rows = send[cur]
+    send_rows[np.arange(k), p1] -= vol
+    recv_rows = recv[cur]
+    recv_rows[np.arange(k), p2] -= vol
+    removal = np.maximum(send_rows.max(axis=1), recv_rows.max(axis=1)) - comm_max[cur]
+
+    # candidate deltas over the concatenated feasible intervals
+    widths = hi - lo + 1
+    offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(widths, out=offsets[1:])
+    total = int(offsets[-1])
+    rep = np.repeat(np.arange(k, dtype=np.int64), widths)
+    phases = np.repeat(lo, widths) + (
+        np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], widths)
+    )
+    raised = np.maximum(
+        comm_max[phases],
+        np.maximum(send[phases, p1[rep]] + vol[rep], recv[phases, p2[rep]] + vol[rep]),
+    )
+    deltas = (raised - comm_max[phases]) + removal[rep]
+    deltas[phases == cur[rep]] = np.inf  # staying put is not a move
+    best = np.minimum.reduceat(deltas, offsets[:-1])
+    accept = best < -eps
+    if not accept.any():
+        return 0, []
+    # first phase attaining the window minimum (== the serial scan's pick)
+    hit_pos = np.where(
+        deltas == best[rep], np.arange(total, dtype=np.int64), total
+    )
+    firsts = np.minimum.reduceat(hit_pos, offsets[:-1])
+
+    ai = np.flatnonzero(accept)
+    new_phase = phases[firsts[ai]]
+    idx = front[ai]
+    cw = cur[ai]
+    vw = vol[ai]
+    p1w = p1[ai]
+    p2w = p2[ai]
+    # intervals are disjoint across the front, hence so are the touched
+    # rows: the scatter below never collides
+    send[cw, p1w] -= vw
+    recv[cw, p2w] -= vw
+    send[new_phase, p1w] += vw
+    recv[new_phase, p2w] += vw
+    touched = np.concatenate((cw, new_phase))
+    comm_max[touched] = np.maximum(send[touched], recv[touched]).max(axis=1)
+    choices[idx] = new_phase
+    moves = list(zip(idx.tolist(), new_phase.tolist()))
+    return len(moves), moves
 
 
 def symbolic_fill_numpy(indptr, indices, n):

@@ -27,11 +27,13 @@ from .ilp import (
 from .listsched import BlEstScheduler, EtfScheduler
 from .multilevel import MultilevelScheduler, coarsen_dag
 from .pipeline import (
+    ENV_INIT_WORKERS,
     MultilevelPipeline,
     PipelineConfig,
     PipelineResult,
     SchedulingPipeline,
     StageCosts,
+    resolve_init_workers,
 )
 from .registry import SCHEDULER_FACTORIES, available_schedulers, create_scheduler
 from .source_heuristic import SourceScheduler
@@ -40,6 +42,7 @@ from .trivial import RoundRobinScheduler, TrivialScheduler
 __all__ = [
     "BlEstScheduler",
     "Budget",
+    "ENV_INIT_WORKERS",
     "BspGreedyScheduler",
     "CilkScheduler",
     "CommScheduleHillClimbing",
@@ -74,4 +77,5 @@ __all__ = [
     "coarsen_dag",
     "create_scheduler",
     "estimate_window_variables",
+    "resolve_init_workers",
 ]

@@ -22,6 +22,15 @@ and kept across passes.  The seed copy-mutate-restore walker is retained as
 :class:`repro.schedulers.reference.CommScheduleHillClimbingReference` and
 the vectorized path reproduces its accepted-move sequence exactly (the
 per-candidate deltas are bit-identical, not merely equal within tolerance).
+
+Uncapped runs additionally batch each pass into *fronts*
+(:func:`repro.core.kernels.hccs_pass_fronts`): a vectorized conflict scan
+extracts the maximal scan-order-greedy set of windows whose feasible phase
+intervals are pairwise disjoint, the whole front is evaluated and applied
+in one batched kernel call, and the conflicting windows are deferred to the
+next front.  Disjoint rows mean every window still observes exactly the row
+state of the serial walk, so the accepted moves are unchanged — the passes
+just stop paying one Python-level iteration per window.
 """
 
 from __future__ import annotations
@@ -131,11 +140,20 @@ class CommScheduleHillClimbing(ScheduleImprover):
         while improved_any and passes < self.max_passes and not budget.expired():
             improved_any = False
             passes += 1
-            # one dispatched pass over the movable windows (numpy / numba)
-            cap = None if max_steps is None else max_steps - accepted
-            got, pass_moves = kernels.hccs_pass(
-                state, 0, movable.size, cap, _EPS, budget=budget
-            )
+            if max_steps is None:
+                # batched pass fronts: row-disjoint windows evaluated in one
+                # kernel call each round — same accepted moves as the serial
+                # walk under the exact-arithmetic regime
+                got, pass_moves = kernels.hccs_pass_fronts(
+                    state, _EPS, budget=budget
+                )
+            else:
+                # a mid-pass step cap can cut anywhere in the scan order,
+                # which fronts cannot replicate: keep the serial walk
+                cap = max_steps - accepted
+                got, pass_moves = kernels.hccs_pass(
+                    state, 0, movable.size, cap, _EPS, budget=budget
+                )
             accepted += got
             if got:
                 improved_any = True

@@ -258,7 +258,7 @@ class _FlatGraph:
     which can never grow them.
     """
 
-    def __init__(self, dag: ComputationalDAG) -> None:
+    def __init__(self, dag: ComputationalDAG, use_order: bool = False) -> None:
         n = dag.num_nodes
         self.succ_pool, self.succ_start, self.succ_len = self._sorted_rows(
             dag.succ_indptr, dag.succ_indices, n
@@ -278,6 +278,18 @@ class _FlatGraph:
         self.dfs_stack = np.empty(max(n, 1), dtype=np.int64)
         self.dfs_seen = np.zeros(max(n, 1), dtype=np.int64)
         self._stamp = 0
+        # Pearce–Kelly dynamic topological order (node -> position; dead
+        # nodes leave permanent holes — only relative order matters) plus
+        # the forward/backward region scratch of the pk_order kernel
+        self.order = None
+        self.f_buf = None
+        self.b_buf = None
+        if use_order:
+            topo = np.asarray(dag.topological_order(), dtype=np.int64)
+            self.order = np.empty(max(n, 1), dtype=np.int64)
+            self.order[topo] = np.arange(n, dtype=np.int64)
+            self.f_buf = np.empty(max(n, 1), dtype=np.int64)
+            self.b_buf = np.empty(max(n, 1), dtype=np.int64)
 
     @staticmethod
     def _sorted_rows(indptr, indices, n):
@@ -322,13 +334,19 @@ class _FlatGraph:
         """True when the only ``u -> v`` path is the direct edge.
 
         Same contract as :meth:`_MutableGraph.is_contractable`: two O(1)
-        fast paths, then the dispatched DFS probe; a probe stopped by the
-        ``budget`` conservatively reports *not* contractable.
+        fast paths, then the reachability probe; a probe stopped by the
+        ``budget`` conservatively reports *not* contractable.  With a
+        maintained dynamic order (``use_order=True``) and no budget, the
+        probe is the Pearce–Kelly kernel pruned to the position strip
+        ``order < order[v]`` — exact, and on dense DAGs a small fraction
+        of the descendant set the plain DFS walks.
         """
         if self.succ_len[u] == 1:
             return True
         if self.pred_len[v] == 1:
             return True
+        if self.order is not None and budget is None:
+            return kernels.pk_order(self, 0, u, v) == 0
         return kernels.coarsen_reach(self, u, v, budget) == 0
 
     def contract(self, u: int, v: int) -> None:
@@ -353,6 +371,20 @@ class _FlatGraph:
         self.comm[u] += self.comm[v]
         self.alive[v] = False
         self._live -= 1
+        if self.order is not None:
+            # Restore order validity.  The merge can only violate in-edges
+            # of u: v's successors sit above order[v] > order[u], and every
+            # other row kept its endpoints.  Each violated edge is repaired
+            # by one Pearce–Kelly insertion; insertions never invalidate a
+            # currently-valid edge (the F/B regions are DFS closures), so
+            # repairing them in sequence — re-reading order[u], since one
+            # repair may fix later violations — restores a fully valid
+            # order.  The cycle branch cannot trigger: the adjacency is
+            # already merged and acyclic (the contraction was checked).
+            order = self.order
+            for x in new_pred:
+                if order[x] > order[u]:
+                    kernels.pk_order(self, 1, x, u)
 
     @staticmethod
     def _replace(pool, start, length, w, old, new) -> None:
@@ -547,6 +579,7 @@ def coarsen_dag(
     target_nodes: int,
     light_fraction: float = 1.0 / 3.0,
     search_budget: int | None = None,
+    method: str = "auto",
 ) -> CoarseningSequence:
     """Contract edges until at most ``target_nodes`` nodes remain.
 
@@ -556,17 +589,32 @@ def coarsen_dag(
     light set has no contractable candidate).  The procedure stops early
     when no contractable edge exists (e.g. the graph has become edgeless).
 
+    ``method`` selects the acyclicity machinery.  ``"pk"`` maintains a
+    Pearce–Kelly dynamic topological order: every probe is pruned to the
+    position strip between the endpoints and every contraction repairs the
+    order incrementally — exact, with the same contract/skip decisions as
+    the DFS, but near-linear growth on dense DAGs where the plain DFS
+    re-walks large descendant sets.  ``"dfs"`` is the per-contraction DFS
+    probe (:func:`repro.core.kernels.coarsen_reach`), retained as the
+    pinned differential reference.  ``"auto"`` (default) uses ``"pk"``
+    exactly when the check is exact, i.e. no ``search_budget`` is set.
+
     ``search_budget`` bounds the per-edge acyclicity DFS; edges whose
     verification would expand more nodes are conservatively skipped (see
     :meth:`_FlatGraph.is_contractable`).  ``None`` (the default) keeps the
-    check exact.  The DFS itself runs through the kernel-dispatch layer
-    (:func:`repro.core.kernels.coarsen_reach`) over the flat adjacency
-    pools, so the compiled backend probes without touching Python sets.
+    check exact.  A budget requires the DFS method — its accounting is
+    defined in expanded DFS nodes — so combining it with ``method="pk"``
+    is an error.
     """
     if target_nodes < 1:
         raise DagError("target_nodes must be >= 1")
+    if method not in ("auto", "pk", "dfs"):
+        raise DagError(f"unknown coarsening method {method!r}")
+    if method == "pk" and search_budget is not None:
+        raise DagError("search_budget is a DFS-node budget; use method='dfs'")
+    use_order = method == "pk" or (method == "auto" and search_budget is None)
     sequence = CoarseningSequence(original=dag)
-    graph = _FlatGraph(dag)
+    graph = _FlatGraph(dag, use_order=use_order)
     queue = _BucketQueue(graph)
 
     def check(u: int, v: int) -> bool:

@@ -105,6 +105,39 @@ class TestSchedule:
         assert loaded.machine.num_procs == 8
 
 
+class TestKernelsCommand:
+    def test_lists_every_registered_kernel(self, capsys):
+        from repro.core import kernels
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "active backend:" in out
+        for name, summary in kernels.KERNELS.items():
+            assert name in out
+            assert summary in out
+
+
+class TestInitWorkersFlag:
+    def test_flag_sets_environment_knob(self, hyperdag_file, capsys, monkeypatch):
+        from repro.schedulers import ENV_INIT_WORKERS
+
+        # setenv (not delenv) so teardown rolls back the value main() writes
+        monkeypatch.setenv(ENV_INIT_WORKERS, "1")
+        import os
+
+        code = main(
+            [
+                "schedule", str(hyperdag_file),
+                "--scheduler", "framework_heuristics",
+                "--procs", "2",
+                "--init-workers", "3",
+            ]
+        )
+        assert code == 0
+        assert os.environ[ENV_INIT_WORKERS] == "3"
+        assert "cost" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_prints_cost_table(self, hyperdag_file, capsys):
         code = main(

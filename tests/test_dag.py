@@ -123,6 +123,88 @@ class TestEdges:
         edges = {(e.source, e.target) for e in dag.edges()}
         assert edges == {(0, 1), (0, 2), (1, 3), (2, 3)}
 
+
+class TestDynamicOrderCycleChecks:
+    """``add_edge(check_cycle=True)`` via the Pearce–Kelly dynamic order.
+
+    The incremental order must give exactly the accept/reject decisions of
+    a from-scratch reachability check, across long random insertion
+    sequences mixed with node growth and unchecked inserts.
+    """
+
+    def test_checked_inserts_match_reachability_oracle(self):
+        for trial in range(10):
+            rng = np.random.default_rng(trial)
+            n = 25
+            dag = ComputationalDAG(n)
+            oracle = ComputationalDAG(n)
+            for _ in range(120):
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u == v:
+                    continue
+                # oracle decision: from-scratch path check on a copy that
+                # only ever holds accepted (acyclic) edges
+                creates_cycle = oracle.has_path(v, u)
+                duplicate = any(w == v for w in oracle.successors(u))
+                if duplicate:
+                    continue
+                if creates_cycle:
+                    with pytest.raises(CycleError):
+                        dag.add_edge(u, v, check_cycle=True)
+                else:
+                    dag.add_edge(u, v, check_cycle=True)
+                    oracle.add_edge(u, v)
+            assert {(e.source, e.target) for e in dag.edges()} == {
+                (e.source, e.target) for e in oracle.edges()
+            }
+            order = dag.topological_order()
+            position = {node: i for i, node in enumerate(order)}
+            assert all(
+                position[e.source] < position[e.target] for e in dag.edges()
+            )
+
+    def test_rejection_leaves_structure_usable(self):
+        dag = build_chain_dag(5)
+        for _ in range(3):
+            with pytest.raises(CycleError):
+                dag.add_edge(4, 0, check_cycle=True)
+        # the rejected edge was not recorded; further checked inserts work
+        dag.add_edge(0, 4, check_cycle=True)
+        assert dag.is_acyclic()
+
+    def test_unchecked_insert_then_checked_rebuilds(self):
+        dag = ComputationalDAG(4)
+        dag.add_edge(0, 1, check_cycle=True)
+        dag.add_edge(1, 2)  # unchecked: drops the incremental order
+        dag.add_edge(2, 3, check_cycle=True)  # forces a rebuild
+        with pytest.raises(CycleError):
+            dag.add_edge(3, 0, check_cycle=True)
+        assert dag.is_acyclic()
+
+    def test_checked_insert_on_cyclic_graph_falls_back(self):
+        # an unchecked pair already closed a cycle: there is no topological
+        # order to maintain, so checked inserts fall back to reachability
+        dag = ComputationalDAG(3)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 0)
+        dag.add_edge(1, 2, check_cycle=True)  # harmless edge still accepted
+        with pytest.raises(CycleError):
+            dag.add_edge(2, 0, check_cycle=True)  # would extend the cycle
+
+    def test_add_nodes_interleaved_with_checked_inserts(self):
+        dag = ComputationalDAG(3)
+        dag.add_edge(0, 1, check_cycle=True)
+        dag.add_edge(1, 2, check_cycle=True)
+        new = dag.add_nodes(2)
+        dag.add_edge(2, new[0], check_cycle=True)
+        dag.add_edge(new[0], new[1], check_cycle=True)
+        with pytest.raises(CycleError):
+            dag.add_edge(new[1], 0, check_cycle=True)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        assert all(position[e.source] < position[e.target] for e in dag.edges())
+
     def test_sources_and_sinks(self):
         dag = build_fork_join_dag(3)
         assert dag.sources() == [0]

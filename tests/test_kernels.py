@@ -173,6 +173,75 @@ class TestBackendParity:
         for got, expected in zip(structures, base_structures):
             assert np.array_equal(got, expected)
 
+    def test_pk_coarsen_is_backend_independent(self, backend, monkeypatch):
+        # no search_budget -> the auto method routes through the pk_order
+        # kernel on every backend
+        for seed in (17, 23):
+            dag = random_dag(60, 0.1, seed=seed)
+            monkeypatch.setenv(ENV_VAR, "numpy")
+            baseline = coarsen_dag(dag, 15)
+            monkeypatch.setenv(ENV_VAR, backend)
+            sequence = coarsen_dag(dag, 15)
+            assert sequence.records == baseline.records, (backend, seed)
+
+    def test_hccs_fronts_match_serial_pass(self, backend):
+        """Direct front-vs-serial pin on a state with genuinely large fronts.
+
+        The windows use narrow feasible intervals scattered over many
+        traffic rows in shuffled scan order, so the conflict scan extracts
+        fronts well above the serial-tail guard — the batched kernel call
+        is really exercised, and its accepted moves (and final row state)
+        must equal the serial walk's exactly.
+        """
+        from repro.core import kernels
+
+        def synthetic_state(rng, num_rows=64, num_windows=400, procs=4):
+            lo = rng.integers(0, num_rows - 4, size=num_windows)
+            hi = lo + rng.integers(1, 4, size=num_windows)
+            srcs = rng.integers(0, procs, size=num_windows)
+            tgts = (srcs + 1 + rng.integers(0, procs - 1, size=num_windows)) % procs
+            volumes = rng.integers(1, 5, size=num_windows).astype(np.float64)
+            choices = hi.copy()
+            send = np.zeros((num_rows, procs))
+            recv = np.zeros((num_rows, procs))
+            np.add.at(send, (choices, srcs), volumes)
+            np.add.at(recv, (choices, tgts), volumes)
+            return kernels.HccsState(
+                send=send,
+                recv=recv,
+                comm_max=np.maximum(send, recv).max(axis=1),
+                choices=choices,
+                movable=np.arange(num_windows, dtype=np.int64),
+                srcs=srcs,
+                tgts=tgts,
+                earliest=lo,
+                latest=hi,
+                volumes=volumes,
+            )
+
+        from repro.core.kernels import numpy_impl as ni
+
+        for seed in range(4):
+            rng = np.random.default_rng(700 + seed)
+            serial_state = synthetic_state(rng)
+            rng = np.random.default_rng(700 + seed)
+            front_state = synthetic_state(rng)
+            mask = ni.hccs_front_mask(
+                front_state.earliest, front_state.latest, front_state.send.shape[0]
+            )
+            n = front_state.movable.size
+            assert mask.sum() > max(8, n // 64)  # fronts genuinely batch
+            got_s, serial_moves = kernels.hccs_pass(
+                serial_state, 0, n, -1, 1e-9
+            )
+            got_f, front_moves = kernels.hccs_pass_fronts(front_state, 1e-9)
+            assert front_moves == serial_moves, (backend, seed)
+            assert got_f == got_s
+            assert np.array_equal(front_state.choices, serial_state.choices)
+            assert np.allclose(front_state.send, serial_state.send)
+            assert np.allclose(front_state.recv, serial_state.recv)
+            assert np.allclose(front_state.comm_max, serial_state.comm_max)
+
 
 # ---------------------------------------------------------------------- #
 # thread executor

@@ -157,6 +157,43 @@ class TestBucketQueueCoarsening:
         assert sequence.quotient().dag.num_nodes == 1
 
 
+class TestPearceKellyCoarsening:
+    """The PK dynamic-order path is decision-identical to the exact DFS."""
+
+    def test_pk_and_dfs_identical_records(self):
+        for seed in range(8):
+            dag = random_dag(60, 0.1, seed=400 + seed)
+            dfs = coarsen_dag(dag, target_nodes=12, method="dfs")
+            pk = coarsen_dag(dag, target_nodes=12, method="pk")
+            auto = coarsen_dag(dag, target_nodes=12)
+            assert pk.records == dfs.records, seed
+            assert auto.records == dfs.records, seed
+            assert pk.quotient().dag.is_acyclic()
+
+    def test_auto_with_budget_uses_dfs(self):
+        # search_budget is a DFS-node budget, so auto must route to DFS
+        dag = random_dag(40, 0.15, seed=13)
+        budgeted = coarsen_dag(dag, target_nodes=10, search_budget=2)
+        auto = coarsen_dag(dag, target_nodes=10, search_budget=2, method="auto")
+        assert auto.records == budgeted.records
+
+    def test_unknown_method_rejected(self):
+        dag = build_chain_dag(6)
+        with pytest.raises(DagError, match="unknown coarsening method"):
+            coarsen_dag(dag, target_nodes=2, method="bogus")
+
+    def test_pk_with_search_budget_rejected(self):
+        dag = build_chain_dag(6)
+        with pytest.raises(DagError, match="search_budget"):
+            coarsen_dag(dag, target_nodes=2, search_budget=8, method="pk")
+
+    def test_pk_dense_dag_stays_acyclic_at_every_level(self):
+        dag = random_dag(50, 0.35, seed=91)
+        sequence = coarsen_dag(dag, target_nodes=5, method="pk")
+        for level in range(0, sequence.num_contractions + 1, 5):
+            assert sequence.quotient(level).dag.is_acyclic()
+
+
 class TestProjection:
     def test_project_and_restrict_roundtrip(self):
         dag = random_dag(30, 0.15, seed=5)

@@ -1,0 +1,171 @@
+"""Determinism of the threaded initialiser fan-out (PR 9 tentpole a).
+
+The pipeline fans its per-initialiser HC + HCcs runs over a thread pool
+(``PipelineConfig.init_workers`` / ``REPRO_INIT_WORKERS``).  The contract:
+the fan-out changes wall-clock only — at any width the produced schedule,
+the stage trace and the service-level canonical payload are byte-identical
+to the serial run (deterministic winner selection via ``min``'s stable
+first-wins tie-break over the fixed initialiser registry order).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import MachineSpec, ScheduleRequest, SchedulerSpec, SchedulingService
+from repro.core import BspMachine
+from repro.schedulers import (
+    ENV_INIT_WORKERS,
+    PipelineConfig,
+    SchedulingPipeline,
+    resolve_init_workers,
+)
+from repro.schedulers.base import Scheduler
+from repro.schedulers.bsp_greedy import BspGreedyScheduler
+
+from conftest import random_dag
+
+#: deterministic config for the exact-comparison runs: no wall-clock
+#: budgets, no ILP stages — every knob that could make two runs diverge for
+#: reasons unrelated to the fan-out is pinned
+_DET_CONFIG = dict(use_ilp=False, use_comm_ilp=False, local_search_seconds=None)
+
+
+class TestResolveInitWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_INIT_WORKERS, "7")
+        assert resolve_init_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_INIT_WORKERS, "4")
+        assert resolve_init_workers(None) == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_INIT_WORKERS, raising=False)
+        assert resolve_init_workers(None) == 1
+
+    def test_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv(ENV_INIT_WORKERS, "0")
+        assert resolve_init_workers(None) == 1
+        assert resolve_init_workers(-2) == 1
+
+    def test_garbage_env_warns_and_stays_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_INIT_WORKERS, "many")
+        with pytest.warns(UserWarning, match="REPRO_INIT_WORKERS"):
+            assert resolve_init_workers(None) == 1
+
+
+class TestConfigWireForm:
+    def test_to_dict_excludes_init_workers(self):
+        data = PipelineConfig(init_workers=8).to_dict()
+        assert "init_workers" not in data
+
+    def test_from_dict_still_accepts_init_workers(self):
+        config = PipelineConfig.from_dict({"init_workers": 6})
+        assert config.init_workers == 6
+
+    def test_roundtrip_resets_to_default(self):
+        restored = PipelineConfig.from_dict(PipelineConfig(init_workers=8).to_dict())
+        assert restored.init_workers is None
+
+    def test_wire_form_identical_across_widths(self):
+        serial = PipelineConfig(init_workers=None, **_DET_CONFIG)
+        wide = PipelineConfig(init_workers=16, **_DET_CONFIG)
+        assert serial.to_dict() == wide.to_dict()
+
+
+def _pipeline_specs():
+    """Every registry pipeline, configured for deterministic comparison."""
+    return [
+        SchedulerSpec("framework", {"config": PipelineConfig(**_DET_CONFIG)}),
+        SchedulerSpec("framework_heuristics", {"local_search_seconds": None}),
+        SchedulerSpec("multilevel", {"config": PipelineConfig(**_DET_CONFIG)}),
+    ]
+
+
+class TestFanOutDeterminism:
+    def test_canonical_payload_identical_across_widths(self, monkeypatch):
+        """init_workers=4 vs serial: byte-identical canonical service payload."""
+        dag = random_dag(60, 0.12, seed=13)
+        machine = MachineSpec(num_procs=4, g=2.0, latency=5.0)
+        for spec in _pipeline_specs():
+            request = ScheduleRequest(dag=dag, machine=machine, scheduler=spec)
+            payloads = {}
+            for workers in ("", "4"):
+                if workers:
+                    monkeypatch.setenv(ENV_INIT_WORKERS, workers)
+                else:
+                    monkeypatch.delenv(ENV_INIT_WORKERS, raising=False)
+                result = SchedulingService().solve(request)
+                payloads[workers] = json.dumps(
+                    result.canonical_dict(), sort_keys=True
+                )
+            assert payloads[""] == payloads["4"], spec.name
+
+    def test_stage_traces_identical_across_widths(self):
+        dag = random_dag(50, 0.15, seed=29)
+        machine = BspMachine.uniform(3, g=2, latency=4)
+        traces = []
+        for workers in (1, 4):
+            config = PipelineConfig(init_workers=workers, **_DET_CONFIG)
+            result = SchedulingPipeline(config).schedule_with_stages(dag, machine)
+            traces.append(
+                (result.stages.to_dict(), result.schedule.procs.tolist(),
+                 result.schedule.supersteps.tolist())
+            )
+        assert traces[0] == traces[1]
+
+
+class _ExplodingScheduler(Scheduler):
+    name = "exploding"
+
+    def schedule(self, dag, machine, budget=None):
+        raise RuntimeError("initialiser exploded")
+
+
+class _RecordingScheduler(BspGreedyScheduler):
+    def __init__(self, calls):
+        super().__init__()
+        self._calls = calls
+
+    def schedule(self, dag, machine, budget=None):
+        self._calls.append(self.name)
+        return super().schedule(dag, machine, budget)
+
+
+class TestFanOutErrorPropagation:
+    """A crashing initialiser fails the solve at every width.
+
+    ``parallel_map``'s thread path cancels the outstanding tasks and
+    re-raises the task error; the serial path raises at the failing task
+    without starting later ones.
+    """
+
+    def _pipeline(self, initializers, workers):
+        config = PipelineConfig(init_workers=workers, **_DET_CONFIG)
+        pipeline = SchedulingPipeline(config)
+        pipeline._initializers = lambda machine: initializers
+        return pipeline
+
+    def test_serial_error_propagates_and_skips_later_tasks(self):
+        dag = random_dag(20, 0.2, seed=3)
+        machine = BspMachine.uniform(3, g=2, latency=2)
+        calls: list[str] = []
+        pipeline = self._pipeline(
+            [_ExplodingScheduler(), _RecordingScheduler(calls)], workers=1
+        )
+        with pytest.raises(RuntimeError, match="initialiser exploded"):
+            pipeline.schedule_with_stages(dag, machine)
+        assert calls == []  # the serial walk stops at the failing task
+
+    def test_threaded_error_propagates(self):
+        dag = random_dag(20, 0.2, seed=3)
+        machine = BspMachine.uniform(3, g=2, latency=2)
+        pipeline = self._pipeline(
+            [_ExplodingScheduler(), BspGreedyScheduler()], workers=4
+        )
+        with pytest.raises(RuntimeError, match="initialiser exploded"):
+            pipeline.schedule_with_stages(dag, machine)
