@@ -2,7 +2,7 @@
 
 Every PR that touches a hot path records its kernel timings in a stable
 ``BENCH_<n>.json`` at the repo root (see ``_bench_utils.save_bench_root``).
-This module diffs all of those records into one per-kernel trajectory table
+This script diffs all of those records into one per-kernel trajectory table
 (markdown to stdout): one row per kernel/case, one column per PR, each cell
 the recorded speedup of the vectorized path over its retained seed
 reference.  A kernel that regresses between PRs is immediately visible in
@@ -12,18 +12,31 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_report.py [repo_root]
 
-The payload walker is schema-agnostic: any dict carrying a ``"speedup"``
-key becomes a row, labelled by its path through the record; list entries
-are identified by their most specific size-like field (``num_nodes``,
-``nnz``, ...), so rows line up across PRs even when case lists grow.
+The record parsing (payload walker, label dedup, backend / hit-rate
+scans) lives in the importable :mod:`repro.analysis.benchdata` module —
+shared with the HTML report subsystem (:mod:`repro.analysis.report`), so
+both tools agree on row identity across PRs.  This file keeps only the
+markdown rendering and the CLI entry point.
 """
 
 from __future__ import annotations
 
-import json
-import re
 import sys
 from pathlib import Path
+
+try:
+    from repro.analysis.benchdata import (
+        collect_backends,
+        collect_store_hit_rates,
+        collect_trajectory,
+    )
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.benchdata import (
+        collect_backends,
+        collect_store_hit_rates,
+        collect_trajectory,
+    )
 
 __all__ = [
     "collect_trajectory",
@@ -32,131 +45,6 @@ __all__ = [
     "render_markdown",
     "main",
 ]
-
-#: fields (in priority order) used to label a list entry so that the same
-#: case lines up across PRs
-_IDENTITY_FIELDS = ("num_nodes", "nnz", "matrix_size", "num_contractions", "points")
-
-
-def _entry_label(payload: dict) -> str:
-    for field in _IDENTITY_FIELDS:
-        if field in payload:
-            return f"{field}={payload[field]}"
-    return ""
-
-
-def _walk(payload, path: tuple[str, ...], out: dict[str, float]) -> None:
-    if isinstance(payload, dict):
-        if "speedup" in payload and isinstance(payload["speedup"], (int, float)):
-            label = "/".join(path) or "(root)"
-            out[label] = float(payload["speedup"])
-        for key, value in payload.items():
-            if key == "speedup":
-                continue
-            _walk(value, path + (str(key),), out)
-    elif isinstance(payload, list):
-        tags = [
-            _entry_label(value) if isinstance(value, dict) else str(index)
-            for index, value in enumerate(payload)
-        ]
-        # two entries sharing the identity field (e.g. same num_nodes,
-        # different max_steps) must not collapse into one row: duplicate
-        # labels get a stable occurrence-index suffix
-        duplicated = {tag for tag in tags if tag and tags.count(tag) > 1}
-        occurrence: dict[str, int] = {}
-        for index, (value, tag) in enumerate(zip(payload, tags)):
-            if tag in duplicated:
-                nth = occurrence.get(tag, 0)
-                occurrence[tag] = nth + 1
-                tag = f"{tag}#{nth}"
-            _walk(value, path[:-1] + (f"{path[-1] if path else 'list'}[{tag or index}]",), out)
-
-
-def collect_trajectory(root: Path) -> dict[int, dict[str, float]]:
-    """Per-PR ``{kernel label -> speedup}`` maps from every ``BENCH_*.json``."""
-    trajectory: dict[int, dict[str, float]] = {}
-    for path in sorted(root.glob("BENCH_*.json")):
-        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
-        if not match:
-            continue
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (ValueError, OSError):
-            continue
-        if record.get("schema_version") != 1:
-            continue
-        speedups: dict[str, float] = {}
-        _walk(record.get("benchmarks", {}), (), speedups)
-        trajectory[int(match.group(1))] = speedups
-    return trajectory
-
-
-def _find_backend(payload) -> str | None:
-    """First ``"kernel_backend"`` string anywhere in a record payload."""
-    if isinstance(payload, dict):
-        value = payload.get("kernel_backend")
-        if isinstance(value, str):
-            return value
-        for child in payload.values():
-            found = _find_backend(child)
-            if found is not None:
-                return found
-    elif isinstance(payload, list):
-        for child in payload:
-            found = _find_backend(child)
-            if found is not None:
-                return found
-    return None
-
-
-def collect_backends(root: Path) -> dict[int, str]:
-    """Per-PR kernel backend (``numpy`` / ``numba``) from every ``BENCH_*.json``.
-
-    PRs predating the kernel-dispatch layer record no backend; they are
-    simply absent from the result (rendered as a dash).
-    """
-    backends: dict[int, str] = {}
-    for path in sorted(root.glob("BENCH_*.json")):
-        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
-        if not match:
-            continue
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (ValueError, OSError):
-            continue
-        if record.get("schema_version") != 1:
-            continue
-        backend = _find_backend(record.get("benchmarks", {}))
-        if backend is not None:
-            backends[int(match.group(1))] = backend
-    return backends
-
-
-def collect_store_hit_rates(root: Path) -> dict[int, float]:
-    """Per-PR warm-store hit rate from every ``BENCH_*.json``.
-
-    Reads the ``store_resume`` section written by ``bench_store_resume.py``
-    (store hits over total requests on a warm re-run of the benchmark
-    grid).  PRs predating the persistent store record no rate and are
-    simply absent from the result (rendered as a dash).
-    """
-    rates: dict[int, float] = {}
-    for path in sorted(root.glob("BENCH_*.json")):
-        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
-        if not match:
-            continue
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (ValueError, OSError):
-            continue
-        if record.get("schema_version") != 1:
-            continue
-        section = record.get("benchmarks", {}).get("store_resume")
-        if isinstance(section, dict) and isinstance(
-            section.get("hit_rate"), (int, float)
-        ):
-            rates[int(match.group(1))] = float(section["hit_rate"])
-    return rates
 
 
 def render_markdown(

@@ -1,0 +1,173 @@
+"""Parsing layer for the per-PR ``BENCH_<n>.json`` trajectory records.
+
+Every PR that touches a hot path records its benchmark numbers in a stable
+``BENCH_<n>.json`` at the repo root (see ``benchmarks/_bench_utils
+.save_bench_root``).  This module is the one importable parser of those
+records: the CLI report (``benchmarks/bench_report.py``), the HTML report
+subsystem (:mod:`repro.analysis.report`) and the regression detector
+(:mod:`repro.analysis.aggregate`) all walk the files through it, so label
+construction — and therefore row identity across PRs — is defined exactly
+once.
+
+The payload walker is schema-agnostic: any dict carrying the requested
+numeric field (``"speedup"`` for the trajectory, ``"final_cost"`` for the
+cost-drift detector) becomes a row, labelled by its path through the
+record; list entries are identified by their most specific size-like field
+(``num_nodes``, ``nnz``, ...), so rows line up across PRs even when case
+lists grow.  PR numbering is **gap-tolerant**: records are keyed by the
+number embedded in the file name, and a missing number (no ``BENCH_5.json``
+exists in this repository) simply yields no column — consumers comparing
+"previous vs current" must compare adjacent *recorded* PRs, not adjacent
+integers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "bench_records",
+    "collect_backends",
+    "collect_metric",
+    "collect_store_hit_rates",
+    "collect_trajectory",
+]
+
+#: fields (in priority order) used to label a list entry so that the same
+#: case lines up across PRs
+_IDENTITY_FIELDS = ("num_nodes", "nnz", "matrix_size", "num_contractions", "points")
+
+
+def _entry_label(payload: dict) -> str:
+    for field in _IDENTITY_FIELDS:
+        if field in payload:
+            return f"{field}={payload[field]}"
+    return ""
+
+
+def _walk(payload, path: tuple[str, ...], out: dict[str, float], field: str) -> None:
+    if isinstance(payload, dict):
+        if field in payload and isinstance(payload[field], (int, float)):
+            label = "/".join(path) or "(root)"
+            out[label] = float(payload[field])
+        for key, value in payload.items():
+            if key == field:
+                continue
+            _walk(value, path + (str(key),), out, field)
+    elif isinstance(payload, list):
+        tags = [
+            _entry_label(value) if isinstance(value, dict) else str(index)
+            for index, value in enumerate(payload)
+        ]
+        # two entries sharing the identity field (e.g. same num_nodes,
+        # different max_steps) must not collapse into one row: duplicate
+        # labels get a stable occurrence-index suffix
+        duplicated = {tag for tag in tags if tag and tags.count(tag) > 1}
+        occurrence: dict[str, int] = {}
+        for index, (value, tag) in enumerate(zip(payload, tags)):
+            if tag in duplicated:
+                nth = occurrence.get(tag, 0)
+                occurrence[tag] = nth + 1
+                tag = f"{tag}#{nth}"
+            _walk(
+                value,
+                path[:-1] + (f"{path[-1] if path else 'list'}[{tag or index}]",),
+                out,
+                field,
+            )
+
+
+def bench_records(root: Path | str) -> dict[int, dict]:
+    """Every readable ``BENCH_<n>.json`` payload under ``root``, keyed by PR.
+
+    Files that are unreadable, not valid JSON, or carry an unknown
+    ``schema_version`` are skipped silently (a foreign or future record
+    must not break the report).  The keys are whatever PR numbers exist —
+    gaps are preserved, not filled.
+    """
+    records: dict[int, dict] = {}
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if not match:
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            continue
+        if not isinstance(record, dict) or record.get("schema_version") != 1:
+            continue
+        records[int(match.group(1))] = record
+    return records
+
+
+def collect_metric(root: Path | str, field: str) -> dict[int, dict[str, float]]:
+    """Per-PR ``{row label -> value}`` maps for one numeric field.
+
+    The label scheme is shared by every field, so a row collected for
+    ``"speedup"`` and one collected for ``"final_cost"`` from the same
+    benchmark case carry the same label — which is what lets the
+    regression detector pair costs across PRs.
+    """
+    collected: dict[int, dict[str, float]] = {}
+    for pr, record in bench_records(root).items():
+        values: dict[str, float] = {}
+        _walk(record.get("benchmarks", {}), (), values, field)
+        collected[pr] = values
+    return collected
+
+
+def collect_trajectory(root: Path | str) -> dict[int, dict[str, float]]:
+    """Per-PR ``{kernel label -> speedup}`` maps from every ``BENCH_*.json``."""
+    return collect_metric(root, "speedup")
+
+
+def _find_backend(payload) -> str | None:
+    """First ``"kernel_backend"`` string anywhere in a record payload."""
+    if isinstance(payload, dict):
+        value = payload.get("kernel_backend")
+        if isinstance(value, str):
+            return value
+        for child in payload.values():
+            found = _find_backend(child)
+            if found is not None:
+                return found
+    elif isinstance(payload, list):
+        for child in payload:
+            found = _find_backend(child)
+            if found is not None:
+                return found
+    return None
+
+
+def collect_backends(root: Path | str) -> dict[int, str]:
+    """Per-PR kernel backend (``numpy`` / ``numba``) from every ``BENCH_*.json``.
+
+    PRs predating the kernel-dispatch layer record no backend; they are
+    simply absent from the result (rendered as a dash).
+    """
+    backends: dict[int, str] = {}
+    for pr, record in bench_records(root).items():
+        backend = _find_backend(record.get("benchmarks", {}))
+        if backend is not None:
+            backends[pr] = backend
+    return backends
+
+
+def collect_store_hit_rates(root: Path | str) -> dict[int, float]:
+    """Per-PR warm-store hit rate from every ``BENCH_*.json``.
+
+    Reads the ``store_resume`` section written by ``bench_store_resume.py``
+    (store hits over total requests on a warm re-run of the benchmark
+    grid).  PRs predating the persistent store record no rate and are
+    simply absent from the result (rendered as a dash).
+    """
+    rates: dict[int, float] = {}
+    for pr, record in bench_records(root).items():
+        section = record.get("benchmarks", {}).get("store_resume")
+        if isinstance(section, dict) and isinstance(
+            section.get("hit_rate"), (int, float)
+        ):
+            rates[pr] = float(section["hit_rate"])
+    return rates

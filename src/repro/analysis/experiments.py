@@ -277,13 +277,15 @@ class ExperimentRunner:
         instances: Iterable[DatasetInstance],
         specs: Iterable[MachineSpec],
         workers: int | None = None,
+        experiment: str | None = None,
     ) -> list[InstanceRecord]:
         """Cartesian product of instances and machine points.
 
         ``workers`` > 1 distributes the grid over a process pool; see
-        :func:`run_grid` for the guarantees.
+        :func:`run_grid` for the guarantees (including the ``experiment``
+        metadata record written for store-backed runs).
         """
-        return run_grid(self, instances, specs, workers=workers)
+        return run_grid(self, instances, specs, workers=workers, experiment=experiment)
 
 
 # ---------------------------------------------------------------------- #
@@ -314,6 +316,7 @@ def run_grid(
     instances: Iterable[DatasetInstance],
     specs: Iterable[MachineSpec],
     workers: int | None = None,
+    experiment: str | None = None,
 ) -> list[InstanceRecord]:
     """Run the ``instances × specs`` grid as one ``solve_many`` batch.
 
@@ -337,10 +340,22 @@ def run_grid(
     configuration), the batch gracefully falls back to serial execution
     with a warning instead of failing; exceptions raised by the experiment
     itself cancel the remaining grid points and propagate promptly.
+
+    ``experiment`` names the batch in the store's metadata tables: for a
+    store-backed runner an :class:`~repro.store.ExperimentRecord` listing
+    every fingerprint of the grid is appended to ``experiments.jsonl``
+    (see :mod:`repro.store.trials`), so the report subsystem can group
+    this grid's trials under that name.  Without a store it is ignored.
     """
     batches = _grid_batches(runner, instances, specs)
     flat = [request for _, _, keyed in batches for _, request in keyed]
     results = runner.service.solve_many(flat, workers=workers)
+    if experiment is not None and runner.service.store is not None:
+        runner.service.store.trials.record_experiment(
+            experiment,
+            [request.fingerprint() for request in flat],
+            metadata={"points": len(batches), "requests": len(flat)},
+        )
     records: list[InstanceRecord] = []
     cursor = 0
     for instance, spec, keyed in batches:

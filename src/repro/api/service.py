@@ -230,6 +230,20 @@ class SchedulingService:
         if self.store is not None:
             self.store.put(fingerprint, result)
 
+    def _record_trial(self, request: ScheduleRequest, result: ScheduleResult) -> None:
+        """Append one trial record for an actual scheduler invocation.
+
+        Only store-backed computes are recorded (cache and store hits are
+        answers, not trials), so the ``trials.jsonl`` table next to the
+        store is exactly the history of performed work — what the report
+        subsystem (:mod:`repro.analysis.report`) aggregates.
+        """
+        if self.store is None:
+            return
+        from ..store.trials import TrialRecord
+
+        self.store.trials.append_trial(TrialRecord.from_solve(request, result))
+
     # ------------------------------------------------------------------ #
     def solve(self, request: ScheduleRequest | dict) -> ScheduleResult:
         """Solve one request (dict-form requests are deserialized first)."""
@@ -240,6 +254,7 @@ class SchedulingService:
             return cached
         result = _solve_request(request)
         self._cache_put(fingerprint, result)
+        self._record_trial(request, result)
         return result
 
     def solve_many(
@@ -297,6 +312,7 @@ class SchedulingService:
             by_fingerprint = dict(zip(unique_misses, solved))
             for fingerprint, result in by_fingerprint.items():
                 self._cache_put(fingerprint, result)
+                self._record_trial(coerced[unique_misses[fingerprint]], result)
                 results[unique_misses[fingerprint]] = result
             for index, fingerprint in duplicate_of.items():
                 results[index] = replace(by_fingerprint[fingerprint], cache_hit=True)

@@ -57,6 +57,26 @@ Three subcommands cover the common workflows:
 
         python -m repro serve-worker --root ./results --workers 4
 
+``report``
+    Render the deterministic HTML experiment report (per-family cost
+    profiles, scheduler rank tables, kernel speedup trajectory and
+    regression flags — :mod:`repro.analysis.report`) from a result
+    store's trial tables and the repo's ``BENCH_*.json`` history::
+
+        python -m repro report --store ./results --out report.html
+
+    ``--fail-on-regression`` exits non-zero when any BENCH metric
+    drifted beyond tolerance — the CI gate.  ``--serve`` starts the
+    dashboard server on the same report instead of (or after) writing
+    the file.
+
+``web serve``
+    The dashboard server on its own (:mod:`repro.web.server`): serves
+    ``/report`` (rebuilt per request), ``/families/<name>`` and
+    ``/healthz`` over stdlib ``wsgiref``::
+
+        python -m repro web serve --store ./results --port 8000
+
 Both scheduling commands run through :class:`repro.api.SchedulingService`:
 the argparse namespace becomes a declarative :class:`ScheduleRequest` and
 ``schedule --output`` writes the :class:`ScheduleResult` JSON wire format
@@ -289,7 +309,92 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run a single expire/lease/solve/settle cycle and exit",
     )
+
+    report = subparsers.add_parser(
+        "report",
+        help="render the HTML experiment report from a store and BENCH history",
+    )
+    _add_report_source_arguments(report)
+    report.add_argument(
+        "--out",
+        default="report.html",
+        help="output HTML path (default: report.html)",
+    )
+    report.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve the dashboard for this store instead of exiting",
+    )
+    _add_serve_arguments(report)
+    report.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help=(
+            "exit non-zero when any BENCH metric drifted beyond tolerance "
+            "(the CI gate; the report is still written first)"
+        ),
+    )
+
+    web = subparsers.add_parser(
+        "web", help="the report dashboard server (stdlib wsgiref)"
+    )
+    web_sub = web.add_subparsers(dest="web_command", required=True)
+    web_serve = web_sub.add_parser(
+        "serve", help="serve /report, /families/<name> and /healthz"
+    )
+    _add_report_source_arguments(web_serve)
+    _add_serve_arguments(web_serve)
     return parser
+
+
+def _add_report_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "result store directory whose trial tables feed the report "
+            "(omit for a BENCH-only report)"
+        ),
+    )
+    parser.add_argument(
+        "--bench-root",
+        default=".",
+        help=(
+            "directory holding the BENCH_*.json history "
+            "(default: the current directory; 'none' disables the "
+            "trajectory and regression sections)"
+        ),
+    )
+    parser.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "relative drop in a kernel speedup row that raises a "
+            "regression flag (generous by default: timings are noisy)"
+        ),
+    )
+    parser.add_argument(
+        "--cost-tolerance",
+        type=float,
+        default=0.05,
+        help=(
+            "relative rise in a benchmark final_cost row that raises a "
+            "regression flag (tight by default: costs are deterministic)"
+        ),
+    )
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="dashboard bind address"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="dashboard port (0 picks an ephemeral port)",
+    )
 
 
 def _add_gc_arguments(parser: argparse.ArgumentParser) -> None:
@@ -300,6 +405,15 @@ def _add_gc_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "only remove write temporaries older than this (protects "
             "in-flight writes of live processes)"
+        ),
+    )
+    parser.add_argument(
+        "--prune-trials",
+        action="store_true",
+        help=(
+            "also compact the trial/experiment metadata tables, dropping "
+            "records whose results no longer exist (the tables are never "
+            "touched without this flag)"
         ),
     )
 
@@ -605,13 +719,22 @@ def _command_queue(args: argparse.Namespace) -> int:
 def _run_store_gc(args: argparse.Namespace) -> int:
     from .store import ResultStore
 
-    report = ResultStore(args.root).gc(tmp_grace_seconds=args.tmp_grace_seconds)
+    report = ResultStore(args.root).gc(
+        tmp_grace_seconds=args.tmp_grace_seconds,
+        prune_trials=args.prune_trials,
+    )
     print(
         f"gc {args.root}: removed {len(report['removed_results'])} dangling "
         f"result(s), {len(report['removed_dags'])} orphaned DAG payload(s), "
         f"{len(report['removed_tmp'])} stale temporar"
         f"{'y' if len(report['removed_tmp']) == 1 else 'ies'}"
     )
+    if args.prune_trials:
+        print(
+            f"pruned {report['dropped_trials']} trial record(s) and "
+            f"{report['dropped_experiments']} experiment record(s) whose "
+            "results are gone"
+        )
     return 0
 
 
@@ -646,6 +769,62 @@ def _command_serve_worker(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _bench_root_from_args(args: argparse.Namespace) -> str | None:
+    return None if args.bench_root.lower() == "none" else args.bench_root
+
+
+def _serve_dashboard(args: argparse.Namespace) -> int:
+    from .web import make_app, serve
+
+    app = make_app(
+        args.store,
+        _bench_root_from_args(args),
+        speedup_tolerance=args.speedup_tolerance,
+        cost_tolerance=args.cost_tolerance,
+    )
+    server = serve(app, host=args.host, port=args.port)
+    print(
+        f"dashboard on http://{args.host}:{server.server_port}/report "
+        "(ctrl-c to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from .analysis.report import build_report, render_html
+    from .store.fsio import atomic_write_text
+
+    report = build_report(
+        args.store,
+        _bench_root_from_args(args),
+        speedup_tolerance=args.speedup_tolerance,
+        cost_tolerance=args.cost_tolerance,
+    )
+    atomic_write_text(Path(args.out), render_html(report))
+    print(
+        f"report written to {args.out}: {report.num_trials} trial(s), "
+        f"{len(report.families)} families, {len(report.trajectory)} BENCH "
+        f"record(s), {len(report.flags)} regression flag(s)"
+    )
+    for flag in report.flags:
+        print(f"  REGRESSION {flag.describe()}", file=sys.stderr)
+    if args.serve:
+        return _serve_dashboard(args)
+    if args.fail_on_regression and report.has_regressions:
+        return 1
+    return 0
+
+
+def _command_web(args: argparse.Namespace) -> int:
+    return _serve_dashboard(args)  # "serve" is the only web subcommand
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -658,6 +837,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "queue": _command_queue,
         "store": _command_store,
         "serve-worker": _command_serve_worker,
+        "report": _command_report,
+        "web": _command_web,
     }
     return commands[args.command](args)
 

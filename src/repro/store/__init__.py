@@ -32,13 +32,18 @@ from .dispatcher import DispatchReport, Dispatcher
 from .heartbeat import LeaseHeartbeat
 from .queue import LeasedTask, WorkQueue
 from .results import ResultStore, dag_dict_fingerprint
+from .trials import ExperimentRecord, TrialLog, TrialRecord, dag_family
 
 __all__ = [
     "DispatchReport",
     "Dispatcher",
+    "ExperimentRecord",
     "LeaseHeartbeat",
     "LeasedTask",
     "ResultStore",
+    "TrialLog",
+    "TrialRecord",
     "WorkQueue",
     "dag_dict_fingerprint",
+    "dag_family",
 ]

@@ -30,13 +30,16 @@ import hashlib
 import json
 import time
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..api.result import ScheduleResult
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import ReproError
 from ..core.serialization import dag_to_dict
 from .fsio import atomic_write_json, read_json_tolerant
+
+if TYPE_CHECKING:
+    from .trials import TrialLog
 
 __all__ = ["ResultStore", "dag_dict_fingerprint"]
 
@@ -67,6 +70,22 @@ class ResultStore:
         self.root = Path(root)
         self.results_dir = self.root / "results"
         self.dags_dir = self.root / "dags"
+        self._trials: "TrialLog | None" = None
+
+    @property
+    def trials(self) -> "TrialLog":
+        """The trial/experiment metadata tables living next to ``results/``.
+
+        See :mod:`repro.store.trials`: append-only JSONL records describing
+        every actual scheduler invocation (and every named experiment
+        batch) against this store — the layer the report subsystem
+        aggregates instead of opening raw result payloads.
+        """
+        if self._trials is None:
+            from .trials import TrialLog
+
+            self._trials = TrialLog(self.root)
+        return self._trials
 
     # ------------------------------------------------------------------ #
     # result entries
@@ -169,8 +188,9 @@ class ResultStore:
         self,
         *,
         tmp_grace_seconds: float = 3600.0,
+        prune_trials: bool = False,
         clock: Callable[[], float] | None = None,
-    ) -> dict[str, list[str]]:
+    ) -> dict[str, Any]:
         """Collect store garbage; returns what was removed, by category.
 
         Three kinds of debris accumulate in a long-lived store and nothing
@@ -191,6 +211,17 @@ class ResultStore:
           atomic rename (see :mod:`repro.store.fsio`).  Only temporaries
           older than ``tmp_grace_seconds`` are touched, so in-flight writes
           of live processes are never raced.
+
+        The trial/experiment metadata tables (``trials.jsonl`` /
+        ``experiments.jsonl``, see :mod:`repro.store.trials`) are **never
+        touched by default** — they are the history of what was computed,
+        which outlives the payloads.  With ``prune_trials=True`` they are
+        compacted instead: trial records whose result entry no longer
+        exists after this sweep are dropped (along with experiment records
+        left referencing nothing), so the tables never point at results
+        the store cannot answer.  Records of *surviving* results are
+        always kept — gc never orphans a record from its result in either
+        direction.
 
         The clock is injectable (epoch seconds, default :func:`time.time`)
         for deterministic grace-period tests.  Results with inline DAGs,
@@ -242,6 +273,14 @@ class ResultStore:
                 except OSError:
                     continue
                 removed_dags.append(path.stem)
+        pruned = {"dropped_trials": 0, "dropped_experiments": 0}
+        if prune_trials:
+            # only now, after the dangling-result sweep, does "stored"
+            # mean "answerable": compact the metadata tables against the
+            # surviving result set so no record points at a missing result
+            pruned = self.trials.compact(
+                lambda fingerprint: self.result_path(fingerprint).is_file()
+            )
         removed_tmp: list[str] = []
         if self.root.is_dir():
             for path in sorted(self.root.rglob(".*.tmp")):
@@ -260,12 +299,14 @@ class ResultStore:
             "removed_results": removed_results,
             "removed_dags": removed_dags,
             "removed_tmp": removed_tmp,
+            "dropped_trials": pruned["dropped_trials"],
+            "dropped_experiments": pruned["dropped_experiments"],
         }
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:
-        """Entry counts (results and deduplicated DAG payloads)."""
+        """Entry counts (results, deduplicated DAG payloads, trial records)."""
         num_dags = (
             len(list(self.dags_dir.glob("*.json"))) if self.dags_dir.is_dir() else 0
         )
-        return {"results": len(self), "dags": num_dags}
+        return {"results": len(self), "dags": num_dags, "trials": len(self.trials)}

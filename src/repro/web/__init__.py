@@ -1,0 +1,13 @@
+"""Minimal stdlib web layer over the report subsystem.
+
+One module, :mod:`repro.web.server`: a WSGI application (stdlib
+``wsgiref``, no frameworks) that serves the deterministic HTML report of
+:mod:`repro.analysis.report` straight from a live result store — the
+"dashboard" half of the report subsystem, for watching a store fill up
+while a worker fleet drains a queue.  ``repro web serve`` and
+``repro report --serve`` are the CLI entry points.
+"""
+
+from .server import ReportApp, make_app, serve
+
+__all__ = ["ReportApp", "make_app", "serve"]

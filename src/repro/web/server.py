@@ -1,0 +1,198 @@
+"""A stdlib WSGI server for the experiment report dashboard.
+
+:class:`ReportApp` is a plain WSGI callable built on a **registry-style
+route table** — the same pattern the scheduler registry uses: routes are
+data (``(pattern, handler)`` pairs in :attr:`ReportApp.routes`), handlers
+are methods, and adding an endpoint is appending a row, not growing an
+``if`` chain.  Patterns are literal paths with at most one ``<name>``
+placeholder segment (matched non-greedily, never across ``/``).
+
+Endpoints:
+
+``/``
+    Redirects to ``/report``.
+``/report``
+    The full HTML report, rebuilt from the store on every request — a
+    store being filled by a worker fleet shows fresh numbers on refresh
+    (the report itself stays deterministic: same store state, same bytes).
+``/families/<name>``
+    One instance family's cost profile page.
+``/healthz``
+    Liveness endpoint for CI and supervisors: ``200 ok`` as plain text.
+
+Everything is read-only and single-file self-contained; there is no
+static asset to serve, no cache to invalidate, no third-party dependency.
+:func:`serve` wraps ``wsgiref.simple_server`` (port 0 picks an ephemeral
+port — the smoke tests bind one in a background thread).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from ..analysis.report import build_report, render_family_html, render_html
+
+__all__ = ["ReportApp", "make_app", "serve"]
+
+#: a route handler: (path parameters) -> (status, content type, body)
+Handler = Callable[[dict[str, str]], tuple[str, str, str]]
+
+
+def _match(pattern: str, path: str) -> dict[str, str] | None:
+    """Match ``path`` against a route pattern; return its parameters.
+
+    Segment-wise comparison: a ``<name>`` segment captures exactly one
+    non-empty path segment, every other segment must match literally.
+    Returns ``None`` on mismatch (and ``{}`` on a parameter-free match).
+    """
+    pattern_parts = [part for part in pattern.split("/") if part]
+    path_parts = [part for part in path.split("/") if part]
+    if len(pattern_parts) != len(path_parts):
+        return None
+    params: dict[str, str] = {}
+    for expected, actual in zip(pattern_parts, path_parts):
+        if expected.startswith("<") and expected.endswith(">"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+class ReportApp:
+    """WSGI application serving the report for one store + BENCH root."""
+
+    def __init__(
+        self,
+        store_root: str | Path | None,
+        bench_root: str | Path | None = None,
+        *,
+        speedup_tolerance: float = 0.5,
+        cost_tolerance: float = 0.05,
+    ) -> None:
+        self.store_root = store_root
+        self.bench_root = bench_root
+        self.speedup_tolerance = speedup_tolerance
+        self.cost_tolerance = cost_tolerance
+        #: the route table — append ``(pattern, handler)`` to add endpoints
+        self.routes: list[tuple[str, Handler]] = [
+            ("/", self._index),
+            ("/report", self._report),
+            ("/families/<name>", self._family),
+            ("/healthz", self._healthz),
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _build(self):
+        """A fresh report from the current store state (every request)."""
+        return build_report(
+            self.store_root,
+            self.bench_root,
+            speedup_tolerance=self.speedup_tolerance,
+            cost_tolerance=self.cost_tolerance,
+        )
+
+    # handlers ---------------------------------------------------------- #
+    def _index(self, params: dict[str, str]) -> tuple[str, str, str]:
+        return ("302 Found", "text/html; charset=utf-8", "")
+
+    def _report(self, params: dict[str, str]) -> tuple[str, str, str]:
+        return ("200 OK", "text/html; charset=utf-8", render_html(self._build()))
+
+    def _family(self, params: dict[str, str]) -> tuple[str, str, str]:
+        body = render_family_html(self._build(), params["name"])
+        if body is None:
+            return (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                f"unknown family: {params['name']}\n",
+            )
+        return ("200 OK", "text/html; charset=utf-8", body)
+
+    def _healthz(self, params: dict[str, str]) -> tuple[str, str, str]:
+        return ("200 OK", "text/plain; charset=utf-8", "ok\n")
+
+    # the WSGI protocol ------------------------------------------------- #
+    def __call__(self, environ, start_response):
+        path = environ.get("PATH_INFO", "/") or "/"
+        if environ.get("REQUEST_METHOD", "GET") not in ("GET", "HEAD"):
+            payload = b"method not allowed\n"
+            start_response(
+                "405 Method Not Allowed",
+                [
+                    ("Content-Type", "text/plain; charset=utf-8"),
+                    ("Content-Length", str(len(payload))),
+                    ("Allow", "GET, HEAD"),
+                ],
+            )
+            return [payload]
+        if path == "/":
+            # the one special case: a redirect needs a Location header
+            start_response(
+                "302 Found",
+                [("Location", "/report"), ("Content-Length", "0")],
+            )
+            return [b""]
+        for pattern, handler in self.routes:
+            params = _match(pattern, path)
+            if params is not None:
+                status, content_type, body = handler(params)
+                payload = body.encode("utf-8")
+                start_response(
+                    status,
+                    [
+                        ("Content-Type", content_type),
+                        ("Content-Length", str(len(payload))),
+                    ],
+                )
+                return [payload]
+        payload = f"not found: {path}\n".encode("utf-8")
+        start_response(
+            "404 Not Found",
+            [
+                ("Content-Type", "text/plain; charset=utf-8"),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]
+
+
+def make_app(
+    store_root: str | Path | None,
+    bench_root: str | Path | None = None,
+    *,
+    speedup_tolerance: float = 0.5,
+    cost_tolerance: float = 0.05,
+) -> ReportApp:
+    """A :class:`ReportApp` (kept as a function for symmetry with WSGI idiom)."""
+    return ReportApp(
+        store_root,
+        bench_root,
+        speedup_tolerance=speedup_tolerance,
+        cost_tolerance=cost_tolerance,
+    )
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request handler that doesn't write an access log line per request."""
+
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref's signature
+        pass
+
+
+def serve(
+    app: ReportApp,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    quiet: bool = False,
+) -> WSGIServer:
+    """Bind a ``wsgiref`` server for ``app`` and return it **unstarted**.
+
+    The caller decides the serving discipline: ``serve_forever()`` for the
+    CLI, ``handle_request()`` in a thread for tests.  ``port=0`` binds an
+    ephemeral port (read it back from ``server.server_port``).
+    """
+    handler = _QuietHandler if quiet else WSGIRequestHandler
+    return make_server(host, port, app, handler_class=handler)

@@ -120,6 +120,58 @@ class TestRenderMarkdown:
         assert "| store_resume | — | 40.0x |" in table.splitlines()
 
 
+class TestImportableParser:
+    """The walkers live in repro.analysis.benchdata; the script re-exports."""
+
+    def test_script_uses_the_library_functions(self):
+        from repro.analysis import benchdata
+
+        assert collect_trajectory is benchdata.collect_trajectory
+        assert collect_backends is benchdata.collect_backends
+        assert collect_store_hit_rates is benchdata.collect_store_hit_rates
+
+    def test_collect_metric_shares_the_label_scheme(self, tmp_path):
+        """Rows for different fields from one case carry the same label."""
+        from repro.analysis.benchdata import collect_metric
+
+        _write_record(
+            tmp_path,
+            1,
+            {"hc": {"cases": [{"num_nodes": 50, "speedup": 2.0, "final_cost": 9.0}]}},
+        )
+        label = "hc/cases[num_nodes=50]"
+        assert collect_metric(tmp_path, "speedup")[1] == {label: 2.0}
+        assert collect_metric(tmp_path, "final_cost")[1] == {label: 9.0}
+
+
+class TestGapTolerantNumbering:
+    """PR numbers with gaps (there is no BENCH_5.json) are a feature."""
+
+    def test_missing_pr_number_yields_no_column(self, tmp_path):
+        _write_record(tmp_path, 4, {"a": {"speedup": 2.0}})
+        _write_record(tmp_path, 6, {"a": {"speedup": 4.0}})
+        trajectory = collect_trajectory(tmp_path)
+        assert sorted(trajectory) == [4, 6]  # 5 absent, not empty
+        table = render_markdown(trajectory)
+        assert "PR 4" in table and "PR 6" in table and "PR 5" not in table
+
+    def test_adjacent_recorded_prs_pair_across_the_gap(self, tmp_path):
+        """Drift detection compares recorded neighbours, not n-1 vs n."""
+        from repro.analysis.aggregate import regression_flags
+
+        _write_record(tmp_path, 4, {"a": {"speedup": 10.0}})
+        _write_record(tmp_path, 6, {"a": {"speedup": 1.0}})
+        flags = regression_flags(tmp_path, speedup_tolerance=0.5)
+        assert [(f.previous_pr, f.current_pr) for f in flags] == [(4, 6)]
+
+    def test_repo_has_the_gap(self):
+        """The committed history itself skips PR 5 — keep relying on it."""
+        from repro.analysis.benchdata import bench_records
+
+        records = bench_records(REPO_ROOT)
+        assert 4 in records and 6 in records and 5 not in records
+
+
 class TestRepoRecords:
     def test_repo_trajectory_covers_committed_records(self):
         """Acceptance: the committed records BENCH_3/4/6/7 all report."""

@@ -115,7 +115,7 @@ class TestResultStore:
         for scheduler in ("cilk", "hdagg", "bsp_greedy"):
             service.solve(make_request(dag=dag, scheduler=scheduler))
         stats = ResultStore(tmp_path).stats()
-        assert stats == {"results": 3, "dags": 1}
+        assert stats == {"results": 3, "dags": 1, "trials": 3}
 
     def test_put_same_fingerprint_idempotent(self, tmp_path):
         request = make_request()
@@ -593,6 +593,8 @@ class TestStoreGc:
             "removed_results": [],
             "removed_dags": [],
             "removed_tmp": [],
+            "dropped_trials": 0,
+            "dropped_experiments": 0,
         }
         assert store.contains(fingerprint)
 
@@ -653,3 +655,179 @@ class TestStoreGc:
         result = SchedulingService(cache_size=0, store=tmp_path).solve(make_request())
         assert result.cache_hit is False
         assert store.contains(fingerprint)
+
+
+# ---------------------------------------------------------------------- #
+# the trial/experiment metadata tables
+# ---------------------------------------------------------------------- #
+class TestTrialRecords:
+    def _requests(self, schedulers=("cilk", "bsp_greedy"), seeds=(0,)):
+        dag = random_dag(16, 0.25, seed=3)
+        dag.name = "erdos_16"
+        return [
+            make_request(dag=dag, scheduler=scheduler, seed=seed)
+            for scheduler in schedulers
+            for seed in seeds
+        ]
+
+    def test_solve_records_one_trial_per_actual_invocation(self, tmp_path):
+        service = SchedulingService(cache_size=0, store=tmp_path)
+        request = self._requests()[0]
+        service.solve(request)
+        trials = ResultStore(tmp_path).trials.trials()
+        assert len(trials) == 1
+        record = trials[0]
+        assert record.fingerprint == request.fingerprint()
+        assert record.scheduler == "cilk"
+        assert record.family == "erdos"
+        assert record.num_nodes == 16
+        assert record.machine["num_procs"] == 4
+        assert record.cost > 0
+        assert record.created_at > 0
+
+    def test_cache_and_store_hits_record_nothing(self, tmp_path):
+        """Trials mean scheduler invocations, not lookups."""
+        request = self._requests()[0]
+        SchedulingService(cache_size=0, store=tmp_path).solve(request)
+        warm = SchedulingService(store=tmp_path)
+        warm.solve(request)  # store hit
+        warm.solve(request)  # memory hit
+        assert len(ResultStore(tmp_path).trials) == 1
+
+    def test_solve_many_records_unique_misses_only(self, tmp_path):
+        requests = self._requests(seeds=(0, 1))
+        duplicated = requests + [requests[0]]
+        SchedulingService(cache_size=0, store=tmp_path).solve_many(
+            duplicated, workers=1
+        )
+        trials = ResultStore(tmp_path).trials.trials()
+        assert len(trials) == len(requests)
+        assert {t.fingerprint for t in trials} == {
+            r.fingerprint() for r in requests
+        }
+
+    def test_dispatcher_fleet_populates_the_table(self, tmp_path):
+        store = ResultStore(tmp_path)
+        queue = WorkQueue(tmp_path)
+        for request in self._requests():
+            queue.submit(request.fingerprint(), request.to_dict())
+        Dispatcher(tmp_path, workers=1, executor="thread").drain()
+        assert len(store.trials) == 2
+        assert {t.scheduler for t in store.trials.trials()} == {
+            "cilk",
+            "bsp_greedy",
+        }
+
+    def test_torn_line_skipped_not_fatal(self, tmp_path):
+        service = SchedulingService(cache_size=0, store=tmp_path)
+        service.solve(self._requests()[0])
+        log = ResultStore(tmp_path).trials
+        with open(log.trials_path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "trial", "fingerprint"')  # dying writer
+        assert len(log.trials()) == 1
+
+    def test_named_experiment_recorded(self, tmp_path):
+        runner = ExperimentRunner(config=BUDGET_FREE, store=tmp_path)
+        instances = build_dataset("tiny", scale="bench", include_coarse=False)[:1]
+        specs = [MachineSpec(4, 1, 5)]
+        run_grid(runner, instances, specs, experiment="smoke-grid")
+        experiments = ResultStore(tmp_path).trials.experiments()
+        assert [record.name for record in experiments] == ["smoke-grid"]
+        # on a cold store the batch is exactly the recorded trials
+        stored = {f for record in experiments for f in record.fingerprints}
+        trials = {t.fingerprint for t in ResultStore(tmp_path).trials.trials()}
+        assert stored == trials
+        # an unnamed grid records no experiment row
+        run_grid(
+            ExperimentRunner(config=BUDGET_FREE, store=tmp_path),
+            instances,
+            specs,
+        )
+        assert len(ResultStore(tmp_path).trials.experiments()) == 1
+
+    def test_stats_count_trials(self, tmp_path):
+        SchedulingService(cache_size=0, store=tmp_path).solve_many(
+            self._requests(), workers=1
+        )
+        stats = ResultStore(tmp_path).stats()
+        assert stats["trials"] == 2
+        assert stats["results"] == 2
+
+
+class TestGcTrialPreservation:
+    """gc never orphans a trial record from its result, nor vice versa."""
+
+    def _populated(self, tmp_path):
+        dag = random_dag(16, 0.25, seed=3)
+        dag.name = "erdos_16"
+        requests = [
+            make_request(dag=dag, scheduler=s) for s in ("cilk", "bsp_greedy")
+        ]
+        SchedulingService(cache_size=0, store=tmp_path).solve_many(
+            requests, workers=1
+        )
+        return ResultStore(tmp_path), requests
+
+    def test_default_gc_never_touches_the_tables(self, tmp_path):
+        store, requests = self._populated(tmp_path)
+        store.trials.record_experiment(
+            "grid", [r.fingerprint() for r in requests]
+        )
+        # even with every result dangling, the history survives a plain gc
+        for path in store.dags_dir.glob("*.json"):
+            path.unlink()
+        report = store.gc()
+        assert len(report["removed_results"]) == 2
+        assert report["dropped_trials"] == 0
+        assert len(store.trials) == 2
+        assert len(store.trials.experiments()) == 1
+
+    def test_prune_drops_exactly_the_recordless_results(self, tmp_path):
+        store, requests = self._populated(tmp_path)
+        store.trials.record_experiment(
+            "grid", [r.fingerprint() for r in requests]
+        )
+        gone = requests[0].fingerprint()
+        store.result_path(gone).unlink()
+        report = store.gc(prune_trials=True)
+        assert report["dropped_trials"] == 1
+        assert report["dropped_experiments"] == 0
+        survivors = {t.fingerprint for t in store.trials.trials()}
+        assert survivors == {requests[1].fingerprint()}
+        # invariant both ways: every record has a result...
+        for fingerprint in survivors:
+            assert store.contains(fingerprint)
+        # ...and the experiment references only surviving trials
+        experiment = store.trials.experiments()[0]
+        assert experiment.fingerprints == [requests[1].fingerprint()]
+
+    def test_prune_drops_experiments_left_empty(self, tmp_path):
+        store, requests = self._populated(tmp_path)
+        store.trials.record_experiment("grid", [requests[0].fingerprint()])
+        store.result_path(requests[0].fingerprint()).unlink()
+        report = store.gc(prune_trials=True)
+        assert report["dropped_experiments"] == 1
+        assert store.trials.experiments() == []
+
+    def test_prune_collapses_duplicate_records(self, tmp_path):
+        """A crashed worker's recompute appends a second row; prune dedups."""
+        store, requests = self._populated(tmp_path)
+        duplicate = store.trials.trials()[0]
+        store.trials.append_trial(duplicate)
+        assert len(store.trials) == 3
+        report = store.gc(prune_trials=True)
+        assert report["dropped_trials"] == 1  # the duplicate, nothing else
+        assert len(store.trials) == 2
+
+    def test_cli_prune_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store, requests = self._populated(tmp_path)
+        store.result_path(requests[0].fingerprint()).unlink()
+        assert main(["store", "--root", str(tmp_path), "gc"]) == 0
+        assert "pruned" not in capsys.readouterr().out
+        assert len(store.trials) == 2  # untouched without the flag
+        code = main(["store", "--root", str(tmp_path), "gc", "--prune-trials"])
+        assert code == 0
+        assert "pruned 1 trial record(s)" in capsys.readouterr().out
+        assert len(store.trials) == 1

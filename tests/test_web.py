@@ -1,0 +1,151 @@
+"""Tests for the dashboard server (:mod:`repro.web.server`).
+
+The WSGI app is exercised both in-process (route matching, status codes,
+content types) and over a real socket: a ``wsgiref`` server on an
+ephemeral port in a background thread, hit with ``urllib`` — the same
+shape as ``repro web serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    MachineSpec,
+    ScheduleRequest,
+    SchedulerSpec,
+    SchedulingService,
+)
+from repro.store import ResultStore
+from repro.web import make_app, serve
+from repro.web.server import _match
+
+from conftest import random_dag
+
+
+def _populate_store(root):
+    dag = random_dag(16, 0.25, seed=1)
+    dag.name = "erdos_1"
+    requests = [
+        ScheduleRequest(
+            dag=dag,
+            machine=MachineSpec(4, 1.0, 5.0),
+            scheduler=SchedulerSpec(scheduler),
+            seed=0,
+        )
+        for scheduler in ("cilk", "bsp_greedy")
+    ]
+    SchedulingService(store=ResultStore(root)).solve_many(requests, workers=1)
+
+
+class TestRouteMatching:
+    def test_literal_routes(self):
+        assert _match("/report", "/report") == {}
+        assert _match("/report", "/healthz") is None
+        assert _match("/healthz", "/healthz/extra") is None
+
+    def test_placeholder_captures_one_segment(self):
+        assert _match("/families/<name>", "/families/erdos") == {"name": "erdos"}
+        assert _match("/families/<name>", "/families") is None
+        assert _match("/families/<name>", "/families/a/b") is None
+
+
+def _call(app, path, method="GET"):
+    """Invoke the WSGI app directly; returns (status, headers, body)."""
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    body = b"".join(
+        app({"PATH_INFO": path, "REQUEST_METHOD": method}, start_response)
+    )
+    return captured["status"], captured["headers"], body
+
+
+class TestWsgiApp:
+    def test_healthz(self, tmp_path):
+        status, headers, body = _call(make_app(tmp_path), "/healthz")
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("text/plain")
+        assert body == b"ok\n"
+
+    def test_root_redirects_to_report(self, tmp_path):
+        status, headers, _ = _call(make_app(tmp_path), "/")
+        assert status == "302 Found"
+        assert headers["Location"] == "/report"
+
+    def test_report_from_empty_store_is_valid(self, tmp_path):
+        """An empty store must render the "no trials yet" page, not 500."""
+        status, headers, body = _call(make_app(tmp_path), "/report")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "text/html; charset=utf-8"
+        text = body.decode("utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "no trials yet" in text
+
+    def test_report_reflects_store_contents(self, tmp_path):
+        _populate_store(tmp_path)
+        _, _, body = _call(make_app(tmp_path), "/report")
+        text = body.decode("utf-8")
+        assert "erdos" in text
+        assert "bsp_greedy" in text
+
+    def test_family_route(self, tmp_path):
+        _populate_store(tmp_path)
+        status, _, body = _call(make_app(tmp_path), "/families/erdos")
+        assert status == "200 OK"
+        assert "erdos" in body.decode("utf-8")
+        status, _, _ = _call(make_app(tmp_path), "/families/absent")
+        assert status == "404 Not Found"
+
+    def test_unknown_path_404(self, tmp_path):
+        status, _, _ = _call(make_app(tmp_path), "/nope")
+        assert status == "404 Not Found"
+
+    def test_post_rejected(self, tmp_path):
+        status, headers, _ = _call(make_app(tmp_path), "/report", method="POST")
+        assert status == "405 Method Not Allowed"
+        assert headers["Allow"] == "GET, HEAD"
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A real wsgiref server on an ephemeral port, in a daemon thread."""
+    server = serve(make_app(tmp_path), port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_port}", tmp_path
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestLiveServer:
+    def test_healthz_and_report_over_the_wire(self, live_server):
+        base, _ = live_server
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+            assert response.status == 200
+            assert response.read() == b"ok\n"
+        with urllib.request.urlopen(f"{base}/report", timeout=10) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "text/html; charset=utf-8"
+            assert b"no trials yet" in response.read()
+
+    def test_report_refreshes_as_the_store_fills(self, live_server):
+        """The dashboard rebuilds per request: new trials appear on refresh."""
+        base, store_root = live_server
+        _populate_store(store_root)
+        with urllib.request.urlopen(f"{base}/report", timeout=10) as response:
+            assert b"erdos" in response.read()
+
+    def test_unknown_family_404_over_the_wire(self, live_server):
+        base, _ = live_server
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(f"{base}/families/absent", timeout=10)
+        assert exc_info.value.code == 404
